@@ -1,0 +1,44 @@
+//! Ablation C (Fig. 4): map-reduce time as a function of chunk size — the
+//! `DataParallel(int size)` constructor parameter. Too-small chunks pay
+//! task overhead per chunk; too-large chunks starve the pool.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use wordcount::{embedded, native, Corpus, Weight};
+
+fn chunk_size_sweep(c: &mut Criterion) {
+    let corpus = Corpus::generate(400, 10, 8);
+    let pool = Arc::new(exec::ThreadPool::new(
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+    ));
+    let mut group = c.benchmark_group("ablation/chunk_size");
+    group.sample_size(10);
+    for chunk in [10usize, 100, 1_000, 10_000] {
+        group.bench_with_input(
+            BenchmarkId::new("native_map_reduce", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| {
+                    black_box(native::map_reduce_on(
+                        corpus.lines(),
+                        Weight::Light,
+                        chunk,
+                        &pool,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("embedded_map_reduce", chunk),
+            &chunk,
+            |b, &chunk| {
+                b.iter(|| black_box(embedded::map_reduce_sized(&corpus, Weight::Light, chunk)))
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, chunk_size_sweep);
+criterion_main!(benches);

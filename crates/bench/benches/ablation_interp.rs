@@ -1,0 +1,87 @@
+//! Ablation E: the cost of full interpretation vs. the transpiled
+//! combinator path vs. native Rust, on the sequential word-count.
+//!
+//! The paper's Junicon runs either interactively (Groovy script engine) or
+//! translated to Java; Fig. 6 measures the translated path. This bench
+//! brackets both: `interp` parses/normalizes/compiles once and then drives
+//! the interpreted generator per iteration; `embedded` drives the very
+//! combinator trees transpiled code builds; `native` is the plain-Rust
+//! floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gde::{GenExt, Value};
+use junicon::Interp;
+use std::hint::black_box;
+use wordcount::{embedded, native, Corpus, Weight};
+
+const LINES: usize = 200;
+
+fn make_interp(corpus: &Corpus) -> Interp {
+    let i = Interp::new();
+    i.globals().declare("lines", corpus.as_value());
+    i.register_native("wordToNumber", |_t, args| {
+        let w = args.first()?.as_str()?;
+        bigint::BigUint::from_str_radix(w, 36)
+            .ok()
+            .map(|n| Value::big(n.into()))
+    });
+    i.register_native("hashNumber", |_t, args| {
+        let mag = match args.first()?.deref() {
+            Value::Int(v) if v >= 0 => v as f64,
+            Value::Big(b) => b.to_f64(),
+            _ => return None,
+        };
+        Some(Value::Real(mag.sqrt()))
+    });
+    i.load(
+        r#"
+        def hashAll() {
+            local line;
+            every line := !lines do {
+                suspend this::hashNumber(this::wordToNumber( ! line::split("\\s+") ));
+            };
+        }
+        "#,
+    )
+    .expect("wordcount source");
+    i
+}
+
+fn interp_total(i: &Interp) -> f64 {
+    let mut g = i.gen("hashAll()").expect("compiles");
+    let mut total = 0.0;
+    while let Some(v) = g.next_value() {
+        total += v.as_real().unwrap_or(0.0);
+    }
+    total
+}
+
+fn interpretation_overhead(c: &mut Criterion) {
+    let corpus = Corpus::generate(LINES, 10, 5);
+    let interp = make_interp(&corpus);
+
+    // Sanity: all three paths agree before we time them.
+    let reference = native::sequential(corpus.lines(), Weight::Light);
+    assert!((interp_total(&interp) - reference).abs() < reference * 1e-9);
+    assert!((embedded::sequential(&corpus, Weight::Light) - reference).abs() < reference * 1e-9);
+
+    let mut group = c.benchmark_group("ablation/interpretation");
+    group.sample_size(10);
+    group.bench_function("native", |b| {
+        b.iter(|| black_box(native::sequential(corpus.lines(), Weight::Light)))
+    });
+    group.bench_function("embedded_combinators", |b| {
+        b.iter(|| black_box(embedded::sequential(&corpus, Weight::Light)))
+    });
+    group.bench_function("interpreted_junicon", |b| {
+        b.iter(|| black_box(interp_total(&interp)))
+    });
+    // Parse+normalize+compile cost alone (per-evaluation setup).
+    group.bench_function("compile_only", |b| {
+        b.iter(|| black_box(interp.gen("hashAll()").expect("compiles")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, interpretation_overhead);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Ablation A (Sec. III.B): "bounding the output queue buffer size can
+//! also be used to throttle a threaded co-expression" — pipeline throughput
+//! as a function of the blocking-queue capacity, for both suites.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wordcount::{embedded, native, Corpus, Weight};
+
+fn queue_capacity_sweep(c: &mut Criterion) {
+    let corpus = Corpus::generate(400, 10, 7);
+    let mut group = c.benchmark_group("ablation/queue_capacity");
+    group.sample_size(10);
+    for capacity in [1usize, 4, 16, 64, 256, 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("native_pipeline", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    black_box(native::pipeline_with_capacity(
+                        corpus.lines(),
+                        Weight::Light,
+                        cap,
+                    ))
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("embedded_pipeline", capacity),
+            &capacity,
+            |b, &cap| {
+                b.iter(|| {
+                    black_box(embedded::pipeline_with_capacity(&corpus, Weight::Light, cap))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, queue_capacity_sweep);
+criterion_main!(benches);

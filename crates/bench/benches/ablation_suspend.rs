@@ -1,0 +1,61 @@
+//! Ablation B (Sec. V.B): "the kernel is optimized to statefully resume its
+//! point of suspension on a succeeding next(), incurring zero cost for
+//! suspends." This bench measures the suspension machinery directly:
+//!
+//! * a plain Rust iterator sum (the floor);
+//! * a `gde` range generator driven to failure;
+//! * the same generator buried under increasing depths of pass-through
+//!   combinators (limit wrappers), to expose the per-level resume cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gde::comb::{limit, to_range};
+use gde::{BoxGen, Gen, GenExt, Step};
+use std::hint::black_box;
+
+const N: i64 = 100_000;
+
+fn plain_iterator_floor(c: &mut Criterion) {
+    c.bench_function("ablation/suspend/rust_iterator", |b| {
+        b.iter(|| {
+            let mut sum = 0i64;
+            for i in 1..=N {
+                sum += black_box(i);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn gde_range(c: &mut Criterion) {
+    c.bench_function("ablation/suspend/gde_range", |b| {
+        b.iter(|| {
+            let mut g = to_range(1, N, 1);
+            let mut sum = 0i64;
+            while let Step::Suspend(v) = g.resume() {
+                sum += v.as_int().expect("range yields ints");
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn wrapped_depths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/suspend/wrapper_depth");
+    for depth in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(depth), &depth, |b, &depth| {
+            b.iter(|| {
+                // Each limit is a pass-through: the suspension must climb
+                // `depth` levels per result.
+                let mut g: BoxGen = Box::new(to_range(1, N, 1));
+                for _ in 0..depth {
+                    g = Box::new(limit(g, usize::MAX));
+                }
+                black_box(g.count())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, plain_iterator_floor, gde_range, wrapped_depths);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation D: map-reduce scaling with worker-thread count (the paper ran
+//! on a 64-core Opteron; this sweep shows where this machine saturates).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wordcount::{native, Corpus, Weight};
+
+fn thread_scaling(c: &mut Criterion) {
+    // Heavyweight nodes so the parallel fraction dominates coordination.
+    let corpus = Corpus::generate(40, 10, 9);
+    let max = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    let mut counts = vec![1usize, 2, 4, 8];
+    counts.retain(|&n| n <= max.max(1));
+    if !counts.contains(&max) {
+        counts.push(max);
+    }
+    let mut group = c.benchmark_group("ablation/threads");
+    group.sample_size(10);
+    for threads in counts {
+        let pool = exec::ThreadPool::new(threads);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, _| {
+                b.iter(|| {
+                    black_box(native::map_reduce_on(
+                        corpus.lines(),
+                        Weight::Heavy,
+                        10, // fine-grained chunks so every worker gets fed
+                        &pool,
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, thread_scaling);
+criterion_main!(benches);

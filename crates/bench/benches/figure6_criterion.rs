@@ -1,0 +1,46 @@
+//! Criterion version of Fig. 6: every (suite, variant) cell at both
+//! weights, for statistically disciplined per-cell timings (the JMH
+//! analogue).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use wordcount::{run_cell, Corpus, Suite, Variant, Weight};
+
+fn figure6_lightweight(c: &mut Criterion) {
+    let corpus = Corpus::generate(500, 10, 2016);
+    let mut group = c.benchmark_group("figure6/lightweight");
+    group.sample_size(10);
+    for suite in [Suite::Embedded, Suite::Native] {
+        for variant in Variant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(suite.name(), variant.name()),
+                &(suite, variant),
+                |b, &(suite, variant)| {
+                    b.iter(|| black_box(run_cell(suite, variant, &corpus, Weight::Light)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn figure6_heavyweight(c: &mut Criterion) {
+    let corpus = Corpus::generate(30, 10, 2016);
+    let mut group = c.benchmark_group("figure6/heavyweight");
+    group.sample_size(10);
+    for suite in [Suite::Embedded, Suite::Native] {
+        for variant in Variant::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(suite.name(), variant.name()),
+                &(suite, variant),
+                |b, &(suite, variant)| {
+                    b.iter(|| black_box(run_cell(suite, variant, &corpus, Weight::Heavy)))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure6_lightweight, figure6_heavyweight);
+criterion_main!(benches);

@@ -1,0 +1,285 @@
+//! Benchmark harness for the paper's evaluation (Sec. VII, Fig. 6) and the
+//! ablation studies listed in DESIGN.md.
+//!
+//! Fig. 6 reports *normalized execution time* (log scale) for sixteen bars:
+//! {Lightweight, Heavyweight} × {Junicon, Java} × {Sequential, Pipeline,
+//! DataParallel, MapReduce}, normalized within each weight set to the Java
+//! parallel-stream (native MapReduce) time. [`run_figure6`] measures the
+//! same matrix on this machine and [`render_table`] prints it in the same
+//! layout; `cargo run -p bench --release --bin figure6` regenerates the
+//! figure's data, and the criterion benches provide statistically
+//! disciplined per-cell timings.
+
+use serde::Serialize;
+use std::time::{Duration, Instant};
+use wordcount::{run_cell, Corpus, Suite, Variant, Weight};
+
+/// One measured cell of the Fig. 6 matrix.
+#[derive(Clone, Debug, Serialize)]
+pub struct Measurement {
+    pub suite: &'static str,
+    pub variant: &'static str,
+    pub weight: &'static str,
+    pub median: Duration,
+    /// Execution time normalized to the native MapReduce bar of the same
+    /// weight set (the paper's normalization).
+    pub normalized: f64,
+}
+
+/// Workload configuration for a Fig. 6 run.
+#[derive(Clone, Copy, Debug)]
+pub struct Figure6Config {
+    /// Corpus shape for the lightweight set.
+    pub light_lines: usize,
+    /// Corpus shape for the heavyweight set (smaller: each node is ~80x).
+    pub heavy_lines: usize,
+    pub words_per_line: usize,
+    /// Timed iterations per cell (median is reported).
+    pub iterations: usize,
+    /// Warmup iterations per cell.
+    pub warmup: usize,
+    pub seed: u64,
+}
+
+impl Default for Figure6Config {
+    fn default() -> Self {
+        Figure6Config {
+            light_lines: 2_000,
+            heavy_lines: 100,
+            words_per_line: 10,
+            iterations: 7,
+            warmup: 2,
+            seed: 2016,
+        }
+    }
+}
+
+/// Median-of-N timing of one cell.
+pub fn time_cell(
+    suite: Suite,
+    variant: Variant,
+    corpus: &Corpus,
+    weight: Weight,
+    warmup: usize,
+    iterations: usize,
+) -> Duration {
+    for _ in 0..warmup {
+        std::hint::black_box(run_cell(suite, variant, corpus, weight));
+    }
+    let mut samples: Vec<Duration> = (0..iterations.max(1))
+        .map(|_| {
+            let t0 = Instant::now();
+            std::hint::black_box(run_cell(suite, variant, corpus, weight));
+            t0.elapsed()
+        })
+        .collect();
+    samples.sort();
+    samples[samples.len() / 2]
+}
+
+/// Measure the full sixteen-bar matrix.
+pub fn run_figure6(cfg: &Figure6Config) -> Vec<Measurement> {
+    let mut out = Vec::new();
+    for weight in [Weight::Light, Weight::Heavy] {
+        let lines = match weight {
+            Weight::Light => cfg.light_lines,
+            Weight::Heavy => cfg.heavy_lines,
+        };
+        let corpus = Corpus::generate(lines, cfg.words_per_line, cfg.seed);
+        // The normalization baseline: native MapReduce ("Java parallel
+        // stream").
+        let baseline = time_cell(
+            Suite::Native,
+            Variant::MapReduce,
+            &corpus,
+            weight,
+            cfg.warmup,
+            cfg.iterations,
+        );
+        for suite in [Suite::Embedded, Suite::Native] {
+            for variant in Variant::ALL {
+                let median = if suite == Suite::Native && variant == Variant::MapReduce {
+                    baseline
+                } else {
+                    time_cell(suite, variant, &corpus, weight, cfg.warmup, cfg.iterations)
+                };
+                out.push(Measurement {
+                    suite: suite.name(),
+                    variant: variant.name(),
+                    weight: weight.name(),
+                    median,
+                    normalized: median.as_secs_f64() / baseline.as_secs_f64(),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Render the measurements as the Fig. 6 table (normalized, per weight
+/// set, Junicon and native bars side by side).
+pub fn render_table(measurements: &[Measurement]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "Figure 6 — Performance when translated to Rust\n\
+         (execution time normalized to native MapReduce within each weight set)\n\n",
+    );
+    for weight in ["Lightweight", "Heavyweight"] {
+        out.push_str(&format!("{weight}\n"));
+        out.push_str(&format!(
+            "  {:<14}{:>12}{:>12}{:>18}\n",
+            "Variant", "Junicon", "Native", "Junicon/Native"
+        ));
+        for variant in Variant::ALL {
+            let get = |suite: &str| {
+                measurements
+                    .iter()
+                    .find(|m| {
+                        m.weight == weight && m.variant == variant.name() && m.suite == suite
+                    })
+                    .expect("complete matrix")
+            };
+            let junicon = get("Junicon");
+            let native = get("Native");
+            out.push_str(&format!(
+                "  {:<14}{:>12.3}{:>12.3}{:>17.2}x\n",
+                variant.name(),
+                junicon.normalized,
+                native.normalized,
+                junicon.normalized / native.normalized
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Shape checks corresponding to the paper's Sec. VII observations; returns
+/// human-readable findings (used by the figure6 binary and EXPERIMENTS.md).
+pub fn shape_findings(measurements: &[Measurement]) -> Vec<(String, bool)> {
+    let norm = |weight: &str, suite: &str, variant: Variant| {
+        measurements
+            .iter()
+            .find(|m| m.weight == weight && m.suite == suite && m.variant == variant.name())
+            .expect("complete matrix")
+            .normalized
+    };
+    let mut findings = Vec::new();
+
+    // 1. Embedded generators are slower than native, but "the penalty is
+    //    well under an order of magnitude" (lightweight set).
+    let worst_gap = Variant::ALL
+        .iter()
+        .map(|v| norm("Lightweight", "Junicon", *v) / norm("Lightweight", "Native", *v))
+        .fold(0.0f64, f64::max);
+    findings.push((
+        format!("lightweight Junicon/native worst-case gap = {worst_gap:.1}x (paper: <10x)"),
+        worst_gap < 10.0,
+    ));
+
+    // 2. "As the weight of the computational nodes increases, the relative
+    //    overhead of the embedded concurrent generators significantly
+    //    decreases."
+    let heavy_gap = Variant::ALL
+        .iter()
+        .map(|v| norm("Heavyweight", "Junicon", *v) / norm("Heavyweight", "Native", *v))
+        .fold(0.0f64, f64::max);
+    findings.push((
+        format!(
+            "heavyweight worst-case gap = {heavy_gap:.2}x vs lightweight {worst_gap:.1}x (paper: decreases)"
+        ),
+        heavy_gap < worst_gap,
+    ));
+
+    // 3. "Even with map-reduce expressed entirely using concurrent
+    //    generators, the performance impact on the right of Figure 6 is
+    //    negligible."
+    let mr_heavy = norm("Heavyweight", "Junicon", Variant::MapReduce);
+    findings.push((
+        format!("heavyweight Junicon MapReduce normalized = {mr_heavy:.2} (paper: ~1, negligible)"),
+        mr_heavy < 1.5,
+    ));
+
+    // 4. Parallel variants beat sequential at heavyweight (both suites).
+    //    On a single-core machine there is no parallelism to win from, so
+    //    the check degrades to "MapReduce within 20% of Sequential"
+    //    (coordination overhead only) — the paper's testbed had 64 cores.
+    let cores = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    for suite in ["Junicon", "Native"] {
+        let seq = norm("Heavyweight", suite, Variant::Sequential);
+        let mr = norm("Heavyweight", suite, Variant::MapReduce);
+        if cores > 1 {
+            findings.push((
+                format!(
+                    "heavyweight {suite}: MapReduce ({mr:.2}) faster than Sequential ({seq:.2}) [{cores} cores]"
+                ),
+                mr < seq,
+            ));
+        } else {
+            findings.push((
+                format!(
+                    "heavyweight {suite}: MapReduce ({mr:.2}) within 20% of Sequential ({seq:.2}) [single core: no speedup available]"
+                ),
+                mr < seq * 1.2,
+            ));
+        }
+    }
+
+    // 5. "The relative improvement among the embedded programs is roughly
+    //    consistent with that of the comparable Java programs": each
+    //    variant's normalized time agrees across suites within a factor
+    //    (at heavyweight the suites should track each other closely; a
+    //    fastest-variant comparison is meaningless on one core where all
+    //    variants tie within noise).
+    let max_ratio = Variant::ALL
+        .iter()
+        .map(|v| {
+            let j = norm("Heavyweight", "Junicon", *v);
+            let n = norm("Heavyweight", "Native", *v);
+            (j / n).max(n / j)
+        })
+        .fold(0.0f64, f64::max);
+    findings.push((
+        format!(
+            "heavyweight per-variant Junicon/native agreement within {max_ratio:.2}x (paper: relative ordering preserved)"
+        ),
+        max_ratio < 1.5,
+    ));
+
+    findings
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_is_complete_and_normalized() {
+        let cfg = Figure6Config {
+            light_lines: 30,
+            heavy_lines: 5,
+            words_per_line: 5,
+            iterations: 1,
+            warmup: 0,
+            seed: 1,
+        };
+        let m = run_figure6(&cfg);
+        assert_eq!(m.len(), 16);
+        // The baseline bar normalizes to exactly 1.0 in each weight set.
+        for weight in ["Lightweight", "Heavyweight"] {
+            let base = m
+                .iter()
+                .find(|x| x.weight == weight && x.suite == "Native" && x.variant == "MapReduce")
+                .expect("baseline bar exists");
+            assert_eq!(base.normalized, 1.0);
+        }
+        let table = render_table(&m);
+        assert!(table.contains("Lightweight"));
+        assert!(table.contains("MapReduce"));
+        // findings evaluate without panicking on a complete matrix
+        let findings = shape_findings(&m);
+        assert_eq!(findings.len(), 6);
+    }
+}

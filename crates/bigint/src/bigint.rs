@@ -1,0 +1,387 @@
+//! Signed arbitrary-precision integers: a sign-and-magnitude wrapper over
+//! [`BigUint`].
+
+use crate::{BigUint, ParseBigIntError};
+use core::cmp::Ordering;
+use core::fmt;
+use core::ops::{Add, Div, Mul, Neg, Rem, Sub};
+
+/// Sign of a [`BigInt`]. Zero always carries [`Sign::Zero`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Sign {
+    Negative,
+    Zero,
+    Positive,
+}
+
+/// An arbitrary-precision signed integer.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigInt {
+    sign: Sign,
+    mag: BigUint,
+}
+
+impl BigInt {
+    /// The value `0`.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+    }
+
+    /// The value `1`.
+    pub fn one() -> Self {
+        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+    }
+
+    /// Construct from a sign and magnitude (sign is normalized for zero).
+    pub fn from_sign_mag(sign: Sign, mag: BigUint) -> Self {
+        if mag.is_zero() {
+            BigInt::zero()
+        } else {
+            let sign = if sign == Sign::Zero { Sign::Positive } else { sign };
+            BigInt { sign, mag }
+        }
+    }
+
+    /// The sign.
+    pub fn sign(&self) -> Sign {
+        self.sign
+    }
+
+    /// The magnitude.
+    pub fn magnitude(&self) -> &BigUint {
+        &self.mag
+    }
+
+    /// True iff zero.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Negative
+    }
+
+    /// Parse in the given radix; an optional leading `-` or `+` is accepted.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<Self, ParseBigIntError> {
+        let (sign, digits) = match s.strip_prefix('-') {
+            Some(rest) => (Sign::Negative, rest),
+            None => (Sign::Positive, s.strip_prefix('+').unwrap_or(s)),
+        };
+        let mag = BigUint::from_str_radix(digits, radix)?;
+        Ok(BigInt::from_sign_mag(sign, mag))
+    }
+
+    /// Format in the given radix with a leading `-` when negative.
+    pub fn to_str_radix(&self, radix: u32) -> String {
+        match self.sign {
+            Sign::Negative => format!("-{}", self.mag.to_str_radix(radix)),
+            _ => self.mag.to_str_radix(radix),
+        }
+    }
+
+    /// Lossy conversion to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        let m = self.mag.to_f64();
+        if self.sign == Sign::Negative {
+            -m
+        } else {
+            m
+        }
+    }
+
+    /// Returns the value as `i64` if it fits.
+    pub fn to_i64(&self) -> Option<i64> {
+        let m = self.mag.to_u64()?;
+        match self.sign {
+            Sign::Zero => Some(0),
+            Sign::Positive => i64::try_from(m).ok(),
+            Sign::Negative => {
+                if m == i64::MIN.unsigned_abs() {
+                    Some(i64::MIN)
+                } else {
+                    i64::try_from(m).ok().map(|v| -v)
+                }
+            }
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Self {
+        BigInt::from_sign_mag(Sign::Positive, self.mag.clone())
+    }
+
+    /// Truncated division with remainder: `self = q*rhs + r`, `|r| < |rhs|`,
+    /// `r` takes the sign of `self` (like Rust's `/` and `%` on integers).
+    pub fn div_rem(&self, rhs: &Self) -> (Self, Self) {
+        let (q, r) = self.mag.div_rem(&rhs.mag);
+        let q_sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        (
+            BigInt::from_sign_mag(q_sign, q),
+            BigInt::from_sign_mag(self.sign, r),
+        )
+    }
+
+    /// Floor square root of a non-negative value.
+    ///
+    /// # Panics
+    /// Panics if the value is negative.
+    pub fn sqrt(&self) -> Self {
+        assert!(!self.is_negative(), "sqrt of negative BigInt");
+        BigInt::from_sign_mag(Sign::Positive, self.mag.sqrt())
+    }
+
+    /// Miller–Rabin probable-prime test on the absolute value; negative
+    /// numbers and 0/1 are not prime.
+    pub fn is_probable_prime(&self) -> bool {
+        self.sign == Sign::Positive && self.mag.is_probable_prime()
+    }
+
+    /// The next probable prime strictly greater than `self`.
+    pub fn next_probable_prime(&self) -> Self {
+        let mag = if self.sign == Sign::Positive {
+            self.mag.next_probable_prime()
+        } else {
+            BigUint::from(2u64)
+        };
+        BigInt::from_sign_mag(Sign::Positive, mag)
+    }
+
+    /// `self^exp mod m` on the magnitudes of non-negative operands.
+    ///
+    /// # Panics
+    /// Panics if any operand is negative or `m` is zero.
+    pub fn modpow(&self, exp: &Self, m: &Self) -> Self {
+        assert!(
+            !self.is_negative() && !exp.is_negative() && !m.is_negative(),
+            "modpow requires non-negative operands"
+        );
+        BigInt::from_sign_mag(Sign::Positive, self.mag.modpow(&exp.mag, &m.mag))
+    }
+}
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt::from_sign_mag(Sign::Positive, BigUint::from(v as u64)),
+            Ordering::Less => {
+                BigInt::from_sign_mag(Sign::Negative, BigUint::from(v.unsigned_abs()))
+            }
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        BigInt::from_sign_mag(Sign::Positive, BigUint::from(v))
+    }
+}
+
+impl From<BigUint> for BigInt {
+    fn from(mag: BigUint) -> Self {
+        BigInt::from_sign_mag(Sign::Positive, mag)
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        fn rank(s: Sign) -> i8 {
+            match s {
+                Sign::Negative => -1,
+                Sign::Zero => 0,
+                Sign::Positive => 1,
+            }
+        }
+        match rank(self.sign).cmp(&rank(other.sign)) {
+            Ordering::Equal => match self.sign {
+                Sign::Negative => other.mag.cmp_mag(&self.mag),
+                _ => self.mag.cmp_mag(&other.mag),
+            },
+            ord => ord,
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        let sign = match self.sign {
+            Sign::Negative => Sign::Positive,
+            Sign::Zero => Sign::Zero,
+            Sign::Positive => Sign::Negative,
+        };
+        BigInt { sign, mag: self.mag }
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, rhs: &BigInt) -> BigInt {
+        match (self.sign, rhs.sign) {
+            (Sign::Zero, _) => rhs.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_sign_mag(a, self.mag.add_ref(&rhs.mag)),
+            _ => match self.mag.cmp_mag(&rhs.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_sign_mag(
+                    self.sign,
+                    self.mag.checked_sub_ref(&rhs.mag).expect("checked by cmp"),
+                ),
+                Ordering::Less => BigInt::from_sign_mag(
+                    rhs.sign,
+                    rhs.mag.checked_sub_ref(&self.mag).expect("checked by cmp"),
+                ),
+            },
+        }
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, rhs: &BigInt) -> BigInt {
+        self + &(-rhs.clone())
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, rhs: &BigInt) -> BigInt {
+        let sign = match (self.sign, rhs.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => Sign::Zero,
+            (a, b) if a == b => Sign::Positive,
+            _ => Sign::Negative,
+        };
+        BigInt::from_sign_mag(sign, self.mag.mul_ref(&rhs.mag))
+    }
+}
+
+impl Div for &BigInt {
+    type Output = BigInt;
+    fn div(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).0
+    }
+}
+
+impl Rem for &BigInt {
+    type Output = BigInt;
+    fn rem(self, rhs: &BigInt) -> BigInt {
+        self.div_rem(rhs).1
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($($trait:ident :: $method:ident),*) => {$(
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, rhs: BigInt) -> BigInt {
+                $trait::$method(&self, &rhs)
+            }
+        }
+    )*};
+}
+forward_owned_binop!(Add::add, Sub::sub, Mul::mul, Div::div, Rem::rem);
+
+impl fmt::Debug for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigInt({})", self)
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_str_radix(10))
+    }
+}
+
+impl std::str::FromStr for BigInt {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigInt::from_str_radix(s, 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn signed_addition_all_sign_combinations() {
+        for (x, y) in [(5i64, 3i64), (5, -3), (-5, 3), (-5, -3), (3, -5), (-3, 5), (0, 7), (7, 0), (5, -5)] {
+            assert_eq!((&b(x) + &b(y)).to_i64(), Some(x + y), "{x} + {y}");
+        }
+    }
+
+    #[test]
+    fn signed_subtraction_and_negation() {
+        for (x, y) in [(5i64, 3i64), (3, 5), (-4, -9), (0, 6), (6, 0)] {
+            assert_eq!((&b(x) - &b(y)).to_i64(), Some(x - y), "{x} - {y}");
+        }
+        assert_eq!((-b(7)).to_i64(), Some(-7));
+        assert_eq!((-b(0)).to_i64(), Some(0));
+    }
+
+    #[test]
+    fn signed_multiplication() {
+        for (x, y) in [(6i64, 7i64), (-6, 7), (6, -7), (-6, -7), (0, 9), (9, 0)] {
+            assert_eq!((&b(x) * &b(y)).to_i64(), Some(x * y), "{x} * {y}");
+        }
+    }
+
+    #[test]
+    fn truncated_division_matches_rust() {
+        for (x, y) in [(7i64, 2i64), (-7, 2), (7, -2), (-7, -2), (9, 3), (-9, 3)] {
+            let (q, r) = b(x).div_rem(&b(y));
+            assert_eq!(q.to_i64(), Some(x / y), "{x} / {y}");
+            assert_eq!(r.to_i64(), Some(x % y), "{x} % {y}");
+        }
+    }
+
+    #[test]
+    fn ordering_across_signs() {
+        assert!(b(-10) < b(-9));
+        assert!(b(-1) < b(0));
+        assert!(b(0) < b(1));
+        assert!(b(9) < b(10));
+        assert_eq!(b(4).cmp(&b(4)), Ordering::Equal);
+    }
+
+    #[test]
+    fn parse_and_format_negative() {
+        let n = BigInt::from_str_radix("-hello", 36).unwrap();
+        assert_eq!(n.to_i64(), Some(-29234652));
+        assert_eq!(n.to_str_radix(36), "-hello");
+        assert_eq!(BigInt::from_str_radix("+42", 10).unwrap().to_i64(), Some(42));
+    }
+
+    #[test]
+    fn i64_boundaries_roundtrip() {
+        assert_eq!(b(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(b(i64::MIN).to_i64(), Some(i64::MIN));
+        let too_big = &b(i64::MAX) + &BigInt::one();
+        assert_eq!(too_big.to_i64(), None);
+    }
+
+    #[test]
+    fn prime_helpers_respect_sign() {
+        assert!(b(13).is_probable_prime());
+        assert!(!b(-13).is_probable_prime());
+        assert_eq!(b(-100).next_probable_prime().to_i64(), Some(2));
+    }
+
+    #[test]
+    fn to_f64_signed() {
+        assert_eq!(b(-250).to_f64(), -250.0);
+        assert_eq!(b(0).to_f64(), 0.0);
+    }
+}

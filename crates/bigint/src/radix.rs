@@ -1,0 +1,177 @@
+//! Radix parsing and formatting for bases 2–36.
+//!
+//! Base 36 is the one the paper's benchmark leans on: `wordToNumber` parses
+//! each word with `new BigInteger(word, 36)` (Fig. 3).
+
+use crate::BigUint;
+use core::fmt;
+
+/// Error returned when a string cannot be parsed as a big integer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseBigIntError {
+    /// The input was empty (or only a sign).
+    Empty,
+    /// A character was not a digit in the requested radix.
+    InvalidDigit { ch: char, radix: u32 },
+}
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseBigIntError::Empty => write!(f, "empty integer literal"),
+            ParseBigIntError::InvalidDigit { ch, radix } => {
+                write!(f, "invalid digit {ch:?} for radix {radix}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+fn digit_value(ch: char, radix: u32) -> Result<u64, ParseBigIntError> {
+    let v = match ch {
+        '0'..='9' => ch as u32 - '0' as u32,
+        'a'..='z' => ch as u32 - 'a' as u32 + 10,
+        'A'..='Z' => ch as u32 - 'A' as u32 + 10,
+        _ => return Err(ParseBigIntError::InvalidDigit { ch, radix }),
+    };
+    if v >= radix {
+        return Err(ParseBigIntError::InvalidDigit { ch, radix });
+    }
+    Ok(v as u64)
+}
+
+impl BigUint {
+    /// Parse `s` as an unsigned integer in the given radix (2–36).
+    ///
+    /// Both upper- and lower-case digits are accepted, as in
+    /// `java.math.BigInteger`.
+    ///
+    /// # Panics
+    /// Panics if `radix` is outside `2..=36`.
+    pub fn from_str_radix(s: &str, radix: u32) -> Result<Self, ParseBigIntError> {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        if s.is_empty() {
+            return Err(ParseBigIntError::Empty);
+        }
+        let mut out = BigUint::zero();
+        for ch in s.chars() {
+            let d = digit_value(ch, radix)?;
+            out.mul_add_small(radix as u64, d);
+        }
+        Ok(out)
+    }
+
+    /// Format as lower-case digits in the given radix (2–36).
+    ///
+    /// # Panics
+    /// Panics if `radix` is outside `2..=36`.
+    pub fn to_str_radix(&self, radix: u32) -> String {
+        assert!((2..=36).contains(&radix), "radix must be in 2..=36");
+        if self.is_zero() {
+            return "0".to_string();
+        }
+        const DIGITS: &[u8; 36] = b"0123456789abcdefghijklmnopqrstuvwxyz";
+        let mut n = self.clone();
+        let mut out = Vec::new();
+        // Peel several digits per division by using the largest power of the
+        // radix that fits in a limb.
+        let mut chunk = radix as u64;
+        let mut digits_per_chunk = 1u32;
+        while let Some(next) = chunk.checked_mul(radix as u64) {
+            chunk = next;
+            digits_per_chunk += 1;
+        }
+        while !n.is_zero() {
+            let mut rem = n.div_rem_small(chunk);
+            let limit = if n.is_zero() { 1 } else { digits_per_chunk };
+            let mut produced = 0;
+            while rem > 0 || produced < limit {
+                out.push(DIGITS[(rem % radix as u64) as usize]);
+                rem /= radix as u64;
+                produced += 1;
+            }
+        }
+        while out.last() == Some(&b'0') && out.len() > 1 {
+            out.pop();
+        }
+        out.reverse();
+        String::from_utf8(out).expect("radix digits are ASCII")
+    }
+}
+
+impl std::str::FromStr for BigUint {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        BigUint::from_str_radix(s, 10)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_base_10() {
+        let n = BigUint::from_str_radix("18446744073709551616", 10).unwrap();
+        assert_eq!(n.limbs(), &[0, 1]);
+    }
+
+    #[test]
+    fn parse_base_36_word() {
+        // "hello" in base 36 = 29234652 (matches java.math.BigInteger).
+        let n = BigUint::from_str_radix("hello", 36).unwrap();
+        assert_eq!(n.to_u64(), Some(29234652));
+        // Case-insensitive like BigInteger.
+        let m = BigUint::from_str_radix("HELLO", 36).unwrap();
+        assert_eq!(n, m);
+    }
+
+    #[test]
+    fn parse_base_2_and_16() {
+        assert_eq!(
+            BigUint::from_str_radix("11111111", 2).unwrap().to_u64(),
+            Some(255)
+        );
+        assert_eq!(
+            BigUint::from_str_radix("deadBEEF", 16).unwrap().to_u64(),
+            Some(0xdead_beef)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_bad_digits() {
+        assert!(matches!(
+            BigUint::from_str_radix("12a", 10),
+            Err(ParseBigIntError::InvalidDigit { ch: 'a', radix: 10 })
+        ));
+        assert!(matches!(
+            BigUint::from_str_radix("", 36),
+            Err(ParseBigIntError::Empty)
+        ));
+        assert!(BigUint::from_str_radix("z!", 36).is_err());
+    }
+
+    #[test]
+    fn format_roundtrips_all_radices() {
+        let n = BigUint::from_str_radix("123456789123456789123456789123456789", 10).unwrap();
+        for radix in 2..=36 {
+            let s = n.to_str_radix(radix);
+            let back = BigUint::from_str_radix(&s, radix).unwrap();
+            assert_eq!(back, n, "radix {radix} failed: {s}");
+        }
+    }
+
+    #[test]
+    fn format_zero_and_small() {
+        assert_eq!(BigUint::zero().to_str_radix(36), "0");
+        assert_eq!(BigUint::from(35u64).to_str_radix(36), "z");
+        assert_eq!(BigUint::from(36u64).to_str_radix(36), "10");
+    }
+
+    #[test]
+    fn display_is_base_10() {
+        let n = BigUint::from_str_radix("987654321", 10).unwrap();
+        assert_eq!(n.to_string(), "987654321");
+    }
+}

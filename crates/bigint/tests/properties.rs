@@ -1,0 +1,150 @@
+//! Property-based tests over the bigint substrate.
+//!
+//! These check algebraic laws (ring axioms, division identities, radix
+//! round-trips) on randomly generated multi-limb values, which is where
+//! hand-picked unit tests are weakest.
+
+use bigint::{BigInt, BigUint};
+use proptest::prelude::*;
+
+/// Arbitrary BigUint up to four limbs (enough to cross every carry path).
+fn arb_biguint() -> impl Strategy<Value = BigUint> {
+    prop::collection::vec(any::<u64>(), 0..4).prop_map(BigUint::from_limbs)
+}
+
+fn arb_bigint() -> impl Strategy<Value = BigInt> {
+    (arb_biguint(), any::<bool>()).prop_map(|(mag, neg)| {
+        let sign = if neg { bigint::Sign::Negative } else { bigint::Sign::Positive };
+        BigInt::from_sign_mag(sign, mag)
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.add_ref(&b), b.add_ref(&a));
+    }
+
+    #[test]
+    fn add_associates(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(a.add_ref(&b).add_ref(&c), a.add_ref(&b.add_ref(&c)));
+    }
+
+    #[test]
+    fn sub_inverts_add(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.add_ref(&b).checked_sub_ref(&b), Some(a));
+    }
+
+    #[test]
+    fn mul_commutes(a in arb_biguint(), b in arb_biguint()) {
+        prop_assert_eq!(a.mul_ref(&b), b.mul_ref(&a));
+    }
+
+    #[test]
+    fn mul_distributes_over_add(a in arb_biguint(), b in arb_biguint(), c in arb_biguint()) {
+        prop_assert_eq!(
+            a.mul_ref(&b.add_ref(&c)),
+            a.mul_ref(&b).add_ref(&a.mul_ref(&c))
+        );
+    }
+
+    #[test]
+    fn division_identity(a in arb_biguint(), b in arb_biguint()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(q.mul_ref(&b).add_ref(&r), a);
+        prop_assert!(r < b);
+    }
+
+    #[test]
+    fn shl_is_mul_by_power_of_two(a in arb_biguint(), bits in 0u64..130) {
+        let two_k = BigUint::one().shl_bits(bits);
+        prop_assert_eq!(a.shl_bits(bits), a.mul_ref(&two_k));
+    }
+
+    #[test]
+    fn shr_is_div_by_power_of_two(a in arb_biguint(), bits in 0u64..130) {
+        let two_k = BigUint::one().shl_bits(bits);
+        prop_assert_eq!(a.shr_bits(bits), a.div_rem(&two_k).0);
+    }
+
+    #[test]
+    fn radix_roundtrip(a in arb_biguint(), radix in 2u32..=36) {
+        let s = a.to_str_radix(radix);
+        prop_assert_eq!(BigUint::from_str_radix(&s, radix).unwrap(), a);
+    }
+
+    #[test]
+    fn sqrt_brackets(a in arb_biguint()) {
+        let r = a.sqrt();
+        prop_assert!(r.mul_ref(&r) <= a);
+        let r1 = r.add_ref(&BigUint::one());
+        prop_assert!(r1.mul_ref(&r1) > a);
+    }
+
+    #[test]
+    fn modpow_matches_pow_for_small_exponents(
+        base in 0u64..1000, exp in 0u64..12, m in 1u64..100000
+    ) {
+        let b = BigUint::from(base);
+        let m = BigUint::from(m);
+        let full = b.pow(exp).div_rem(&m).1;
+        prop_assert_eq!(b.modpow(&BigUint::from(exp), &m), full);
+    }
+
+    #[test]
+    fn u64_arithmetic_agrees(a in any::<u32>(), b in any::<u32>()) {
+        let (a64, b64) = (a as u64, b as u64);
+        prop_assert_eq!(
+            BigUint::from(a64).add_ref(&BigUint::from(b64)).to_u64(),
+            Some(a64 + b64)
+        );
+        prop_assert_eq!(
+            BigUint::from(a64).mul_ref(&BigUint::from(b64)).to_u64(),
+            Some(a64 * b64)
+        );
+    }
+
+    #[test]
+    fn signed_add_matches_i64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let s = &BigInt::from(a) + &BigInt::from(b);
+        prop_assert_eq!(s.to_i64(), Some(a + b));
+    }
+
+    #[test]
+    fn signed_mul_matches_i64(a in -1_000_000i64..1_000_000, b in -1_000_000i64..1_000_000) {
+        let p = &BigInt::from(a) * &BigInt::from(b);
+        prop_assert_eq!(p.to_i64(), Some(a * b));
+    }
+
+    #[test]
+    fn signed_div_rem_matches_i64(a in -1_000_000i64..1_000_000, b in -1000i64..1000) {
+        prop_assume!(b != 0);
+        let (q, r) = BigInt::from(a).div_rem(&BigInt::from(b));
+        prop_assert_eq!(q.to_i64(), Some(a / b));
+        prop_assert_eq!(r.to_i64(), Some(a % b));
+    }
+
+    #[test]
+    fn signed_ordering_matches_i64(a in any::<i32>(), b in any::<i32>()) {
+        prop_assert_eq!(
+            BigInt::from(a as i64).cmp(&BigInt::from(b as i64)),
+            (a as i64).cmp(&(b as i64))
+        );
+    }
+
+    #[test]
+    fn neg_is_involution(a in arb_bigint()) {
+        prop_assert_eq!(-(-a.clone()), a);
+    }
+
+    #[test]
+    fn to_f64_is_close(a in arb_biguint()) {
+        prop_assume!(!a.is_zero());
+        // Round-trip through the decimal representation parsed by Rust's f64.
+        let expected: f64 = a.to_str_radix(10).parse().unwrap();
+        let got = a.to_f64();
+        prop_assert!((got - expected).abs() <= expected.abs() * 1e-9,
+            "got {got}, expected {expected}");
+    }
+}

@@ -1,0 +1,23 @@
+//! Blocking channels: the communication substrate for generator proxies.
+//!
+//! The paper (Sec. III.B) builds pipes — multithreaded generator proxies —
+//! on *blocking queues*: "A blocking channel, or blocking queue, has put and
+//! take operations that wait until the queue of results is not full or not
+//! empty, respectively", and notes that "bounding the output queue buffer
+//! size can also be used to throttle a threaded co-expression". This crate
+//! provides that substrate:
+//!
+//! * [`BlockingQueue`] — a bounded (or unbounded) MPMC FIFO with blocking
+//!   `put`/`take`, non-blocking and timed variants, and close semantics used
+//!   to signal generator failure across threads;
+//! * [`MVar`] — a single-slot mutable variable whose `put` waits until empty
+//!   and whose `take` waits until full, the classic building block the paper
+//!   cites from Id's M-structures, Concurrent Haskell's MVars and CML;
+//! * [`Future`] — a write-once MVar: "a singleton piped iterator that
+//!   produces one result forms a future" (Sec. III.B).
+
+mod mvar;
+mod queue;
+
+pub use mvar::{Future, MVar};
+pub use queue::{BlockingQueue, PutError, TimedOut, TryPutError, TryTakeError};

@@ -1,0 +1,250 @@
+//! Single-slot mutable variables and write-once futures.
+//!
+//! Sec. III.B of the paper: "In its simplest form, a singleton piped iterator
+//! that produces one result forms a future or mutable variable, whose put and
+//! take operations wait until the channel is empty or full respectively."
+
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+
+struct Slot<T> {
+    value: Mutex<Option<T>>,
+    cond: Condvar,
+}
+
+/// A mutable variable in the M-structure / Concurrent-Haskell-MVar mould:
+/// `put` blocks while full, `take` blocks while empty and empties the slot,
+/// `read` blocks while empty without emptying.
+pub struct MVar<T> {
+    slot: Arc<Slot<T>>,
+}
+
+impl<T> Clone for MVar<T> {
+    fn clone(&self) -> Self {
+        MVar { slot: Arc::clone(&self.slot) }
+    }
+}
+
+impl<T> Default for MVar<T> {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl<T> MVar<T> {
+    /// Create an empty MVar.
+    pub fn empty() -> Self {
+        MVar {
+            slot: Arc::new(Slot { value: Mutex::new(None), cond: Condvar::new() }),
+        }
+    }
+
+    /// Create a full MVar.
+    pub fn new(v: T) -> Self {
+        MVar {
+            slot: Arc::new(Slot { value: Mutex::new(Some(v)), cond: Condvar::new() }),
+        }
+    }
+
+    /// Block until the slot is empty, then fill it.
+    pub fn put(&self, v: T) {
+        let mut guard = self.slot.value.lock();
+        while guard.is_some() {
+            self.slot.cond.wait(&mut guard);
+        }
+        *guard = Some(v);
+        drop(guard);
+        self.slot.cond.notify_all();
+    }
+
+    /// Block until the slot is full, then empty and return it.
+    pub fn take(&self) -> T {
+        let mut guard = self.slot.value.lock();
+        loop {
+            if let Some(v) = guard.take() {
+                drop(guard);
+                self.slot.cond.notify_all();
+                return v;
+            }
+            self.slot.cond.wait(&mut guard);
+        }
+    }
+
+    /// Fill the slot only if currently empty.
+    pub fn try_put(&self, v: T) -> Result<(), T> {
+        let mut guard = self.slot.value.lock();
+        if guard.is_some() {
+            return Err(v);
+        }
+        *guard = Some(v);
+        drop(guard);
+        self.slot.cond.notify_all();
+        Ok(())
+    }
+
+    /// Empty the slot only if currently full.
+    pub fn try_take(&self) -> Option<T> {
+        let v = self.slot.value.lock().take();
+        if v.is_some() {
+            self.slot.cond.notify_all();
+        }
+        v
+    }
+
+    /// True iff the slot currently holds a value.
+    pub fn is_full(&self) -> bool {
+        self.slot.value.lock().is_some()
+    }
+}
+
+impl<T: Clone> MVar<T> {
+    /// Block until the slot is full and return a copy, leaving it full.
+    pub fn read(&self) -> T {
+        let mut guard = self.slot.value.lock();
+        loop {
+            if let Some(v) = guard.as_ref() {
+                return v.clone();
+            }
+            self.slot.cond.wait(&mut guard);
+        }
+    }
+}
+
+/// A write-once future: `set` may succeed at most once; `get` blocks until
+/// the value is available and then always returns a copy.
+pub struct Future<T> {
+    mvar: MVar<T>,
+}
+
+impl<T> Clone for Future<T> {
+    fn clone(&self) -> Self {
+        Future { mvar: self.mvar.clone() }
+    }
+}
+
+impl<T> Default for Future<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Future<T> {
+    /// Create an unresolved future.
+    pub fn new() -> Self {
+        Future { mvar: MVar::empty() }
+    }
+
+    /// Resolve the future. Returns the value back if already resolved.
+    pub fn set(&self, v: T) -> Result<(), T> {
+        self.mvar.try_put(v)
+    }
+
+    /// True iff resolved.
+    pub fn is_set(&self) -> bool {
+        self.mvar.is_full()
+    }
+}
+
+impl<T: Clone> Future<T> {
+    /// Block until resolved and return a copy of the value.
+    pub fn get(&self) -> T {
+        self.mvar.read()
+    }
+
+    /// Return a copy of the value if resolved.
+    pub fn try_get(&self) -> Option<T> {
+        let guard = self.mvar.slot.value.lock();
+        guard.as_ref().cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn put_take_roundtrip() {
+        let m = MVar::empty();
+        m.put(7);
+        assert!(m.is_full());
+        assert_eq!(m.take(), 7);
+        assert!(!m.is_full());
+    }
+
+    #[test]
+    fn try_put_respects_fullness() {
+        let m = MVar::new(1);
+        assert_eq!(m.try_put(2), Err(2));
+        assert_eq!(m.take(), 1);
+        assert_eq!(m.try_put(2), Ok(()));
+        assert_eq!(m.try_take(), Some(2));
+        assert_eq!(m.try_take(), None);
+    }
+
+    #[test]
+    fn take_blocks_until_put() {
+        let m: MVar<i32> = MVar::empty();
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.take());
+        thread::sleep(Duration::from_millis(20));
+        m.put(99);
+        assert_eq!(h.join().unwrap(), 99);
+    }
+
+    #[test]
+    fn put_blocks_until_take() {
+        let m = MVar::new(1);
+        let m2 = m.clone();
+        let h = thread::spawn(move || m2.put(2));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(m.take(), 1);
+        h.join().unwrap();
+        assert_eq!(m.take(), 2);
+    }
+
+    #[test]
+    fn read_does_not_empty() {
+        let m = MVar::new("x");
+        assert_eq!(m.read(), "x");
+        assert!(m.is_full());
+    }
+
+    #[test]
+    fn mvar_ping_pong() {
+        // Alternating producer/consumer driven purely by MVar blocking.
+        let m = MVar::empty();
+        let m2 = m.clone();
+        let h = thread::spawn(move || {
+            for i in 0..100 {
+                m2.put(i);
+            }
+        });
+        for i in 0..100 {
+            assert_eq!(m.take(), i);
+        }
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn future_single_assignment() {
+        let f = Future::new();
+        assert!(!f.is_set());
+        assert_eq!(f.try_get(), None);
+        assert_eq!(f.set(10), Ok(()));
+        assert_eq!(f.set(11), Err(11));
+        assert_eq!(f.get(), 10);
+        assert_eq!(f.get(), 10); // repeatable
+    }
+
+    #[test]
+    fn future_get_blocks_until_set() {
+        let f: Future<String> = Future::new();
+        let f2 = f.clone();
+        let h = thread::spawn(move || f2.get());
+        thread::sleep(Duration::from_millis(20));
+        f.set("done".to_string()).unwrap();
+        assert_eq!(h.join().unwrap(), "done");
+    }
+}

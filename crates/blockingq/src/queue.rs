@@ -1,0 +1,424 @@
+//! A bounded MPMC blocking queue with close semantics.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Error returned by [`BlockingQueue::put`] when the queue has been closed;
+/// carries the rejected element back to the caller.
+#[derive(Debug, PartialEq, Eq)]
+pub struct PutError<T>(pub T);
+
+/// Error returned by [`BlockingQueue::try_put`].
+#[derive(Debug, PartialEq, Eq)]
+pub enum TryPutError<T> {
+    /// The queue is at capacity.
+    Full(T),
+    /// The queue has been closed.
+    Closed(T),
+}
+
+/// Error returned by [`BlockingQueue::take_timeout`] when the deadline
+/// passes without an element or a close.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOut;
+
+/// Error returned by [`BlockingQueue::try_take`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TryTakeError {
+    /// The queue is currently empty (but not closed).
+    Empty,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+/// A multi-producer multi-consumer FIFO with blocking `put`/`take`.
+///
+/// Cloning the handle is cheap and shares the same queue. Capacity `0` is
+/// normalized to `1` (a rendezvous-ish single slot, as a `SynchronousQueue`
+/// substitute); [`BlockingQueue::unbounded`] never blocks producers.
+///
+/// Closing the queue wakes all waiters: producers get their element back via
+/// [`PutError`]; consumers drain the remaining buffered elements and then
+/// observe end-of-stream (`None`). This is how a pipe signals that its
+/// underlying generator failed (terminated).
+pub struct BlockingQueue<T> {
+    shared: Arc<Shared<T>>,
+}
+
+impl<T> Clone for BlockingQueue<T> {
+    fn clone(&self) -> Self {
+        BlockingQueue { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl<T> BlockingQueue<T> {
+    /// Create a bounded queue holding at most `capacity` elements
+    /// (minimum 1).
+    pub fn bounded(capacity: usize) -> Self {
+        BlockingQueue {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State { buf: VecDeque::new(), closed: false }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity: capacity.max(1),
+            }),
+        }
+    }
+
+    /// Create a queue with no capacity bound; `put` never blocks.
+    pub fn unbounded() -> Self {
+        BlockingQueue {
+            shared: Arc::new(Shared {
+                state: Mutex::new(State { buf: VecDeque::new(), closed: false }),
+                not_empty: Condvar::new(),
+                not_full: Condvar::new(),
+                capacity: usize::MAX,
+            }),
+        }
+    }
+
+    /// The configured capacity (`usize::MAX` when unbounded).
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
+    }
+
+    /// Number of elements currently buffered.
+    pub fn len(&self) -> usize {
+        self.shared.state.lock().buf.len()
+    }
+
+    /// True iff no elements are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.shared.state.lock().buf.is_empty()
+    }
+
+    /// True iff [`BlockingQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.shared.state.lock().closed
+    }
+
+    /// Block until space is available, then enqueue `v`.
+    ///
+    /// Returns `Err(PutError(v))` if the queue is (or becomes, while
+    /// waiting) closed.
+    pub fn put(&self, v: T) -> Result<(), PutError<T>> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if st.closed {
+                return Err(PutError(v));
+            }
+            if st.buf.len() < self.shared.capacity {
+                st.buf.push_back(v);
+                drop(st);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            self.shared.not_full.wait(&mut st);
+        }
+    }
+
+    /// Enqueue without blocking.
+    pub fn try_put(&self, v: T) -> Result<(), TryPutError<T>> {
+        let mut st = self.shared.state.lock();
+        if st.closed {
+            return Err(TryPutError::Closed(v));
+        }
+        if st.buf.len() >= self.shared.capacity {
+            return Err(TryPutError::Full(v));
+        }
+        st.buf.push_back(v);
+        drop(st);
+        self.shared.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Block until an element is available and dequeue it.
+    ///
+    /// Returns `None` once the queue is closed *and* drained.
+    pub fn take(&self) -> Option<T> {
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Some(v);
+            }
+            if st.closed {
+                return None;
+            }
+            self.shared.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Dequeue without blocking.
+    pub fn try_take(&self) -> Result<T, TryTakeError> {
+        let mut st = self.shared.state.lock();
+        if let Some(v) = st.buf.pop_front() {
+            drop(st);
+            self.shared.not_full.notify_one();
+            return Ok(v);
+        }
+        if st.closed {
+            Err(TryTakeError::Closed)
+        } else {
+            Err(TryTakeError::Empty)
+        }
+    }
+
+    /// Like [`BlockingQueue::take`] but gives up after `timeout`,
+    /// returning `Ok(None)` on end-of-stream and `Err(TimedOut)` on timeout.
+    pub fn take_timeout(&self, timeout: Duration) -> Result<Option<T>, TimedOut> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.shared.state.lock();
+        loop {
+            if let Some(v) = st.buf.pop_front() {
+                drop(st);
+                self.shared.not_full.notify_one();
+                return Ok(Some(v));
+            }
+            if st.closed {
+                return Ok(None);
+            }
+            if self
+                .shared
+                .not_empty
+                .wait_until(&mut st, deadline)
+                .timed_out()
+            {
+                return Err(TimedOut);
+            }
+        }
+    }
+
+    /// Close the queue: pending and future `put`s fail, consumers drain the
+    /// buffer and then observe end-of-stream. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.shared.state.lock();
+        st.closed = true;
+        drop(st);
+        self.shared.not_empty.notify_all();
+        self.shared.not_full.notify_all();
+    }
+
+    /// A blocking iterator over the queue: yields until end-of-stream.
+    pub fn iter(&self) -> Drain<'_, T> {
+        Drain { queue: self }
+    }
+}
+
+impl<T> fmt::Debug for BlockingQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = self.shared.state.lock();
+        f.debug_struct("BlockingQueue")
+            .field("len", &st.buf.len())
+            .field("capacity", &self.shared.capacity)
+            .field("closed", &st.closed)
+            .finish()
+    }
+}
+
+/// Blocking consuming iterator returned by [`BlockingQueue::iter`].
+pub struct Drain<'a, T> {
+    queue: &'a BlockingQueue<T>,
+}
+
+impl<T> Iterator for Drain<'_, T> {
+    type Item = T;
+    fn next(&mut self) -> Option<T> {
+        self.queue.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let q = BlockingQueue::bounded(10);
+        for i in 0..5 {
+            q.put(i).unwrap();
+        }
+        for i in 0..5 {
+            assert_eq!(q.take(), Some(i));
+        }
+    }
+
+    #[test]
+    fn capacity_zero_is_one_slot() {
+        let q = BlockingQueue::bounded(0);
+        assert_eq!(q.capacity(), 1);
+        q.put(1).unwrap();
+        assert!(matches!(q.try_put(2), Err(TryPutError::Full(2))));
+    }
+
+    #[test]
+    fn try_take_empty_and_closed() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(2);
+        assert_eq!(q.try_take(), Err(TryTakeError::Empty));
+        q.close();
+        assert_eq!(q.try_take(), Err(TryTakeError::Closed));
+    }
+
+    #[test]
+    fn close_drains_then_ends() {
+        let q = BlockingQueue::bounded(4);
+        q.put(1).unwrap();
+        q.put(2).unwrap();
+        q.close();
+        assert!(q.put(3).is_err());
+        assert_eq!(q.take(), Some(1));
+        assert_eq!(q.take(), Some(2));
+        assert_eq!(q.take(), None);
+        assert_eq!(q.take(), None); // stays ended
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_take() {
+        let q = BlockingQueue::bounded(1);
+        q.put(0).unwrap();
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.put(1));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.take(), Some(0));
+        h.join().unwrap().unwrap();
+        assert_eq!(q.take(), Some(1));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_put() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.take());
+        thread::sleep(Duration::from_millis(20));
+        q.put(42).unwrap();
+        assert_eq!(h.join().unwrap(), Some(42));
+    }
+
+    #[test]
+    fn blocked_producer_wakes_on_close() {
+        let q = BlockingQueue::bounded(1);
+        q.put(0).unwrap();
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.put(1));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), Err(PutError(1)));
+    }
+
+    #[test]
+    fn blocked_consumer_wakes_on_close() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.take());
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn take_timeout_times_out_then_succeeds() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
+        assert_eq!(q.take_timeout(Duration::from_millis(10)), Err(TimedOut));
+        q.put(5).unwrap();
+        assert_eq!(q.take_timeout(Duration::from_millis(10)), Ok(Some(5)));
+        q.close();
+        assert_eq!(q.take_timeout(Duration::from_millis(10)), Ok(None));
+    }
+
+    #[test]
+    fn unbounded_never_blocks_producer() {
+        let q = BlockingQueue::unbounded();
+        for i in 0..10_000 {
+            q.put(i).unwrap();
+        }
+        assert_eq!(q.len(), 10_000);
+        assert_eq!(q.take(), Some(0));
+    }
+
+    #[test]
+    fn mpmc_sum_is_conserved() {
+        let q = BlockingQueue::bounded(8);
+        let n_producers = 4;
+        let per_producer = 1000u64;
+        let mut handles = Vec::new();
+        for p in 0..n_producers {
+            let q = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..per_producer {
+                    q.put(p * per_producer + i).unwrap();
+                }
+            }));
+        }
+        let mut consumers = Vec::new();
+        for _ in 0..3 {
+            let q = q.clone();
+            consumers.push(thread::spawn(move || {
+                let mut sum = 0u64;
+                while let Some(v) = q.take() {
+                    sum += v;
+                }
+                sum
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        q.close();
+        let total: u64 = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        let expect: u64 = (0..n_producers * per_producer).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn drain_iterator_ends_at_close() {
+        let q = BlockingQueue::bounded(16);
+        for i in 0..6 {
+            q.put(i).unwrap();
+        }
+        q.close();
+        let got: Vec<i32> = q.iter().collect();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn bounded_capacity_throttles() {
+        // A slow consumer bounds how far ahead the producer can run.
+        let q = BlockingQueue::bounded(2);
+        let q2 = q.clone();
+        let produced = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let produced2 = produced.clone();
+        let h = thread::spawn(move || {
+            for i in 0..100 {
+                q2.put(i).unwrap();
+                produced2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        });
+        thread::sleep(Duration::from_millis(30));
+        // Producer can be at most capacity + 1 ahead (one element may be
+        // mid-handoff).
+        let ahead = produced.load(std::sync::atomic::Ordering::SeqCst);
+        assert!(ahead <= 3, "producer ran ahead: {ahead}");
+        for _ in 0..100 {
+            q.take().unwrap();
+        }
+        h.join().unwrap();
+    }
+}

@@ -1,0 +1,152 @@
+//! Model-based property tests: the blocking queue against a plain
+//! `VecDeque` reference model (single-threaded op sequences), plus
+//! randomized multi-threaded conservation checks.
+
+use blockingq::{BlockingQueue, TryPutError, TryTakeError};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// One operation in a generated scenario.
+#[derive(Clone, Debug)]
+enum Op {
+    TryPut(i64),
+    TryTake,
+    Close,
+    Len,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => any::<i64>().prop_map(Op::TryPut),
+        4 => Just(Op::TryTake),
+        1 => Just(Op::Close),
+        1 => Just(Op::Len),
+    ]
+}
+
+proptest! {
+    /// The queue behaves exactly like a capacity-bounded VecDeque with a
+    /// closed flag, under any sequence of non-blocking operations.
+    #[test]
+    fn matches_reference_model(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(arb_op(), 0..60),
+    ) {
+        let q: BlockingQueue<i64> = BlockingQueue::bounded(capacity);
+        let mut model: VecDeque<i64> = VecDeque::new();
+        let mut closed = false;
+
+        for op in ops {
+            match op {
+                Op::TryPut(v) => {
+                    let got = q.try_put(v);
+                    if closed {
+                        prop_assert_eq!(got, Err(TryPutError::Closed(v)));
+                    } else if model.len() >= capacity {
+                        prop_assert_eq!(got, Err(TryPutError::Full(v)));
+                    } else {
+                        prop_assert_eq!(got, Ok(()));
+                        model.push_back(v);
+                    }
+                }
+                Op::TryTake => {
+                    let got = q.try_take();
+                    match model.pop_front() {
+                        Some(v) => prop_assert_eq!(got, Ok(v)),
+                        None if closed => prop_assert_eq!(got, Err(TryTakeError::Closed)),
+                        None => prop_assert_eq!(got, Err(TryTakeError::Empty)),
+                    }
+                }
+                Op::Close => {
+                    q.close();
+                    closed = true;
+                }
+                Op::Len => {
+                    prop_assert_eq!(q.len(), model.len());
+                    prop_assert_eq!(q.is_empty(), model.is_empty());
+                    prop_assert_eq!(q.is_closed(), closed);
+                }
+            }
+        }
+        // Drain after close: exactly the model's remainder, in order.
+        q.close();
+        let drained: Vec<i64> = q.iter().collect();
+        let expected: Vec<i64> = model.into_iter().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Conservation under concurrency: every element put by any producer
+    /// is taken exactly once by some consumer, for random thread/queue
+    /// shapes.
+    #[test]
+    fn concurrent_conservation(
+        capacity in 1usize..16,
+        producers in 1usize..4,
+        per_producer in 1u64..200,
+    ) {
+        let q: BlockingQueue<u64> = BlockingQueue::bounded(capacity);
+        let mut handles = Vec::new();
+        for p in 0..producers {
+            let q = q.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..per_producer {
+                    q.put(p as u64 * 1_000_000 + i).expect("queue open");
+                }
+            }));
+        }
+        let consumer = {
+            let q = q.clone();
+            std::thread::spawn(move || {
+                let mut seen = Vec::new();
+                while let Some(v) = q.take() {
+                    seen.push(v);
+                }
+                seen
+            })
+        };
+        for h in handles {
+            h.join().expect("producer ok");
+        }
+        q.close();
+        let mut seen = consumer.join().expect("consumer ok");
+        seen.sort_unstable();
+        let mut expect: Vec<u64> = (0..producers as u64)
+            .flat_map(|p| (0..per_producer).map(move |i| p * 1_000_000 + i))
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(seen, expect);
+    }
+
+    /// Per-producer FIFO: even with multiple producers, each producer's
+    /// own elements arrive in its send order.
+    #[test]
+    fn per_producer_order_is_preserved(per in 1u64..300) {
+        let q: BlockingQueue<(u8, u64)> = BlockingQueue::bounded(4);
+        let producers: Vec<_> = (0..2u8)
+            .map(|id| {
+                let q = q.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        q.put((id, i)).expect("open");
+                    }
+                })
+            })
+            .collect();
+        let q2 = q.clone();
+        let consumer = std::thread::spawn(move || {
+            let mut last: [Option<u64>; 2] = [None, None];
+            while let Some((id, i)) = q2.take() {
+                let slot = &mut last[id as usize];
+                assert!(slot.is_none_or(|prev| i > prev), "out of order for {id}");
+                *slot = Some(i);
+            }
+            last
+        });
+        for p in producers {
+            p.join().expect("producer ok");
+        }
+        q.close();
+        let last = consumer.join().expect("consumer ok");
+        prop_assert_eq!(last, [Some(per - 1), Some(per - 1)]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Task execution substrate: a fixed thread pool and task handles.
+//!
+//! The paper's pipes "leverage Java's facilities for thread pool management
+//! and support for multi-core execution" (Sec. V.D). This crate is that
+//! facility for the Rust reproduction: a small fixed-size pool fed from a
+//! shared [`blockingq::BlockingQueue`] of jobs, plus a [`Task`] handle that
+//! resolves a write-once [`blockingq::Future`] with the job's result.
+
+mod pool;
+
+pub use pool::{global, Task, ThreadPool};

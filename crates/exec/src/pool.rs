@@ -1,0 +1,221 @@
+//! A fixed-size worker pool over a shared blocking job queue.
+
+use blockingq::{BlockingQueue, MVar};
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size thread pool.
+///
+/// Jobs are drawn FIFO from a shared unbounded queue by `threads` workers.
+/// Dropping the pool closes the queue and joins the workers after the
+/// already-queued jobs have drained.
+pub struct ThreadPool {
+    queue: BlockingQueue<Job>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ThreadPool {
+    /// Create a pool with `threads` worker threads (minimum 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let queue: BlockingQueue<Job> = BlockingQueue::unbounded();
+        let workers = (0..threads)
+            .map(|i| {
+                let queue = queue.clone();
+                std::thread::Builder::new()
+                    .name(format!("exec-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(job) = queue.take() {
+                            job();
+                        }
+                    })
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        ThreadPool { queue, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueue a fire-and-forget job.
+    pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
+        self.queue
+            .put(Box::new(job))
+            .unwrap_or_else(|_| panic!("pool is shut down"));
+    }
+
+    /// Enqueue a job and get a [`Task`] handle resolving to its result.
+    ///
+    /// If the job panics the panic payload is captured and re-raised in
+    /// [`Task::join`], mirroring `std::thread::JoinHandle`.
+    pub fn submit<T, F>(&self, job: F) -> Task<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        let slot: MVar<std::thread::Result<T>> = MVar::empty();
+        let slot2 = slot.clone();
+        self.execute(move || {
+            let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
+            slot2.put(result);
+        });
+        Task { slot }
+    }
+
+    /// Drain all queued jobs and stop the workers, blocking until done.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        self.queue.close();
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+impl Drop for ThreadPool {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// Handle to a submitted job's eventual result.
+pub struct Task<T> {
+    slot: MVar<std::thread::Result<T>>,
+}
+
+impl<T> Task<T> {
+    /// Block until the job completes and return its result.
+    ///
+    /// # Panics
+    /// Re-raises the job's panic, like `JoinHandle::join().unwrap()`.
+    pub fn join(self) -> T {
+        match self.slot.take() {
+            Ok(v) => v,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+
+    /// True iff the job has completed (successfully or by panicking).
+    pub fn is_done(&self) -> bool {
+        self.slot.is_full()
+    }
+}
+
+/// The process-wide default pool, sized to the number of available cores.
+///
+/// This mirrors the common-pool role of Java's `ForkJoinPool.commonPool()`
+/// that backs parallel streams in the paper's baseline suite.
+pub fn global() -> &'static ThreadPool {
+    static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
+    GLOBAL.get_or_init(|| {
+        let n = std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4);
+        ThreadPool::new(n)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn executes_all_jobs() {
+        let pool = ThreadPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..100 {
+            let c = counter.clone();
+            pool.execute(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        pool.shutdown();
+        assert_eq!(counter.load(Ordering::SeqCst), 100);
+    }
+
+    #[test]
+    fn submit_returns_result() {
+        let pool = ThreadPool::new(2);
+        let t = pool.submit(|| 6 * 7);
+        assert_eq!(t.join(), 42);
+    }
+
+    #[test]
+    fn submit_many_ordered_by_handle() {
+        let pool = ThreadPool::new(3);
+        let tasks: Vec<Task<usize>> = (0..50).map(|i| pool.submit(move || i * i)).collect();
+        let results: Vec<usize> = tasks.into_iter().map(Task::join).collect();
+        assert_eq!(results, (0..50).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn panicking_job_propagates_on_join() {
+        let pool = ThreadPool::new(1);
+        let t: Task<()> = pool.submit(|| panic!("boom"));
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| t.join()));
+        assert!(err.is_err());
+        // Pool survives the panic and keeps executing jobs.
+        assert_eq!(pool.submit(|| 5).join(), 5);
+    }
+
+    #[test]
+    fn single_thread_pool_runs_sequentially() {
+        let pool = ThreadPool::new(1);
+        let log = Arc::new(parking_lot::Mutex::new(Vec::new()));
+        for i in 0..10 {
+            let log = log.clone();
+            pool.execute(move || log.lock().push(i));
+        }
+        pool.shutdown();
+        assert_eq!(*log.lock(), (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uses_multiple_workers() {
+        // With 4 workers and 4 jobs that each wait for all jobs to start,
+        // completion requires genuine parallelism.
+        let pool = ThreadPool::new(4);
+        let barrier = Arc::new(std::sync::Barrier::new(4));
+        let tasks: Vec<Task<()>> = (0..4)
+            .map(|_| {
+                let b = barrier.clone();
+                pool.submit(move || {
+                    b.wait();
+                })
+            })
+            .collect();
+        for t in tasks {
+            t.join();
+        }
+    }
+
+    #[test]
+    fn global_pool_is_shared() {
+        let a = global() as *const ThreadPool;
+        let b = global() as *const ThreadPool;
+        assert_eq!(a, b);
+        assert!(global().threads() >= 1);
+        assert_eq!(global().submit(|| "ok").join(), "ok");
+    }
+
+    #[test]
+    fn is_done_flips_after_completion() {
+        let pool = ThreadPool::new(1);
+        let t = pool.submit(|| 1);
+        // Ensure the job has run by submitting a second and joining it.
+        pool.submit(|| 2).join();
+        assert!(t.is_done());
+        assert_eq!(t.join(), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Lexical environments of reified variables.
+//!
+//! The interpreter and the co-expression machinery share this scope chain.
+//! Its key operation is [`Env::shadow`], the environment copy a
+//! co-expression takes at creation time: "co-expressions ... preclude
+//! interference by copying local variable references upon creation"
+//! (Sec. II.B). Shadowing copies the *local* frame's cells (each shadowed
+//! variable gets a fresh cell with the current value) while continuing to
+//! share outer frames, matching the paper's textual "scoping up for
+//! referenced locals".
+
+use crate::value::Value;
+use crate::var::Var;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+struct Frame {
+    vars: Mutex<HashMap<String, Var>>,
+    parent: Option<Env>,
+}
+
+/// A scope: a frame of named [`Var`]s with an optional parent.
+#[derive(Clone)]
+pub struct Env {
+    frame: Arc<Frame>,
+}
+
+impl Default for Env {
+    fn default() -> Self {
+        Self::root()
+    }
+}
+
+impl Env {
+    /// A fresh root scope.
+    pub fn root() -> Env {
+        Env {
+            frame: Arc::new(Frame { vars: Mutex::new(HashMap::new()), parent: None }),
+        }
+    }
+
+    /// A child scope whose lookups fall through to `self`.
+    pub fn child(&self) -> Env {
+        Env {
+            frame: Arc::new(Frame {
+                vars: Mutex::new(HashMap::new()),
+                parent: Some(self.clone()),
+            }),
+        }
+    }
+
+    /// Declare (or re-declare) a local in this frame, returning its cell.
+    pub fn declare(&self, name: &str, v: Value) -> Var {
+        let var = Var::new(v);
+        self.frame.vars.lock().insert(name.to_string(), var.clone());
+        var
+    }
+
+    /// Find a variable's cell in this frame only (no parent search).
+    pub fn lookup_local(&self, name: &str) -> Option<Var> {
+        self.frame.vars.lock().get(name).cloned()
+    }
+
+    /// Find a variable's cell, searching up the scope chain.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        if let Some(v) = self.frame.vars.lock().get(name) {
+            return Some(v.clone());
+        }
+        self.frame.parent.as_ref().and_then(|p| p.lookup(name))
+    }
+
+    /// Find or create: undeclared names spring into existence as null
+    /// locals in the current frame (Icon's implicit locals).
+    pub fn lookup_or_declare(&self, name: &str) -> Var {
+        self.lookup(name)
+            .unwrap_or_else(|| self.declare(name, Value::Null))
+    }
+
+    /// Read a variable's value (null if undeclared).
+    pub fn get(&self, name: &str) -> Value {
+        self.lookup(name).map(|v| v.get()).unwrap_or(Value::Null)
+    }
+
+    /// Assign, declaring in the current frame if absent.
+    pub fn set(&self, name: &str, v: Value) {
+        self.lookup_or_declare(name).set(v);
+    }
+
+    /// The co-expression copy: a new frame containing *fresh cells* holding
+    /// clones of this frame's current values, sharing the parent chain.
+    pub fn shadow(&self) -> Env {
+        let copied: HashMap<String, Var> = self
+            .frame
+            .vars
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.fresh_copy()))
+            .collect();
+        Env {
+            frame: Arc::new(Frame {
+                vars: Mutex::new(copied),
+                parent: self.frame.parent.clone(),
+            }),
+        }
+    }
+
+    /// Names declared in this frame (not the parents), sorted.
+    pub fn local_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.frame.vars.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_get_set() {
+        let env = Env::root();
+        env.declare("x", Value::from(1));
+        assert_eq!(env.get("x").as_int(), Some(1));
+        env.set("x", Value::from(2));
+        assert_eq!(env.get("x").as_int(), Some(2));
+        assert!(env.get("missing").is_null());
+    }
+
+    #[test]
+    fn child_sees_parent_and_can_shadow_locally() {
+        let root = Env::root();
+        root.declare("x", Value::from(1));
+        let child = root.child();
+        assert_eq!(child.get("x").as_int(), Some(1));
+        // Assignment through the chain writes the parent's cell.
+        child.set("x", Value::from(5));
+        assert_eq!(root.get("x").as_int(), Some(5));
+        // Declaring locally hides the parent.
+        child.declare("x", Value::from(99));
+        assert_eq!(child.get("x").as_int(), Some(99));
+        assert_eq!(root.get("x").as_int(), Some(5));
+    }
+
+    #[test]
+    fn implicit_declaration_in_current_frame() {
+        let root = Env::root();
+        let child = root.child();
+        child.set("fresh", Value::from(3));
+        assert_eq!(child.get("fresh").as_int(), Some(3));
+        assert!(root.lookup("fresh").is_none());
+    }
+
+    #[test]
+    fn shadow_copies_local_frame_only() {
+        let root = Env::root();
+        root.declare("outer", Value::from(10));
+        let scope = root.child();
+        scope.declare("local", Value::from(1));
+
+        let shadowed = scope.shadow();
+        // Writing the shadowed local does not affect the original...
+        shadowed.set("local", Value::from(42));
+        assert_eq!(scope.get("local").as_int(), Some(1));
+        // ...but the outer (parent) variable is still shared.
+        shadowed.set("outer", Value::from(20));
+        assert_eq!(root.get("outer").as_int(), Some(20));
+    }
+
+    #[test]
+    fn shadow_snapshots_current_values() {
+        let scope = Env::root();
+        scope.declare("n", Value::from(7));
+        let shadowed = scope.shadow();
+        scope.set("n", Value::from(8));
+        assert_eq!(shadowed.get("n").as_int(), Some(7));
+    }
+
+    #[test]
+    fn local_names_sorted() {
+        let env = Env::root();
+        env.declare("b", Value::Null);
+        env.declare("a", Value::Null);
+        assert_eq!(env.local_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+}

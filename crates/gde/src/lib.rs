@@ -1,0 +1,52 @@
+//! Goal-directed evaluation runtime.
+//!
+//! This crate is the Rust analogue of the paper's Java kernel (Sec. V.B,
+//! Sec. VI): "a single Java class, IconIterator, implements the stream-like
+//! interface in a tightly knitted logic that provides iteration that is
+//! suspendable, failure-driven, and optionally reversible." Everything the
+//! transformation targets lives here:
+//!
+//! * [`Value`] — the dynamic value universe of the embedded language (null,
+//!   machine and big integers, reals, strings, lists, tables, procedures,
+//!   co-expressions);
+//! * [`Gen`] / [`Step`] — suspendable, failure-driven, restartable iterators
+//!   (the `IconIterator` contract: failure terminates the iterator, restart
+//!   resets it to re-evaluate against the current environment);
+//! * [`comb`] — the composition forms the transformation maps constructs
+//!   onto: product (`&`), alternation (`|`), bound iteration (`x in e`),
+//!   limitation, bounded expressions, `to` ranges, promotion (`!e`),
+//!   invocation, and the control constructs `every`/`while`/`if`;
+//! * [`Var`] — reified variables (the `IconVar` analogue) giving the
+//!   first-class reference semantics of Sec. V.C;
+//! * [`ops`] — the goal-directed operators: arithmetic with automatic big-
+//!   integer promotion and string→numeric coercion, and comparisons that
+//!   *succeed producing their right operand* or fail;
+//! * [`func`] — variadic generator functions ([`ProcValue`]) and lifting of
+//!   native Rust functions into singleton iterators;
+//! * `env` — lexical environments of reified variables, copied ("shadowed")
+//!   by co-expressions.
+//!
+//! # The iterator contract
+//!
+//! A [`Gen`] produces a sequence of values by repeated [`Gen::resume`] calls,
+//! each returning [`Step::Suspend`] with the next value, until it returns
+//! [`Step::Fail`] — failure *is* the termination signal, exactly as in Icon
+//! ("generators, when viewed as Java iterators, are terminated by failure of
+//! the next() method"). After failing, a generator keeps failing until
+//! [`Gen::restart`] is called, which resets it to the beginning; restart
+//! re-reads any [`Var`]s the generator references, so a restarted generator
+//! re-evaluates in the *current* environment. This is what makes the
+//! backtracking product work: `e & e'` restarts `e'` for every value of `e`.
+
+pub mod comb;
+pub mod env;
+pub mod func;
+mod gen;
+pub mod ops;
+mod value;
+mod var;
+
+pub use func::ProcValue;
+pub use gen::{BoxGen, Gen, GenExt, GenIter, Step};
+pub use value::{CoRef, Coroutine, Key, ObjData, ObjRef, Value};
+pub use var::Var;

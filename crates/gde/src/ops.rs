@@ -1,0 +1,502 @@
+//! Goal-directed operators over [`Value`]s.
+//!
+//! Operations return `Option<Value>`: `None` means the operation *fails* in
+//! the goal-directed sense (which, composed through the product combinator,
+//! prunes that branch of the search). Two Icon-isms matter here:
+//!
+//! * **Coercion** — strings are converted to numbers where a number is
+//!   required (`"5" + 1` is `6`), and machine integers promote to arbitrary
+//!   precision on overflow ("arbitrary precision arithmetic ... is implicit
+//!   in Unicon", Sec. VII).
+//! * **Comparisons produce their right operand** — `4 < 5` *succeeds
+//!   producing 5*, `5 < 4` fails. This is what lets comparisons chain and
+//!   filter inside generator products, e.g. `1 <= x <= 10`.
+
+use crate::value::Value;
+use bigint::BigInt;
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+/// A numeric view of a value after coercion.
+#[derive(Clone, Debug)]
+pub enum Num {
+    Int(i64),
+    Big(BigInt),
+    Real(f64),
+}
+
+/// Coerce a value to a number: integers and reals pass through, strings are
+/// parsed (integer first, then big integer, then real). Fails (`None`) for
+/// non-numeric values.
+pub fn to_num(v: &Value) -> Option<Num> {
+    match v.deref() {
+        Value::Int(i) => Some(Num::Int(i)),
+        Value::Big(b) => Some(Num::Big((*b).clone())),
+        Value::Real(r) => Some(Num::Real(r)),
+        Value::Str(s) => {
+            let s = s.trim();
+            if let Ok(i) = s.parse::<i64>() {
+                Some(Num::Int(i))
+            } else if let Ok(b) = BigInt::from_str_radix(s, 10) {
+                Some(Num::Big(b))
+            } else if let Ok(r) = s.parse::<f64>() {
+                Some(Num::Real(r))
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+fn to_big(n: &Num) -> BigInt {
+    match n {
+        Num::Int(i) => BigInt::from(*i),
+        Num::Big(b) => b.clone(),
+        Num::Real(r) => BigInt::from(*r as i64),
+    }
+}
+
+fn to_real(n: &Num) -> f64 {
+    match n {
+        Num::Int(i) => *i as f64,
+        Num::Big(b) => b.to_f64(),
+        Num::Real(r) => *r,
+    }
+}
+
+fn is_real(n: &Num) -> bool {
+    matches!(n, Num::Real(_))
+}
+
+macro_rules! arith {
+    ($name:ident, $checked:ident, $bigop:tt, $realop:tt) => {
+        /// Arithmetic with big-integer promotion and string coercion;
+        /// fails on non-numeric operands.
+        pub fn $name(a: &Value, b: &Value) -> Option<Value> {
+            let (x, y) = (to_num(a)?, to_num(b)?);
+            if is_real(&x) || is_real(&y) {
+                return Some(Value::Real(to_real(&x) $realop to_real(&y)));
+            }
+            if let (Num::Int(i), Num::Int(j)) = (&x, &y) {
+                if let Some(r) = i.$checked(*j) {
+                    return Some(Value::Int(r));
+                }
+            }
+            Some(Value::big(&to_big(&x) $bigop &to_big(&y)))
+        }
+    };
+}
+
+arith!(add, checked_add, +, +);
+arith!(sub, checked_sub, -, -);
+arith!(mul, checked_mul, *, *);
+
+/// Division. Integer operands use truncated integer division (failing on
+/// division by zero); any real operand gives real division.
+pub fn div(a: &Value, b: &Value) -> Option<Value> {
+    let (x, y) = (to_num(a)?, to_num(b)?);
+    if is_real(&x) || is_real(&y) {
+        let d = to_real(&y);
+        if d == 0.0 {
+            return None;
+        }
+        return Some(Value::Real(to_real(&x) / d));
+    }
+    if let (Num::Int(i), Num::Int(j)) = (&x, &y) {
+        if *j == 0 {
+            return None;
+        }
+        if let Some(r) = i.checked_div(*j) {
+            return Some(Value::Int(r));
+        }
+    }
+    let d = to_big(&y);
+    if d.is_zero() {
+        return None;
+    }
+    Some(Value::big(&to_big(&x) / &d))
+}
+
+/// Remainder (`%`), truncated like Rust's; fails on zero divisor.
+pub fn rem(a: &Value, b: &Value) -> Option<Value> {
+    let (x, y) = (to_num(a)?, to_num(b)?);
+    if is_real(&x) || is_real(&y) {
+        let d = to_real(&y);
+        if d == 0.0 {
+            return None;
+        }
+        return Some(Value::Real(to_real(&x) % d));
+    }
+    if let (Num::Int(i), Num::Int(j)) = (&x, &y) {
+        if *j == 0 {
+            return None;
+        }
+        if let Some(r) = i.checked_rem(*j) {
+            return Some(Value::Int(r));
+        }
+    }
+    let d = to_big(&y);
+    if d.is_zero() {
+        return None;
+    }
+    Some(Value::big(&to_big(&x) % &d))
+}
+
+/// Exponentiation (`^`); negative integer exponents give reals.
+pub fn pow(a: &Value, b: &Value) -> Option<Value> {
+    let (x, y) = (to_num(a)?, to_num(b)?);
+    match (&x, &y) {
+        (_, Num::Int(e)) if *e >= 0 && !is_real(&x) => {
+            Some(Value::big(big_pow(&to_big(&x), *e as u64)))
+        }
+        _ => Some(Value::Real(to_real(&x).powf(to_real(&y)))),
+    }
+}
+
+fn big_pow(base: &BigInt, exp: u64) -> BigInt {
+    let mut acc = BigInt::one();
+    let mut b = base.clone();
+    let mut e = exp;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = &acc * &b;
+        }
+        e >>= 1;
+        if e > 0 {
+            b = &b * &b;
+        }
+    }
+    acc
+}
+
+/// Numeric negation.
+pub fn neg(a: &Value) -> Option<Value> {
+    match to_num(a)? {
+        Num::Int(i) => i
+            .checked_neg()
+            .map(Value::Int)
+            .or_else(|| Some(Value::big(-BigInt::from(i)))),
+        Num::Big(b) => Some(Value::big(-b)),
+        Num::Real(r) => Some(Value::Real(-r)),
+    }
+}
+
+/// Numeric three-way comparison with coercion.
+pub fn num_cmp(a: &Value, b: &Value) -> Option<Ordering> {
+    let (x, y) = (to_num(a)?, to_num(b)?);
+    if is_real(&x) || is_real(&y) {
+        to_real(&x).partial_cmp(&to_real(&y))
+    } else {
+        Some(to_big(&x).cmp(&to_big(&y)))
+    }
+}
+
+macro_rules! cmp_op {
+    ($name:ident, $($ord:pat_param)|+) => {
+        /// Goal-directed numeric comparison: succeeds *producing the right
+        /// operand* or fails.
+        pub fn $name(a: &Value, b: &Value) -> Option<Value> {
+            match num_cmp(a, b)? {
+                $($ord)|+ => Some(b.deref()),
+                _ => None,
+            }
+        }
+    };
+}
+
+cmp_op!(lt, Ordering::Less);
+cmp_op!(le, Ordering::Less | Ordering::Equal);
+cmp_op!(gt, Ordering::Greater);
+cmp_op!(ge, Ordering::Greater | Ordering::Equal);
+cmp_op!(num_eq, Ordering::Equal);
+
+/// Goal-directed numeric inequality (`~=`).
+pub fn num_ne(a: &Value, b: &Value) -> Option<Value> {
+    match num_cmp(a, b)? {
+        Ordering::Equal => None,
+        _ => Some(b.deref()),
+    }
+}
+
+/// Coerce to a string (Icon's implicit string conversion).
+pub fn to_str(v: &Value) -> Option<Arc<str>> {
+    match v.deref() {
+        Value::Str(s) => Some(s),
+        Value::Int(i) => Some(Arc::from(i.to_string().as_str())),
+        Value::Big(b) => Some(Arc::from(b.to_string().as_str())),
+        Value::Real(r) => Some(Arc::from(format_real(r).as_str())),
+        _ => None,
+    }
+}
+
+fn format_real(r: f64) -> String {
+    if r == r.trunc() && r.is_finite() && r.abs() < 1e15 {
+        format!("{r:.1}")
+    } else {
+        format!("{r}")
+    }
+}
+
+/// String concatenation (`||`) with coercion.
+pub fn concat(a: &Value, b: &Value) -> Option<Value> {
+    let (x, y) = (to_str(a)?, to_str(b)?);
+    let mut s = String::with_capacity(x.len() + y.len());
+    s.push_str(&x);
+    s.push_str(&y);
+    Some(Value::from(s))
+}
+
+macro_rules! str_cmp_op {
+    ($name:ident, $($ord:pat_param)|+) => {
+        /// Goal-directed lexical comparison: succeeds producing the right
+        /// operand or fails.
+        pub fn $name(a: &Value, b: &Value) -> Option<Value> {
+            let (x, y) = (to_str(a)?, to_str(b)?);
+            match x.as_ref().cmp(y.as_ref()) {
+                $($ord)|+ => Some(b.deref()),
+                _ => None,
+            }
+        }
+    };
+}
+
+str_cmp_op!(str_lt, Ordering::Less);
+str_cmp_op!(str_le, Ordering::Less | Ordering::Equal);
+str_cmp_op!(str_gt, Ordering::Greater);
+str_cmp_op!(str_ge, Ordering::Greater | Ordering::Equal);
+str_cmp_op!(str_eq, Ordering::Equal);
+
+/// Goal-directed lexical inequality.
+pub fn str_ne(a: &Value, b: &Value) -> Option<Value> {
+    let (x, y) = (to_str(a)?, to_str(b)?);
+    if x == y {
+        None
+    } else {
+        Some(b.deref())
+    }
+}
+
+/// Value equivalence `===`: succeeds producing the right operand.
+pub fn equiv(a: &Value, b: &Value) -> Option<Value> {
+    if a.equiv(b) {
+        Some(b.deref())
+    } else {
+        None
+    }
+}
+
+/// Subscript `x[i]` with Icon's 1-based, negative-from-end indexing for
+/// strings and lists, and key lookup (with default) for tables.
+pub fn index(x: &Value, i: &Value) -> Option<Value> {
+    match x.deref() {
+        Value::Str(s) => {
+            let chars: Vec<char> = s.chars().collect();
+            let idx = icon_index(i, chars.len())?;
+            Some(Value::from(chars[idx].to_string()))
+        }
+        Value::List(l) => {
+            let l = l.lock();
+            let idx = icon_index(i, l.len())?;
+            Some(l[idx].clone())
+        }
+        Value::Table(t) => {
+            let key = i.as_key()?;
+            let t = t.lock();
+            Some(t.entries.get(&key).cloned().unwrap_or_else(|| t.default.clone()))
+        }
+        _ => None,
+    }
+}
+
+/// Assign `x[i] := v` for lists and tables; fails on other types or
+/// out-of-range indices.
+pub fn index_assign(x: &Value, i: &Value, v: Value) -> Option<Value> {
+    match x.deref() {
+        Value::List(l) => {
+            let mut l = l.lock();
+            let len = l.len();
+            let idx = icon_index(i, len)?;
+            l[idx] = v.clone();
+            Some(v)
+        }
+        Value::Table(t) => {
+            let key = i.as_key()?;
+            t.lock().entries.insert(key, v.clone());
+            Some(v)
+        }
+        _ => None,
+    }
+}
+
+/// Convert an Icon subscript (1-based; 0 or negative count from the end in
+/// Unicon style) to a 0-based offset, failing when out of range.
+fn icon_index(i: &Value, len: usize) -> Option<usize> {
+    let raw = match to_num(i)? {
+        Num::Int(v) => v,
+        Num::Big(b) => b.to_i64()?,
+        Num::Real(r) => r as i64,
+    };
+    let idx = if raw > 0 {
+        raw - 1
+    } else {
+        len as i64 + raw - 1
+    };
+    if idx >= 0 && (idx as usize) < len {
+        Some(idx as usize)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn i(v: i64) -> Value {
+        Value::from(v)
+    }
+    fn s(v: &str) -> Value {
+        Value::str(v)
+    }
+
+    #[test]
+    fn add_with_coercion() {
+        assert_eq!(add(&i(2), &i(3)), Some(i(5)));
+        assert_eq!(add(&s("5"), &i(1)), Some(i(6)));
+        assert_eq!(add(&i(1), &Value::from(0.5)), Some(Value::from(1.5)));
+        assert_eq!(add(&s("x"), &i(1)), None);
+    }
+
+    #[test]
+    fn overflow_promotes_to_big() {
+        let big = add(&i(i64::MAX), &i(1)).unwrap();
+        assert!(matches!(big, Value::Big(_)));
+        assert_eq!(big.to_string(), "9223372036854775808");
+        let prod = mul(&i(i64::MAX), &i(i64::MAX)).unwrap();
+        assert_eq!(prod.to_string(), "85070591730234615847396907784232501249");
+    }
+
+    #[test]
+    fn big_arithmetic_roundtrips_down() {
+        // Big - Big that fits in i64 normalizes back to Int.
+        let b = add(&i(i64::MAX), &i(1)).unwrap();
+        let back = sub(&b, &i(1)).unwrap();
+        assert_eq!(back.as_int(), Some(i64::MAX));
+    }
+
+    #[test]
+    fn division_semantics() {
+        assert_eq!(div(&i(7), &i(2)), Some(i(3)));
+        assert_eq!(div(&i(-7), &i(2)), Some(i(-3)));
+        assert_eq!(div(&i(7), &i(0)), None);
+        assert_eq!(div(&i(7), &Value::from(2.0)), Some(Value::from(3.5)));
+        assert_eq!(rem(&i(7), &i(2)), Some(i(1)));
+        assert_eq!(rem(&i(7), &i(0)), None);
+    }
+
+    #[test]
+    fn pow_semantics() {
+        assert_eq!(pow(&i(2), &i(10)), Some(i(1024)));
+        assert_eq!(
+            pow(&i(2), &i(100)).unwrap().to_string(),
+            "1267650600228229401496703205376"
+        );
+        assert_eq!(pow(&i(2), &i(-1)), Some(Value::from(0.5)));
+    }
+
+    #[test]
+    fn neg_handles_min() {
+        assert_eq!(neg(&i(5)), Some(i(-5)));
+        let negmin = neg(&i(i64::MIN)).unwrap();
+        assert_eq!(negmin.to_string(), "9223372036854775808");
+    }
+
+    #[test]
+    fn comparisons_produce_right_operand() {
+        assert_eq!(lt(&i(4), &i(5)), Some(i(5)));
+        assert_eq!(lt(&i(5), &i(4)), None);
+        assert_eq!(le(&i(5), &i(5)), Some(i(5)));
+        assert_eq!(gt(&i(5), &i(4)), Some(i(4)));
+        assert_eq!(ge(&i(4), &i(5)), None);
+        assert_eq!(num_eq(&s("3"), &i(3)), Some(i(3)));
+        assert_eq!(num_ne(&i(3), &i(3)), None);
+        assert_eq!(num_ne(&i(3), &i(4)), Some(i(4)));
+    }
+
+    #[test]
+    fn comparison_chains_like_icon() {
+        // 1 <= x <= 10 for x=5: (1 <= 5) -> 5, then (5 <= 10) -> 10.
+        let step1 = le(&i(1), &i(5)).unwrap();
+        let step2 = le(&step1, &i(10));
+        assert_eq!(step2, Some(i(10)));
+    }
+
+    #[test]
+    fn mixed_big_comparison() {
+        let b = add(&i(i64::MAX), &i(1)).unwrap();
+        assert_eq!(num_cmp(&b, &i(5)), Some(Ordering::Greater));
+        assert!(lt(&i(5), &b).is_some());
+    }
+
+    #[test]
+    fn string_ops() {
+        assert_eq!(concat(&s("ab"), &s("cd")), Some(s("abcd")));
+        assert_eq!(concat(&s("n="), &i(5)), Some(s("n=5")));
+        assert_eq!(str_lt(&s("abc"), &s("abd")), Some(s("abd")));
+        assert_eq!(str_eq(&s("x"), &s("x")), Some(s("x")));
+        assert_eq!(str_ne(&s("x"), &s("x")), None);
+        // Numeric strings compare lexically under string ops.
+        assert_eq!(str_gt(&s("9"), &s("10")), Some(s("10")));
+    }
+
+    #[test]
+    fn real_string_image() {
+        assert_eq!(to_str(&Value::from(3.0)).unwrap().as_ref(), "3.0");
+        assert_eq!(to_str(&Value::from(3.25)).unwrap().as_ref(), "3.25");
+    }
+
+    #[test]
+    fn equiv_op() {
+        assert_eq!(equiv(&i(3), &i(3)), Some(i(3)));
+        assert_eq!(equiv(&i(3), &s("3")), None);
+    }
+
+    #[test]
+    fn indexing_strings_and_lists() {
+        let lst = Value::list(vec![i(10), i(20), i(30)]);
+        assert_eq!(index(&lst, &i(1)), Some(i(10)));
+        assert_eq!(index(&lst, &i(3)), Some(i(30)));
+        assert_eq!(index(&lst, &i(0)), Some(i(30))); // 0 = from end
+        assert_eq!(index(&lst, &i(-1)), Some(i(20)));
+        assert_eq!(index(&lst, &i(4)), None);
+        assert_eq!(index(&s("abc"), &i(2)), Some(s("b")));
+        assert_eq!(index(&i(5), &i(1)), None);
+    }
+
+    #[test]
+    fn index_assignment() {
+        let lst = Value::list(vec![i(1), i(2)]);
+        assert_eq!(index_assign(&lst, &i(2), i(99)), Some(i(99)));
+        assert_eq!(index(&lst, &i(2)), Some(i(99)));
+        assert_eq!(index_assign(&lst, &i(5), i(0)), None);
+
+        let t = Value::table();
+        assert_eq!(index(&t, &s("k")), Some(Value::Null)); // default
+        index_assign(&t, &s("k"), i(7)).unwrap();
+        assert_eq!(index(&t, &s("k")), Some(i(7)));
+        assert_eq!(t.size(), Some(1));
+    }
+
+    #[test]
+    fn to_num_parses_big_strings() {
+        let v = s("123456789012345678901234567890");
+        match to_num(&v).unwrap() {
+            Num::Big(b) => assert_eq!(b.to_string(), "123456789012345678901234567890"),
+            other => panic!("expected Big, got {other:?}"),
+        }
+        assert!(to_num(&s("3.5")).is_some());
+        assert!(to_num(&s("")).is_none());
+        assert!(to_num(&Value::list(vec![])).is_none());
+    }
+}

@@ -1,0 +1,465 @@
+//! The dynamic value universe of the embedded language.
+
+use crate::env::Env;
+use crate::func::ProcValue;
+use crate::var::Var;
+use bigint::BigInt;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A coroutine as seen by the runtime: something that can be stepped (`@`),
+/// restarted, and refreshed (`^`).
+///
+/// The concrete implementation lives in the `coexpr` crate; the trait is
+/// defined here so that co-expressions can be first-class [`Value`]s without
+/// a dependency cycle.
+pub trait Coroutine: Send {
+    /// Step one iteration (`@c`): the next value, or `None` on failure.
+    fn step(&mut self) -> Option<Value>;
+    /// Reset iteration to the beginning.
+    fn restart(&mut self);
+    /// Create a fresh copy with a new copy of the shadowed environment
+    /// (`^c`). Returns `None` for coroutines that do not support refresh.
+    fn refreshed(&self) -> Option<CoRef>;
+    /// Number of results produced so far (Icon's `*c`).
+    fn produced(&self) -> u64;
+}
+
+/// Shared handle to a [`Coroutine`].
+pub type CoRef = Arc<Mutex<dyn Coroutine>>;
+
+/// An object: the runtime form of a Unicon class instance (Sec. V.C).
+///
+/// Fields live in an [`Env`] frame — each field is thereby available "in
+/// both plain and reified form" (the env's [`Var`] cells are the reified
+/// `x_r` side; [`ObjData::get_field`] is the plain side). Methods are
+/// procedures pre-bound to this object's field environment.
+pub struct ObjData {
+    pub class_name: Arc<str>,
+    pub fields: Env,
+    pub methods: Arc<std::collections::HashMap<String, ProcValue>>,
+}
+
+/// Shared handle to an object.
+pub type ObjRef = Arc<ObjData>;
+
+impl ObjData {
+    /// Read a field (null if unset); `None` if the name is not a field.
+    /// Only the instance's own frame is consulted — the enclosing scope
+    /// (globals) is not a field.
+    pub fn get_field(&self, name: &str) -> Option<Value> {
+        self.fields.lookup_local(name).map(|v| v.get())
+    }
+
+    /// Write a field; fails if the name is not a declared field.
+    pub fn set_field(&self, name: &str, v: Value) -> Option<Value> {
+        let cell = self.fields.lookup_local(name)?;
+        cell.set(v.clone());
+        Some(v)
+    }
+
+    /// Look up a method bound to this object.
+    pub fn method(&self, name: &str) -> Option<ProcValue> {
+        self.methods.get(name).cloned()
+    }
+}
+
+/// Hashable key for table subscripts (scalar values only).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Key {
+    Null,
+    Int(i64),
+    /// Reals are keyed by bit pattern, as Icon tables key on value identity.
+    RealBits(u64),
+    Str(Arc<str>),
+}
+
+/// A dynamically typed value.
+///
+/// Values are cheap to clone: compound values (lists, tables) are shared
+/// handles with interior mutability, matching Icon's reference semantics for
+/// structures. All variants are `Send + Sync`, which is what lets pipes move
+/// generated values between threads.
+#[derive(Clone)]
+#[derive(Default)]
+pub enum Value {
+    /// The null value (`&null`); also the value of unset variables.
+    #[default]
+    Null,
+    /// Machine integer. Arithmetic that overflows promotes to [`Value::Big`].
+    Int(i64),
+    /// Arbitrary-precision integer (Icon's large integers).
+    Big(Arc<BigInt>),
+    /// Real number.
+    Real(f64),
+    /// Immutable string.
+    Str(Arc<str>),
+    /// Mutable shared list.
+    List(Arc<Mutex<Vec<Value>>>),
+    /// Mutable shared table with a default value.
+    Table(Arc<Mutex<TableData>>),
+    /// A procedure / generator function.
+    Proc(ProcValue),
+    /// A co-expression.
+    Co(CoRef),
+    /// A first-class reified variable (reference semantics, Sec. V.C).
+    Ref(Var),
+    /// A class instance.
+    Object(ObjRef),
+}
+
+/// Backing storage for [`Value::Table`].
+pub struct TableData {
+    pub entries: HashMap<Key, Value>,
+    pub default: Value,
+}
+
+impl Value {
+    /// Build a string value.
+    pub fn str(s: impl AsRef<str>) -> Value {
+        Value::Str(Arc::from(s.as_ref()))
+    }
+
+    /// Build a list value from elements.
+    pub fn list(items: Vec<Value>) -> Value {
+        Value::List(Arc::new(Mutex::new(items)))
+    }
+
+    /// Build an empty table with default `Null`.
+    pub fn table() -> Value {
+        Value::Table(Arc::new(Mutex::new(TableData {
+            entries: HashMap::new(),
+            default: Value::Null,
+        })))
+    }
+
+    /// Build a big-integer value, normalizing to `Int` when it fits.
+    pub fn big(b: BigInt) -> Value {
+        match b.to_i64() {
+            Some(i) => Value::Int(i),
+            None => Value::Big(Arc::new(b)),
+        }
+    }
+
+    /// True iff this is the null value.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// The machine integer, if this is one.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            _ => None,
+        }
+    }
+
+    /// The float, if this is a real.
+    pub fn as_real(&self) -> Option<f64> {
+        match self {
+            Value::Real(r) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// The string slice, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The list handle, if this is a list.
+    pub fn as_list(&self) -> Option<&Arc<Mutex<Vec<Value>>>> {
+        match self {
+            Value::List(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// Dereference: if this is a reified variable, its current value;
+    /// otherwise the value itself. (Icon's implicit dereferencing.)
+    pub fn deref(&self) -> Value {
+        match self {
+            Value::Ref(v) => v.get().deref(),
+            other => other.clone(),
+        }
+    }
+
+    /// The table key for this value, if it is a scalar.
+    pub fn as_key(&self) -> Option<Key> {
+        match self.deref() {
+            Value::Null => Some(Key::Null),
+            Value::Int(i) => Some(Key::Int(i)),
+            Value::Real(r) => Some(Key::RealBits(r.to_bits())),
+            Value::Str(s) => Some(Key::Str(s)),
+            _ => None,
+        }
+    }
+
+    /// Icon's `*x`: size of a string, list, table, or results count of a
+    /// co-expression. `None` for sizeless values.
+    pub fn size(&self) -> Option<i64> {
+        match self.deref() {
+            Value::Str(s) => Some(s.chars().count() as i64),
+            Value::List(l) => Some(l.lock().len() as i64),
+            Value::Table(t) => Some(t.lock().entries.len() as i64),
+            Value::Co(c) => Some(c.lock().produced() as i64),
+            _ => None,
+        }
+    }
+
+    /// Type name, as Icon's `type(x)` would report.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Int(_) | Value::Big(_) => "integer",
+            Value::Real(_) => "real",
+            Value::Str(_) => "string",
+            Value::List(_) => "list",
+            Value::Table(_) => "table",
+            Value::Proc(_) => "procedure",
+            Value::Co(_) => "co-expression",
+            Value::Ref(_) => "variable",
+            Value::Object(_) => "object",
+        }
+    }
+
+    /// Structural equivalence (Icon's `===` on scalars; identity on
+    /// structures).
+    pub fn equiv(&self, other: &Value) -> bool {
+        match (&self.deref(), &other.deref()) {
+            (Value::Null, Value::Null) => true,
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Big(a), Value::Big(b)) => a == b,
+            (Value::Int(a), Value::Big(b)) | (Value::Big(b), Value::Int(a)) => {
+                b.to_i64() == Some(*a)
+            }
+            (Value::Real(a), Value::Real(b)) => a == b,
+            (Value::Str(a), Value::Str(b)) => a == b,
+            (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b),
+            (Value::Table(a), Value::Table(b)) => Arc::ptr_eq(a, b),
+            (Value::Proc(a), Value::Proc(b)) => a.same(b),
+            (Value::Co(a), Value::Co(b)) => Arc::ptr_eq(a, b),
+            (Value::Object(a), Value::Object(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
+    }
+
+    /// Deep conversion to an owned, thread-isolated copy.
+    ///
+    /// Pipes use this at thread boundaries so that a consumer can never
+    /// mutate the producer's structures — the type-level enforcement of the
+    /// paper's "co-expressions minimize interference by isolating a copy of
+    /// the local environment".
+    pub fn deep_copy(&self) -> Value {
+        match self.deref() {
+            Value::List(l) => {
+                let items = l.lock().iter().map(Value::deep_copy).collect();
+                Value::list(items)
+            }
+            Value::Table(t) => {
+                let t = t.lock();
+                let entries = t
+                    .entries
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.deep_copy()))
+                    .collect();
+                Value::Table(Arc::new(Mutex::new(TableData {
+                    entries,
+                    default: t.default.deep_copy(),
+                })))
+            }
+            scalar => scalar,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    /// Equality is [`Value::equiv`]: structural on scalars, identity on
+    /// structures. Note this means `Value::from(3) != Value::str("3")`.
+    fn eq(&self, other: &Self) -> bool {
+        self.equiv(other)
+    }
+}
+
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Real(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::str(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+impl From<BigInt> for Value {
+    fn from(v: BigInt) -> Self {
+        Value::big(v)
+    }
+}
+
+impl fmt::Debug for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "&null"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Big(b) => write!(f, "{b}"),
+            Value::Real(r) => write!(f, "{r:?}"),
+            Value::Str(s) => write!(f, "{s:?}"),
+            Value::List(l) => {
+                let l = l.lock();
+                write!(f, "[")?;
+                for (i, v) in l.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v:?}")?;
+                }
+                write!(f, "]")
+            }
+            Value::Table(t) => write!(f, "table#{}", t.lock().entries.len()),
+            Value::Proc(p) => write!(f, "procedure {}", p.name()),
+            Value::Co(_) => write!(f, "co-expression"),
+            Value::Ref(v) => write!(f, "ref({:?})", v.get()),
+            Value::Object(o) => write!(f, "object {}", o.class_name),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    /// Icon-style string image: strings print bare, others as in `Debug`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.deref() {
+            Value::Str(s) => f.write_str(&s),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_constructors_and_accessors() {
+        assert_eq!(Value::from(42).as_int(), Some(42));
+        assert_eq!(Value::from(2.5).as_real(), Some(2.5));
+        assert_eq!(Value::str("hi").as_str(), Some("hi"));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::from(42).as_str(), None);
+    }
+
+    #[test]
+    fn big_normalizes_to_int_when_small() {
+        let v = Value::big(BigInt::from(7i64));
+        assert!(matches!(v, Value::Int(7)));
+        let huge = BigInt::from_str_radix("123456789012345678901234567890", 10).unwrap();
+        assert!(matches!(Value::big(huge), Value::Big(_)));
+    }
+
+    #[test]
+    fn sizes() {
+        assert_eq!(Value::str("héllo").size(), Some(5));
+        assert_eq!(Value::list(vec![Value::Null; 3]).size(), Some(3));
+        assert_eq!(Value::from(5).size(), None);
+        assert_eq!(Value::table().size(), Some(0));
+    }
+
+    #[test]
+    fn equiv_scalars_and_identity() {
+        assert!(Value::from(3).equiv(&Value::from(3)));
+        assert!(!Value::from(3).equiv(&Value::from(4)));
+        assert!(Value::str("a").equiv(&Value::str("a")));
+        assert!(!Value::from(3).equiv(&Value::str("3"))); // no coercion in ===
+        let l1 = Value::list(vec![]);
+        let l2 = Value::list(vec![]);
+        assert!(l1.equiv(&l1.clone()));
+        assert!(!l1.equiv(&l2)); // identity, not structure
+    }
+
+    #[test]
+    fn lists_share_mutations() {
+        let l = Value::list(vec![Value::from(1)]);
+        let alias = l.clone();
+        if let Value::List(h) = &l {
+            h.lock().push(Value::from(2));
+        }
+        assert_eq!(alias.size(), Some(2));
+    }
+
+    #[test]
+    fn deep_copy_isolates() {
+        let inner = Value::list(vec![Value::from(1)]);
+        let outer = Value::list(vec![inner.clone()]);
+        let copy = outer.deep_copy();
+        if let Value::List(h) = &inner {
+            h.lock().push(Value::from(2));
+        }
+        // The copy's inner list is unaffected.
+        if let Value::List(h) = &copy {
+            assert_eq!(h.lock()[0].size(), Some(1));
+        } else {
+            panic!("copy is not a list");
+        }
+    }
+
+    #[test]
+    fn deref_unwraps_refs() {
+        let var = Var::new(Value::from(9));
+        let r = Value::Ref(var.clone());
+        assert_eq!(r.deref().as_int(), Some(9));
+        var.set(Value::from(10));
+        assert_eq!(r.deref().as_int(), Some(10));
+    }
+
+    #[test]
+    fn keys_for_scalars_only() {
+        assert_eq!(Value::from(1).as_key(), Some(Key::Int(1)));
+        assert_eq!(Value::str("k").as_key(), Some(Key::Str(Arc::from("k"))));
+        assert_eq!(Value::Null.as_key(), Some(Key::Null));
+        assert_eq!(Value::list(vec![]).as_key(), None);
+    }
+
+    #[test]
+    fn type_names() {
+        assert_eq!(Value::from(1).type_name(), "integer");
+        assert_eq!(Value::str("s").type_name(), "string");
+        assert_eq!(Value::from(1.0).type_name(), "real");
+        assert_eq!(Value::Null.type_name(), "null");
+    }
+
+    #[test]
+    fn display_images() {
+        assert_eq!(Value::str("plain").to_string(), "plain");
+        assert_eq!(Value::from(3).to_string(), "3");
+        assert_eq!(
+            Value::list(vec![Value::from(1), Value::str("x")]).to_string(),
+            "[1, \"x\"]"
+        );
+    }
+}

@@ -1,0 +1,126 @@
+//! Reified variables — the `IconVar` analogue.
+//!
+//! Sec. V.C of the paper: "Our approach ... is to expose variables in both
+//! plain and reified form while maintaining consistency between them" —
+//! a declaration `local x` becomes a field plus
+//! `IconVar x_r = new IconVar(()->x, (rhs)->x=rhs)`. In Rust the reified
+//! form is a shared mutable cell; the "plain form" is simply [`Var::get`].
+//! Reified variables are what allow generator expressions to be restarted
+//! against the *current* environment, and what co-expressions copy when they
+//! shadow their locals.
+
+use crate::value::Value;
+use parking_lot::Mutex;
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, mutable, thread-safe variable cell.
+///
+/// Cloning a `Var` aliases the same cell (assignment through one alias is
+/// seen by all); [`Var::fresh_copy`] creates a new cell with a copy of the
+/// current value, which is the primitive used by co-expression environment
+/// shadowing.
+#[derive(Clone, Default)]
+pub struct Var {
+    cell: Arc<Mutex<Value>>,
+}
+
+impl Var {
+    /// Create a variable holding `v`.
+    pub fn new(v: Value) -> Var {
+        Var { cell: Arc::new(Mutex::new(v)) }
+    }
+
+    /// Create a variable holding null.
+    pub fn null() -> Var {
+        Var::new(Value::Null)
+    }
+
+    /// Read the current value (a cheap clone).
+    pub fn get(&self) -> Value {
+        self.cell.lock().clone()
+    }
+
+    /// Assign a new value.
+    pub fn set(&self, v: Value) {
+        *self.cell.lock() = v;
+    }
+
+    /// Swap in a new value, returning the old one.
+    pub fn replace(&self, v: Value) -> Value {
+        std::mem::replace(&mut self.cell.lock(), v)
+    }
+
+    /// Apply `f` to the current value in place.
+    pub fn update(&self, f: impl FnOnce(&mut Value)) {
+        f(&mut self.cell.lock());
+    }
+
+    /// A *new* cell holding a clone of the current value — the shadowing
+    /// primitive for `|<>e` and `^e` ("copying local variable references
+    /// upon creation" to "preclude interference").
+    pub fn fresh_copy(&self) -> Var {
+        Var::new(self.get())
+    }
+
+    /// True iff `other` aliases the same cell.
+    pub fn same_cell(&self, other: &Var) -> bool {
+        Arc::ptr_eq(&self.cell, &other.cell)
+    }
+}
+
+impl fmt::Debug for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Var({:?})", self.get())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let v = Var::null();
+        assert!(v.get().is_null());
+        v.set(Value::from(5));
+        assert_eq!(v.get().as_int(), Some(5));
+    }
+
+    #[test]
+    fn clones_alias_the_same_cell() {
+        let a = Var::new(Value::from(1));
+        let b = a.clone();
+        b.set(Value::from(2));
+        assert_eq!(a.get().as_int(), Some(2));
+        assert!(a.same_cell(&b));
+    }
+
+    #[test]
+    fn fresh_copy_isolates() {
+        let a = Var::new(Value::from(1));
+        let b = a.fresh_copy();
+        b.set(Value::from(99));
+        assert_eq!(a.get().as_int(), Some(1));
+        assert!(!a.same_cell(&b));
+    }
+
+    #[test]
+    fn replace_and_update() {
+        let v = Var::new(Value::from(10));
+        let old = v.replace(Value::from(20));
+        assert_eq!(old.as_int(), Some(10));
+        v.update(|val| *val = Value::from(val.as_int().unwrap() + 1));
+        assert_eq!(v.get().as_int(), Some(21));
+    }
+
+    #[test]
+    fn vars_are_send_and_shareable() {
+        let v = Var::new(Value::from(0));
+        let v2 = v.clone();
+        std::thread::spawn(move || v2.set(Value::from(7)))
+            .join()
+            .unwrap();
+        assert_eq!(v.get().as_int(), Some(7));
+    }
+}

@@ -1,0 +1,163 @@
+//! Abstract syntax for the Unicon subset.
+
+/// Binary operators (operator tokens only; `&` and `|` have their own
+/// nodes because they compose *generators* rather than values).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Pow,
+    /// numeric comparisons — goal-directed (produce the right operand)
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    NumEq,
+    NumNe,
+    /// string concatenation `||`
+    Concat,
+    /// lexical comparisons
+    StrLt,
+    StrLe,
+    StrGt,
+    StrGe,
+    StrEq,
+    StrNe,
+    /// `===`
+    Equiv,
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-e` numeric negation
+    Neg,
+    /// `*e` size
+    Size,
+    /// `!e` promotion to a generator of elements
+    Promote,
+    /// `@e` co-expression activation
+    Activate,
+    /// `^e` refresh
+    Refresh,
+    /// `<>e` first-class generator
+    FirstClass,
+    /// `|<>e` co-expression (environment shadowing)
+    CoExpr,
+    /// `|>e` threaded generator proxy (pipe)
+    Pipe,
+    /// `/e` — null test (succeeds producing e if e is null)  [unused: kept for extension]
+    IsNull,
+    /// `.e` — dereference
+    Deref,
+}
+
+/// An expression (everything in Icon is an expression).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Expr {
+    Null,
+    Int(i64),
+    /// Integer literal that does not fit i64 (parsed to a big int later).
+    BigLit(String),
+    Real(f64),
+    Str(String),
+    /// `&keyword` — only `&null` and `&fail` are supported.
+    KeywordAmp(String),
+    Var(String),
+    /// `[e1, e2, ...]` list literal
+    List(Vec<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    /// `e & e'` — iterator product / conjunction
+    Product(Box<Expr>, Box<Expr>),
+    /// `e | e'` — alternation
+    Alt(Box<Expr>, Box<Expr>),
+    /// `i to j [by k]`
+    To { from: Box<Expr>, to: Box<Expr>, by: Option<Box<Expr>> },
+    /// `target := value`
+    Assign(Box<Expr>, Box<Expr>),
+    /// `target <- value` — *reversible* assignment: the old value is
+    /// restored when the expression is resumed for backtracking
+    /// (Sec. V.B's "optionally reversible" iteration)
+    RevAssign(Box<Expr>, Box<Expr>),
+    /// `f(args...)` — callee may be any expression (reference semantics)
+    Call(Box<Expr>, Vec<Expr>),
+    /// `o::m(args...)` — "native" invocation; `::` distinguishes host
+    /// methods from generator-function application (Sec. IV)
+    NativeCall(Box<Expr>, String, Vec<Expr>),
+    /// `x[i]`
+    Index(Box<Expr>, Box<Expr>),
+    /// `o.f` field access
+    Field(Box<Expr>, String),
+    /// `e \ n` limitation
+    Limit(Box<Expr>, Box<Expr>),
+    /// `e1 ? e2` string scanning: evaluate `e2` with `&subject` set to
+    /// `e1`'s value and `&pos` starting at 1
+    Scan(Box<Expr>, Box<Expr>),
+    /// `if c then t [else e]`
+    If { cond: Box<Expr>, then: Box<Expr>, els: Option<Box<Expr>> },
+    /// `while c [do b]`
+    While { cond: Box<Expr>, body: Option<Box<Expr>> },
+    /// `until c [do b]`
+    Until { cond: Box<Expr>, body: Option<Box<Expr>> },
+    /// `every g [do b]`
+    Every { source: Box<Expr>, body: Option<Box<Expr>> },
+    /// `repeat b`
+    Repeat(Box<Expr>),
+    /// `not e`
+    Not(Box<Expr>),
+    /// `{ e1; e2; ... }`
+    Block(Vec<Expr>),
+    /// `suspend e` (statement position)
+    Suspend(Box<Expr>),
+    /// `return [e]`
+    Return(Option<Box<Expr>>),
+    /// `fail`
+    Fail,
+    /// `break`
+    Break,
+    /// `next`
+    Next,
+    /// `create e` — synonym for `<>e` in Icon
+    Create(Box<Expr>),
+    /// local declaration with optional initializers:
+    /// `local a, b := 2` / `var x := 1`
+    Decl(Vec<(String, Option<Expr>)>),
+}
+
+/// A procedure declaration: `def f(a, b) { body }` or
+/// `procedure f(a, b); body; end`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ProcDecl {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Expr>,
+}
+
+/// A class declaration (Sec. V.C): named fields (initialized positionally
+/// by the constructor) plus methods that close over the instance's fields.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ClassDecl {
+    pub name: String,
+    pub fields: Vec<String>,
+    pub methods: Vec<ProcDecl>,
+}
+
+/// A parsed program: class and procedure declarations plus top-level
+/// expressions (statements), in source order.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    pub procs: Vec<ProcDecl>,
+    pub classes: Vec<ClassDecl>,
+    pub stmts: Vec<Expr>,
+}
+
+impl Expr {
+    /// Convenience constructor used by tests.
+    pub fn var(name: &str) -> Expr {
+        Expr::Var(name.to_string())
+    }
+}

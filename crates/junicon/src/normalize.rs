@@ -1,0 +1,701 @@
+//! Normalization: flattening nested generators (Sec. V.A).
+//!
+//! "To make iteration explicit, we introduce an operator for bound
+//! iteration, and decompose nested generators into products of such bound
+//! iterators." A primary such as `e(ex,ey).c[ei]` is rewritten to
+//!
+//! ```text
+//! (f in ⟦e⟧) & (x in ⟦ex⟧) & (y in ⟦ey⟧) & (o in !f(x,y)) & (i in ⟦ei⟧) & (j in !o.c[i])
+//! ```
+//!
+//! After this pass every *operand* of an operation, invocation, subscript or
+//! field access is an [`Atom`] — a literal, a named variable, or a compiler
+//! temporary bound by an enclosing `(t in e)` — and the residual expression
+//! can be evaluated by mechanisms native to the target (here, the `gde`
+//! combinators; in the paper, plain Java).
+
+use crate::ast::{BinOp, ClassDecl, Expr, ProcDecl, Program, UnOp};
+
+/// An atomic operand after flattening.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Atom {
+    Null,
+    Int(i64),
+    /// Big integer literal (decimal digits).
+    Big(String),
+    Real(f64),
+    Str(String),
+    /// Named variable, resolved in the environment at run time.
+    Var(String),
+    /// Compiler temporary, bound by a `(t in e)` factor.
+    Tmp(u32),
+}
+
+/// Which co-expression form a creation node represents.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CoKind {
+    /// `<>e` / `create e`
+    FirstClass,
+    /// `|<>e`
+    Shadowed,
+}
+
+/// Normalized expression: generator composition over atomic operands.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Norm {
+    /// Singleton iterator over the atom's (current) value.
+    Atom(Atom),
+    /// `&`-product chain: factors evaluated left to right with
+    /// backtracking.
+    Product(Vec<Norm>),
+    /// Bound iteration `(t in e)`.
+    Bind(u32, Box<Norm>),
+    /// Alternation `e | e'`.
+    Alt(Vec<Norm>),
+    /// Binary operation over atoms (fails when an operand fails to coerce).
+    Op(BinOp, Atom, Atom),
+    /// Unary negation / size over an atom.
+    Neg(Atom),
+    Size(Atom),
+    /// Promotion `!a`.
+    Promote(Atom),
+    /// Co-expression activation `@a`.
+    Activate(Atom),
+    /// Refresh `^a`.
+    Refresh(Atom),
+    /// Generator-function invocation: iterate the generator returned by
+    /// applying the (atom-valued) callee to atom arguments.
+    Invoke { callee: Atom, args: Vec<Atom> },
+    /// Host-native invocation `target::method(args)` — promoted to a
+    /// singleton result ("plain Java methods" treatment).
+    NativeInvoke { target: Atom, method: String, args: Vec<Atom> },
+    /// Subscript read `base[index]`.
+    Index { base: Atom, index: Atom },
+    /// Subscript write `base[index] := value`.
+    IndexAssign { base: Atom, index: Atom, value: Atom },
+    /// Field read `base.field`.
+    FieldGet { base: Atom, field: String },
+    /// Field write `base.field := value`.
+    FieldSet { base: Atom, field: String, value: Atom },
+    /// List construction from atoms.
+    ListLit(Vec<Atom>),
+    /// Assignment into a named variable; yields the assigned value.
+    SetVar { name: String, from: Atom },
+    /// Reversible assignment `x <- e`: assigns and yields, then restores
+    /// the previous value when resumed for backtracking.
+    RevSet { name: String, from: Atom },
+    /// `from to to [by by]` with atom bounds.
+    ToRange { from: Atom, to: Atom, by: Option<Atom> },
+    /// Limitation `e \ n` with an atom bound.
+    Limit { inner: Box<Norm>, n: Atom },
+    /// `if`/`then`/`else`.
+    If { cond: Box<Norm>, then: Box<Norm>, els: Option<Box<Norm>> },
+    /// `while cond do body`.
+    While { cond: Box<Norm>, body: Option<Box<Norm>> },
+    /// `until cond do body`.
+    Until { cond: Box<Norm>, body: Option<Box<Norm>> },
+    /// `every source do body`.
+    Every { source: Box<Norm>, body: Option<Box<Norm>> },
+    /// `repeat body`.
+    Repeat(Box<Norm>),
+    /// `not e`: succeeds (null) iff e fails.
+    Not(Box<Norm>),
+    /// Statement sequence / block.
+    Block(Vec<Norm>),
+    /// `suspend e` (procedure bodies).
+    Suspend(Box<Norm>),
+    /// `return [e]`.
+    Return(Option<Box<Norm>>),
+    /// `fail`.
+    Fail,
+    Break,
+    Next,
+    /// Local declarations with optional initializers.
+    Decl(Vec<(String, Option<Norm>)>),
+    /// `<>e` / `|<>e` / `create e`.
+    CoCreate { kind: CoKind, body: Box<Norm> },
+    /// `|>e` — threaded generator proxy.
+    Pipe(Box<Norm>),
+    /// `e1 ? e2` — string scanning.
+    Scan { subject: Box<Norm>, body: Box<Norm> },
+}
+
+/// A normalized procedure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NProc {
+    pub name: String,
+    pub params: Vec<String>,
+    pub body: Vec<Norm>,
+    /// Number of compiler temporaries the body needs.
+    pub tmp_count: u32,
+}
+
+/// A normalized class.
+#[derive(Clone, Debug, PartialEq)]
+pub struct NClass {
+    pub name: String,
+    pub fields: Vec<String>,
+    pub methods: Vec<NProc>,
+}
+
+/// A normalized program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct NProgram {
+    pub procs: Vec<NProc>,
+    pub classes: Vec<NClass>,
+    pub stmts: Vec<Norm>,
+    pub tmp_count: u32,
+}
+
+/// Temporary allocator (one namespace per procedure body / top level).
+#[derive(Default)]
+struct Tmps {
+    next: u32,
+}
+
+impl Tmps {
+    fn fresh(&mut self) -> u32 {
+        let t = self.next;
+        self.next += 1;
+        t
+    }
+}
+
+/// Normalize a whole program.
+pub fn normalize_program(p: &Program) -> NProgram {
+    let procs = p.procs.iter().map(normalize_proc).collect();
+    let classes = p.classes.iter().map(normalize_class).collect();
+    let mut tmps = Tmps::default();
+    let stmts = p.stmts.iter().map(|e| normalize(e, &mut tmps)).collect();
+    NProgram { procs, classes, stmts, tmp_count: tmps.next }
+}
+
+/// Normalize one class declaration.
+pub fn normalize_class(c: &ClassDecl) -> NClass {
+    NClass {
+        name: c.name.clone(),
+        fields: c.fields.clone(),
+        methods: c.methods.iter().map(normalize_proc).collect(),
+    }
+}
+
+/// Normalize one procedure declaration.
+pub fn normalize_proc(p: &ProcDecl) -> NProc {
+    let mut tmps = Tmps::default();
+    let body = p.body.iter().map(|e| normalize(e, &mut tmps)).collect();
+    NProc {
+        name: p.name.clone(),
+        params: p.params.clone(),
+        body,
+        tmp_count: tmps.next,
+    }
+}
+
+/// Normalize a standalone expression, reporting the temporaries used.
+pub fn normalize_expr(e: &Expr) -> (Norm, u32) {
+    let mut tmps = Tmps::default();
+    let n = normalize(e, &mut tmps);
+    (n, tmps.next)
+}
+
+/// Wrap hoisted bindings around a core node (identity when nothing was
+/// hoisted).
+fn with_binds(mut binds: Vec<Norm>, core: Norm) -> Norm {
+    if binds.is_empty() {
+        core
+    } else {
+        binds.push(core);
+        Norm::Product(binds)
+    }
+}
+
+/// Normalize an expression to a generator node.
+fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
+    match e {
+        Expr::Null => Norm::Atom(Atom::Null),
+        Expr::Int(v) => Norm::Atom(Atom::Int(*v)),
+        Expr::BigLit(s) => Norm::Atom(Atom::Big(s.clone())),
+        Expr::Real(v) => Norm::Atom(Atom::Real(*v)),
+        Expr::Str(s) => Norm::Atom(Atom::Str(s.clone())),
+        Expr::Var(name) => Norm::Atom(Atom::Var(name.clone())),
+        Expr::KeywordAmp(name) => match name.as_str() {
+            "null" => Norm::Atom(Atom::Null),
+            "fail" => Norm::Fail,
+            other => Norm::Atom(Atom::Var(format!("&{other}"))),
+        },
+
+        Expr::Product(a, b) => {
+            // Flatten nested products into one chain.
+            let mut factors = Vec::new();
+            collect_product(a, tmps, &mut factors);
+            collect_product(b, tmps, &mut factors);
+            Norm::Product(factors)
+        }
+        Expr::Alt(a, b) => {
+            let mut items = Vec::new();
+            collect_alt(a, tmps, &mut items);
+            collect_alt(b, tmps, &mut items);
+            Norm::Alt(items)
+        }
+
+        Expr::Binary(op, a, b) => {
+            let mut binds = Vec::new();
+            let fa = flatten(a, &mut binds, tmps);
+            let fb = flatten(b, &mut binds, tmps);
+            with_binds(binds, Norm::Op(*op, fa, fb))
+        }
+
+        Expr::Unary(op, inner) => match op {
+            UnOp::Pipe => Norm::Pipe(Box::new(normalize(inner, tmps))),
+            UnOp::FirstClass => Norm::CoCreate {
+                kind: CoKind::FirstClass,
+                body: Box::new(normalize(inner, tmps)),
+            },
+            UnOp::CoExpr => Norm::CoCreate {
+                kind: CoKind::Shadowed,
+                body: Box::new(normalize(inner, tmps)),
+            },
+            UnOp::Deref => normalize(inner, tmps),
+            _ => {
+                let mut binds = Vec::new();
+                let a = flatten(inner, &mut binds, tmps);
+                let core = match op {
+                    UnOp::Neg => Norm::Neg(a),
+                    UnOp::Size => Norm::Size(a),
+                    UnOp::Promote => Norm::Promote(a),
+                    UnOp::Activate => Norm::Activate(a),
+                    UnOp::Refresh => Norm::Refresh(a),
+                    UnOp::IsNull => Norm::Op(BinOp::Equiv, a, Atom::Null),
+                    UnOp::Pipe | UnOp::FirstClass | UnOp::CoExpr | UnOp::Deref => {
+                        unreachable!("handled above")
+                    }
+                };
+                with_binds(binds, core)
+            }
+        },
+
+        Expr::Create(inner) => Norm::CoCreate {
+            kind: CoKind::FirstClass,
+            body: Box::new(normalize(inner, tmps)),
+        },
+
+        Expr::To { from, to, by } => {
+            let mut binds = Vec::new();
+            let f = flatten(from, &mut binds, tmps);
+            let t = flatten(to, &mut binds, tmps);
+            let b = by.as_ref().map(|b| flatten(b, &mut binds, tmps));
+            with_binds(binds, Norm::ToRange { from: f, to: t, by: b })
+        }
+
+        Expr::RevAssign(target, value) => match &**target {
+            Expr::Var(name) => {
+                let mut binds = Vec::new();
+                let v = flatten(value, &mut binds, tmps);
+                with_binds(binds, Norm::RevSet { name: name.clone(), from: v })
+            }
+            other => {
+                let _ = normalize(other, tmps);
+                let _ = normalize(value, tmps);
+                Norm::Fail
+            }
+        },
+        Expr::Assign(target, value) => match &**target {
+            Expr::Var(name) => {
+                let mut binds = Vec::new();
+                let v = flatten(value, &mut binds, tmps);
+                with_binds(binds, Norm::SetVar { name: name.clone(), from: v })
+            }
+            Expr::Index(base, idx) => {
+                let mut binds = Vec::new();
+                let b = flatten(base, &mut binds, tmps);
+                let i = flatten(idx, &mut binds, tmps);
+                let v = flatten(value, &mut binds, tmps);
+                with_binds(binds, Norm::IndexAssign { base: b, index: i, value: v })
+            }
+            Expr::Field(base, field) => {
+                let mut binds = Vec::new();
+                let b = flatten(base, &mut binds, tmps);
+                let v = flatten(value, &mut binds, tmps);
+                with_binds(
+                    binds,
+                    Norm::FieldSet { base: b, field: field.clone(), value: v },
+                )
+            }
+            other => {
+                // Unsupported assignment target: normalize both sides and
+                // fail at runtime (goal-directed error behaviour).
+                let _ = normalize(other, tmps);
+                let _ = normalize(value, tmps);
+                Norm::Fail
+            }
+        },
+
+        Expr::Call(callee, args) => {
+            let mut binds = Vec::new();
+            let f = flatten(callee, &mut binds, tmps);
+            let fargs = args.iter().map(|a| flatten(a, &mut binds, tmps)).collect();
+            with_binds(binds, Norm::Invoke { callee: f, args: fargs })
+        }
+        Expr::NativeCall(target, method, args) => {
+            let mut binds = Vec::new();
+            let t = flatten(target, &mut binds, tmps);
+            let fargs = args.iter().map(|a| flatten(a, &mut binds, tmps)).collect();
+            with_binds(
+                binds,
+                Norm::NativeInvoke { target: t, method: method.clone(), args: fargs },
+            )
+        }
+        Expr::Index(base, idx) => {
+            let mut binds = Vec::new();
+            let b = flatten(base, &mut binds, tmps);
+            let i = flatten(idx, &mut binds, tmps);
+            with_binds(binds, Norm::Index { base: b, index: i })
+        }
+        Expr::Field(base, field) => {
+            let mut binds = Vec::new();
+            let b = flatten(base, &mut binds, tmps);
+            with_binds(binds, Norm::FieldGet { base: b, field: field.clone() })
+        }
+        Expr::List(items) => {
+            let mut binds = Vec::new();
+            let atoms = items.iter().map(|i| flatten(i, &mut binds, tmps)).collect();
+            with_binds(binds, Norm::ListLit(atoms))
+        }
+        Expr::Scan(subject, body) => Norm::Scan {
+            subject: Box::new(normalize(subject, tmps)),
+            body: Box::new(normalize(body, tmps)),
+        },
+        Expr::Limit(inner, n) => {
+            let mut binds = Vec::new();
+            let bound = flatten(n, &mut binds, tmps);
+            let inner = normalize(inner, tmps);
+            with_binds(binds, Norm::Limit { inner: Box::new(inner), n: bound })
+        }
+
+        Expr::If { cond, then, els } => Norm::If {
+            cond: Box::new(normalize(cond, tmps)),
+            then: Box::new(normalize(then, tmps)),
+            els: els.as_ref().map(|e| Box::new(normalize(e, tmps))),
+        },
+        Expr::While { cond, body } => Norm::While {
+            cond: Box::new(normalize(cond, tmps)),
+            body: body.as_ref().map(|b| Box::new(normalize(b, tmps))),
+        },
+        Expr::Until { cond, body } => Norm::Until {
+            cond: Box::new(normalize(cond, tmps)),
+            body: body.as_ref().map(|b| Box::new(normalize(b, tmps))),
+        },
+        Expr::Every { source, body } => Norm::Every {
+            source: Box::new(normalize(source, tmps)),
+            body: body.as_ref().map(|b| Box::new(normalize(b, tmps))),
+        },
+        Expr::Repeat(body) => Norm::Repeat(Box::new(normalize(body, tmps))),
+        Expr::Not(inner) => Norm::Not(Box::new(normalize(inner, tmps))),
+        Expr::Block(stmts) => Norm::Block(stmts.iter().map(|s| normalize(s, tmps)).collect()),
+        Expr::Suspend(inner) => Norm::Suspend(Box::new(normalize(inner, tmps))),
+        Expr::Return(inner) => {
+            Norm::Return(inner.as_ref().map(|e| Box::new(normalize(e, tmps))))
+        }
+        Expr::Fail => Norm::Fail,
+        Expr::Break => Norm::Break,
+        Expr::Next => Norm::Next,
+        Expr::Decl(decls) => Norm::Decl(
+            decls
+                .iter()
+                .map(|(n, init)| (n.clone(), init.as_ref().map(|e| normalize(e, tmps))))
+                .collect(),
+        ),
+    }
+}
+
+fn collect_product(e: &Expr, tmps: &mut Tmps, out: &mut Vec<Norm>) {
+    match e {
+        Expr::Product(a, b) => {
+            collect_product(a, tmps, out);
+            collect_product(b, tmps, out);
+        }
+        other => out.push(normalize(other, tmps)),
+    }
+}
+
+fn collect_alt(e: &Expr, tmps: &mut Tmps, out: &mut Vec<Norm>) {
+    match e {
+        Expr::Alt(a, b) => {
+            collect_alt(a, tmps, out);
+            collect_alt(b, tmps, out);
+        }
+        other => out.push(normalize(other, tmps)),
+    }
+}
+
+/// Flatten a subexpression to an atom, hoisting generators into `(t in e)`
+/// bindings pushed onto `binds`.
+fn flatten(e: &Expr, binds: &mut Vec<Norm>, tmps: &mut Tmps) -> Atom {
+    match e {
+        Expr::Null => Atom::Null,
+        Expr::Int(v) => Atom::Int(*v),
+        Expr::BigLit(s) => Atom::Big(s.clone()),
+        Expr::Real(v) => Atom::Real(*v),
+        Expr::Str(s) => Atom::Str(s.clone()),
+        Expr::Var(name) => Atom::Var(name.clone()),
+        Expr::KeywordAmp(name) if name == "null" => Atom::Null,
+        other => {
+            let t = tmps.fresh();
+            let n = normalize(other, tmps);
+            binds.push(Norm::Bind(t, Box::new(n)));
+            Atom::Tmp(t)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_expr, parse_program};
+
+    fn norm(src: &str) -> Norm {
+        normalize_expr(&parse_expr(src).unwrap()).0
+    }
+
+    #[test]
+    fn atoms_stay_atoms() {
+        assert_eq!(norm("42"), Norm::Atom(Atom::Int(42)));
+        assert_eq!(norm("x"), Norm::Atom(Atom::Var("x".into())));
+        assert_eq!(norm("\"s\""), Norm::Atom(Atom::Str("s".into())));
+        assert_eq!(norm("&null"), Norm::Atom(Atom::Null));
+        assert_eq!(norm("&fail"), Norm::Fail);
+    }
+
+    #[test]
+    fn simple_op_needs_no_hoisting() {
+        // x + 1 — both operands atomic: a bare Op node.
+        assert_eq!(
+            norm("x + 1"),
+            Norm::Op(BinOp::Add, Atom::Var("x".into()), Atom::Int(1))
+        );
+    }
+
+    #[test]
+    fn nested_generator_operand_is_hoisted() {
+        // (1 to 2) * y  ⇒  (t0 in 1 to 2) & t0 * y
+        let n = norm("(1 to 2) * y");
+        match n {
+            Norm::Product(factors) => {
+                assert_eq!(factors.len(), 2);
+                assert!(matches!(&factors[0], Norm::Bind(0, inner)
+                    if matches!(&**inner, Norm::ToRange { .. })));
+                assert_eq!(
+                    factors[1],
+                    Norm::Op(BinOp::Mul, Atom::Tmp(0), Atom::Var("y".into()))
+                );
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn both_operands_hoisted_in_order() {
+        // (1 to 2) * isprime(4 to 7) — the paper's Sec. II example:
+        // (t0 in 1 to 2) & (t1 in (t2 in 4 to 7) & !isprime(t2)) & t0*t1
+        let n = norm("(1 to 2) * isprime(4 to 7)");
+        match n {
+            Norm::Product(factors) => {
+                assert_eq!(factors.len(), 3);
+                assert!(matches!(&factors[0], Norm::Bind(0, _)));
+                // second bind holds the flattened invocation
+                match &factors[1] {
+                    Norm::Bind(t, inner) => {
+                        assert!(*t > 0);
+                        match &**inner {
+                            Norm::Product(inner_factors) => {
+                                assert!(matches!(
+                                    inner_factors.last(),
+                                    Some(Norm::Invoke { .. })
+                                ));
+                            }
+                            other => panic!("inner {other:?}"),
+                        }
+                    }
+                    other => panic!("got {other:?}"),
+                }
+                assert!(matches!(&factors[2], Norm::Op(BinOp::Mul, _, _)));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn primary_chain_flattens_like_the_paper() {
+        // e(ex).c[ei] ⇒ binds for e's call result, then field, then index.
+        let n = norm("e(ex).c[ei]");
+        match n {
+            Norm::Product(factors) => {
+                // (t in e(ex)) & (t2 in t.c) ... & index
+                assert!(factors.len() >= 2);
+                assert!(matches!(factors.last(), Some(Norm::Index { .. })));
+                // every operand of the final Index is an atom
+                if let Some(Norm::Index { base, index }) = factors.last() {
+                    assert!(matches!(base, Atom::Tmp(_)));
+                    assert!(matches!(index, Atom::Var(_)));
+                }
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn product_chains_flatten() {
+        let n = norm("a & b & c");
+        match n {
+            Norm::Product(fs) => assert_eq!(fs.len(), 3),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn alternation_chains_flatten() {
+        let n = norm("a | b | c");
+        match n {
+            Norm::Alt(items) => assert_eq!(items.len(), 3),
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn assignment_normalizes_to_bind_and_set() {
+        let n = norm("x := f(y)");
+        match n {
+            Norm::Product(fs) => {
+                assert!(matches!(&fs[0], Norm::Bind(_, _)));
+                assert!(matches!(&fs[1], Norm::SetVar { name, .. } if name == "x"));
+            }
+            other => panic!("got {other:?}"),
+        }
+        // atom rhs needs no bind
+        assert_eq!(
+            norm("x := 5"),
+            Norm::SetVar { name: "x".into(), from: Atom::Int(5) }
+        );
+    }
+
+    #[test]
+    fn index_assignment() {
+        let n = norm("xs[2] := v");
+        assert_eq!(
+            n,
+            Norm::IndexAssign {
+                base: Atom::Var("xs".into()),
+                index: Atom::Int(2),
+                value: Atom::Var("v".into())
+            }
+        );
+    }
+
+    #[test]
+    fn pipe_wraps_whole_expression() {
+        let n = norm("|> f(!xs)");
+        match n {
+            Norm::Pipe(inner) => match *inner {
+                Norm::Product(ref fs) => {
+                    assert!(matches!(fs.last(), Some(Norm::Invoke { .. })))
+                }
+                ref other => panic!("inner {other:?}"),
+            },
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn coexpression_kinds() {
+        assert!(matches!(
+            norm("<> (1 to 3)"),
+            Norm::CoCreate { kind: CoKind::FirstClass, .. }
+        ));
+        assert!(matches!(
+            norm("|<> f()"),
+            Norm::CoCreate { kind: CoKind::Shadowed, .. }
+        ));
+        assert!(matches!(
+            norm("create g()"),
+            Norm::CoCreate { kind: CoKind::FirstClass, .. }
+        ));
+    }
+
+    #[test]
+    fn promote_of_call_hoists_then_promotes() {
+        // !splitWords(line) ⇒ (t in splitWords(line)) & !t
+        let n = norm("!splitWords(line)");
+        match n {
+            Norm::Product(fs) => {
+                assert!(matches!(&fs[0], Norm::Bind(_, _)));
+                assert!(matches!(&fs[1], Norm::Promote(Atom::Tmp(_))));
+            }
+            other => panic!("got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_constructs_recurse() {
+        let n = norm("if x < 1 then f(x) else 0");
+        assert!(matches!(n, Norm::If { els: Some(_), .. }));
+        let n = norm("while x do f(x)");
+        assert!(matches!(n, Norm::While { body: Some(_), .. }));
+        let n = norm("every x := 1 to 3 do put(l, x)");
+        assert!(matches!(n, Norm::Every { body: Some(_), .. }));
+    }
+
+    #[test]
+    fn program_normalization_counts_tmps() {
+        let prog = parse_program("def f(n) { suspend (1 to n) * 2; }").unwrap();
+        let np = normalize_program(&prog);
+        assert_eq!(np.procs.len(), 1);
+        assert!(np.procs[0].tmp_count >= 1);
+        assert_eq!(np.procs[0].params, vec!["n"]);
+    }
+
+    #[test]
+    fn temporaries_are_distinct() {
+        let (n, count) = normalize_expr(&parse_expr("f(g(x), h(y))").unwrap());
+        assert!(count >= 2);
+        // Collect all bind ids; they must be unique.
+        fn collect(n: &Norm, out: &mut Vec<u32>) {
+            if let Norm::Product(fs) = n {
+                for f in fs {
+                    collect(f, out);
+                }
+            }
+            if let Norm::Bind(t, inner) = n {
+                out.push(*t);
+                collect(inner, out);
+            }
+        }
+        let mut ids = Vec::new();
+        collect(&n, &mut ids);
+        let mut dedup = ids.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(ids.len(), dedup.len());
+    }
+
+    #[test]
+    fn native_call_flattens() {
+        let n = norm("line::split(\"x\")");
+        assert_eq!(
+            n,
+            Norm::NativeInvoke {
+                target: Atom::Var("line".into()),
+                method: "split".into(),
+                args: vec![Atom::Str("x".into())]
+            }
+        );
+    }
+
+    #[test]
+    fn limitation_normalizes() {
+        let n = norm("f(x) \\ 3");
+        match n {
+            Norm::Limit { n: Atom::Int(3), .. } => {}
+            other => panic!("got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Tests for the Icon builtin library exposed to embedded programs —
+//! especially the string-processing generators ("the forte of Icon").
+
+use junicon::Interp;
+
+fn ints(i: &Interp, src: &str) -> Vec<i64> {
+    i.eval(src)
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect()
+}
+
+fn strs(i: &Interp, src: &str) -> Vec<String> {
+    i.eval(src)
+        .unwrap()
+        .iter()
+        .map(|v| v.to_string())
+        .collect()
+}
+
+#[test]
+fn find_generates_every_position() {
+    let i = Interp::new();
+    assert_eq!(ints(&i, r#"find("ab", "abcabab")"#), vec![1, 4, 6]);
+    assert_eq!(ints(&i, r#"find("zz", "abc")"#), Vec::<i64>::new());
+    // overlapping matches are found
+    assert_eq!(ints(&i, r#"find("aa", "aaa")"#), vec![1, 2]);
+}
+
+#[test]
+fn find_composes_with_goal_direction() {
+    // First position of "is" after position 3: goal-directed filtering.
+    let i = Interp::new();
+    assert_eq!(
+        ints(&i, r#"(3 < find("is", "misty isles")) \ 1"#),
+        vec![7]
+    );
+}
+
+#[test]
+fn upto_and_many_and_match() {
+    let i = Interp::new();
+    assert_eq!(ints(&i, r#"upto("aeiou", "strength")"#), vec![4]);
+    assert_eq!(ints(&i, r#"upto("aeiou", "audio")"#), vec![1, 2, 4, 5]);
+    assert_eq!(ints(&i, r#"many("0123456789", "42abc")"#), vec![3]);
+    assert_eq!(ints(&i, r#"many("xyz", "42abc")"#), Vec::<i64>::new());
+    assert_eq!(ints(&i, r#"match("ab", "abc")"#), vec![3]);
+    assert_eq!(ints(&i, r#"match("bc", "abc")"#), Vec::<i64>::new());
+}
+
+#[test]
+fn string_builders() {
+    let i = Interp::new();
+    assert_eq!(strs(&i, r#"repl("ab", 3)"#), vec!["ababab"]);
+    assert_eq!(strs(&i, r#"reverse("icon")"#), vec!["noci"]);
+    assert_eq!(strs(&i, r#"left("ab", 5, ".")"#), vec!["ab..."]);
+    assert_eq!(strs(&i, r#"right("ab", 5, ".")"#), vec!["...ab"]);
+    assert_eq!(strs(&i, r#"center("ab", 6, "-")"#), vec!["--ab--"]);
+    assert_eq!(strs(&i, r#"left("abcdef", 3)"#), vec!["abc"]);
+    assert_eq!(strs(&i, r#"trim("ab   ")"#), vec!["ab"]);
+}
+
+#[test]
+fn map_ord_char() {
+    let i = Interp::new();
+    assert_eq!(strs(&i, r#"map("hello", "el", "ip")"#), vec!["hippo"]);
+    assert_eq!(ints(&i, r#"ord("A")"#), vec![65]);
+    assert_eq!(strs(&i, r#"char(97)"#), vec!["a"]);
+    assert_eq!(ints(&i, r#"ord("ab")"#), Vec::<i64>::new()); // not 1 char
+}
+
+#[test]
+fn seq_is_unbounded_until_limited() {
+    let i = Interp::new();
+    assert_eq!(ints(&i, r#"seq(5) \ 4"#), vec![5, 6, 7, 8]);
+    assert_eq!(ints(&i, r#"seq(0, 10) \ 3"#), vec![0, 10, 20]);
+}
+
+#[test]
+fn sort_and_key() {
+    let i = Interp::new();
+    assert_eq!(ints(&i, "!sort([3, 1, 2])"), vec![1, 2, 3]);
+    i.eval("t := table()").unwrap();
+    i.eval(r#"t["b"] := 2"#).unwrap();
+    i.eval(r#"t["a"] := 1"#).unwrap();
+    let mut keys = strs(&i, "key(t)");
+    keys.sort();
+    assert_eq!(keys, vec!["a", "b"]);
+}
+
+#[test]
+fn min_max_abs() {
+    let i = Interp::new();
+    assert_eq!(ints(&i, "min(3, 1, 2)"), vec![1]);
+    assert_eq!(ints(&i, "max(3, 1, 2)"), vec![3]);
+    assert_eq!(ints(&i, "abs(-9)"), vec![9]);
+}
+
+#[test]
+fn primes_via_builtins() {
+    // The generator composition the paper opens with, over a wider range.
+    let i = Interp::new();
+    assert_eq!(
+        ints(&i, "isprime(2 to 30)"),
+        vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+    );
+    assert_eq!(ints(&i, "nextprime(100)"), vec![101]);
+}
+
+#[test]
+fn word_counting_in_pure_junicon() {
+    // A small end-to-end string-processing program, interpreter only.
+    let i = Interp::new();
+    i.load(
+        r#"
+        def countWords(s) {
+            local n;
+            n := 0;
+            every n := n + (find(" ", s) & 1);
+            return n + 1;
+        }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(ints(&i, r#"countWords("a b c d")"#), vec![4]);
+}

@@ -1,0 +1,112 @@
+//! Property test: randomly generated ASTs survive pretty-print → parse.
+//!
+//! Fuzzes the lexer, parser, and pretty-printer against each other over
+//! the whole expression grammar.
+
+use junicon::ast::{BinOp, Expr, UnOp};
+use junicon::fmt::pretty;
+use junicon::parse::parse_expr;
+use proptest::prelude::*;
+
+fn arb_ident() -> impl Strategy<Value = String> {
+    // lowercase identifiers that are not keywords of the subset
+    "[a-g][a-g0-9]{0,5}".prop_filter("keyword collision", |s| {
+        !matches!(
+            s.as_str(),
+            "def" | "do" | "by" | "end" | "fail" | "class" | "every" | "create"
+        )
+    })
+}
+
+fn arb_leaf() -> impl Strategy<Value = Expr> {
+    prop_oneof![
+        (0i64..1000).prop_map(Expr::Int),
+        arb_ident().prop_map(Expr::Var),
+        "[a-z ]{0,8}".prop_map(Expr::Str),
+        Just(Expr::Null),
+    ]
+}
+
+fn arb_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+        Just(BinOp::Pow),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+        Just(BinOp::NumEq),
+        Just(BinOp::NumNe),
+        Just(BinOp::Concat),
+        Just(BinOp::StrEq),
+        Just(BinOp::Equiv),
+    ]
+}
+
+fn arb_unop() -> impl Strategy<Value = UnOp> {
+    prop_oneof![
+        Just(UnOp::Neg),
+        Just(UnOp::Size),
+        Just(UnOp::Promote),
+        Just(UnOp::Activate),
+        Just(UnOp::Refresh),
+        Just(UnOp::FirstClass),
+        Just(UnOp::CoExpr),
+        Just(UnOp::Pipe),
+    ]
+}
+
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    arb_leaf().prop_recursive(4, 40, 4, |inner| {
+        prop_oneof![
+            (arb_binop(), inner.clone(), inner.clone())
+                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
+            (arb_unop(), inner.clone())
+                .prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Product(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Expr::Alt(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone(), prop::option::of(inner.clone())).prop_map(
+                |(a, b, by)| Expr::To {
+                    from: Box::new(a),
+                    to: Box::new(b),
+                    by: by.map(Box::new),
+                }
+            ),
+            (arb_ident(), prop::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| Expr::Call(Box::new(Expr::Var(f)), args)),
+            prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
+            (inner.clone(), inner.clone())
+                .prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
+            (inner.clone(), arb_ident())
+                .prop_map(|(b, f)| Expr::Field(Box::new(b), f)),
+            (arb_ident(), inner.clone())
+                .prop_map(|(v, e)| Expr::Assign(Box::new(Expr::Var(v)), Box::new(e))),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn pretty_then_parse_is_identity(e in arb_expr()) {
+        let printed = pretty(&e);
+        let reparsed = parse_expr(&printed)
+            .unwrap_or_else(|err| panic!("could not reparse {printed:?}: {err}"));
+        prop_assert_eq!(&reparsed, &e, "printed: {}", printed);
+    }
+
+    #[test]
+    fn pretty_is_stable(e in arb_expr()) {
+        // pretty ∘ parse ∘ pretty == pretty (idempotence on the image)
+        let p1 = pretty(&e);
+        let p2 = pretty(&parse_expr(&p1).unwrap());
+        prop_assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,190 @@
+//! String scanning (`s ? expr`) — "search has particular application in
+//! string processing, the forte of Icon and Unicon" (Sec. II.A). Tests the
+//! scanning environment, the positional builtins, and the canonical Icon
+//! scanning idioms.
+
+use junicon::Interp;
+
+const LETTERS: &str = "abcdefghijklmnopqrstuvwxyz";
+
+fn strs(i: &Interp, src: &str) -> Vec<String> {
+    i.eval(src)
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
+        .iter()
+        .map(|v| v.to_string())
+        .collect()
+}
+
+fn ints(i: &Interp, src: &str) -> Vec<i64> {
+    i.eval(src)
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect()
+}
+
+#[test]
+fn tab_and_pos_basics() {
+    let i = Interp::new();
+    assert_eq!(strs(&i, r#""hello" ? tab(3)"#), vec!["he"]);
+    assert_eq!(ints(&i, r#""hello" ? { tab(3); pos() }"#), vec![3]);
+    // tab(0) goes to the end
+    assert_eq!(strs(&i, r#""hello" ? tab(0)"#), vec!["hello"]);
+    // out of range fails
+    assert!(i.eval(r#""hi" ? tab(99)"#).unwrap().is_empty());
+}
+
+#[test]
+fn tab_backwards_returns_the_span() {
+    let i = Interp::new();
+    // move forward then tab back: the span is still produced.
+    assert_eq!(
+        strs(&i, r#""abcdef" ? { tab(5); tab(2) }"#),
+        vec!["bcd"]
+    );
+}
+
+#[test]
+fn move_is_relative() {
+    let i = Interp::new();
+    assert_eq!(strs(&i, r#""hello" ? { move(2); move(2) }"#), vec!["ll"]);
+    assert!(i.eval(r#""hi" ? move(5)"#).unwrap().is_empty());
+}
+
+#[test]
+fn scanning_functions_use_implicit_subject() {
+    let i = Interp::new();
+    assert_eq!(ints(&i, r#""misty isles" ? find("is")"#), vec![2, 7]);
+    assert_eq!(ints(&i, r#""strength" ? upto("aeiou")"#), vec![4]);
+    assert_eq!(ints(&i, r#""42abc" ? many("0123456789")"#), vec![3]);
+    assert_eq!(ints(&i, r#""abc" ? match("ab")"#), vec![3]);
+}
+
+#[test]
+fn find_respects_current_pos() {
+    let i = Interp::new();
+    // after tabbing past the first "is", find only sees the second
+    assert_eq!(
+        ints(&i, r#""misty isles" ? { tab(4); find("is") }"#),
+        vec![7]
+    );
+}
+
+#[test]
+fn the_canonical_word_splitting_idiom() {
+    // every word: while tab(upto(letters)) do suspend tab(many(letters))
+    let i = Interp::new();
+    i.load(&format!(
+        r#"
+        def words(s) {{
+            s ? {{
+                while tab(upto("{LETTERS}")) do {{
+                    suspend tab(many("{LETTERS}"));
+                }};
+            }};
+        }}
+        "#
+    ))
+    .unwrap();
+    assert_eq!(
+        strs(&i, r#"words("the quick brown fox")"#),
+        vec!["the", "quick", "brown", "fox"]
+    );
+    assert_eq!(
+        strs(&i, r#"words("  leading & trailing!  ")"#),
+        vec!["leading", "trailing"]
+    );
+    assert_eq!(strs(&i, r#"words("   ")"#), Vec::<String>::new());
+}
+
+#[test]
+fn subject_builtin_reports_the_string() {
+    let i = Interp::new();
+    assert_eq!(strs(&i, r#""abc" ? subject()"#), vec!["abc"]);
+    // outside a scan, scanning builtins fail
+    assert!(i.eval("pos()").unwrap().is_empty());
+    assert!(i.eval("tab(2)").unwrap().is_empty());
+}
+
+#[test]
+fn scans_nest_and_restore() {
+    let i = Interp::new();
+    let out = strs(
+        &i,
+        r#""outer" ? { tab(3); "in" ? tab(2) }"#,
+    );
+    assert_eq!(out, vec!["i"]);
+    // After the inner scan the outer frame is current again.
+    assert_eq!(
+        ints(&i, r#""outer" ? { tab(3); ("in" ? tab(2)) & pos() }"#),
+        vec![3]
+    );
+}
+
+#[test]
+fn scan_value_is_the_body_value() {
+    let i = Interp::new();
+    // The scan expression generates the body's results.
+    assert_eq!(
+        ints(&i, r#""aaa" ? (upto("a") * 10)"#),
+        vec![10, 20, 30]
+    );
+}
+
+#[test]
+fn scan_subject_coerces_and_fails_gracefully() {
+    let i = Interp::new();
+    // numeric subject coerces to its string image
+    assert_eq!(strs(&i, "12345 ? tab(3)"), vec!["12"]);
+    // unscannable subject fails
+    assert!(i.eval("[1] ? tab(2)").unwrap().is_empty());
+}
+
+#[test]
+fn scanning_composes_with_pipes() {
+    // A scanning word-splitter running inside a pipe thread: the scan
+    // stack is thread-local, so this must not disturb the consumer.
+    let i = Interp::new();
+    i.load(&format!(
+        r#"
+        def words(s) {{
+            s ? {{
+                while tab(upto("{LETTERS}")) do {{
+                    suspend tab(many("{LETTERS}"));
+                }};
+            }};
+        }}
+        "#
+    ))
+    .unwrap();
+    assert_eq!(
+        strs(&i, r#"! (|> words("par all el"))"#),
+        vec!["par", "all", "el"]
+    );
+}
+
+#[test]
+fn amp_subject_and_pos_keywords() {
+    let i = Interp::new();
+    assert_eq!(strs(&i, r#""abc" ? &subject"#), vec!["abc"]);
+    assert_eq!(ints(&i, r#""abc" ? { tab(2); &pos }"#), vec![2]);
+    // outside any scan the keywords are null
+    assert_eq!(i.eval("&pos === &null").unwrap().len(), 1);
+}
+
+#[test]
+fn letter_counting_with_scanning() {
+    let i = Interp::new();
+    i.load(
+        r#"
+        def vowels(s) {
+            local n;
+            n := 0;
+            s ? { every upto("aeiou") do n := n + 1; };
+            return n;
+        }
+        "#,
+    )
+    .unwrap();
+    assert_eq!(ints(&i, r#"vowels("goal directed evaluation")"#), vec![11]);
+}

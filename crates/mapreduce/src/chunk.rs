@@ -1,0 +1,118 @@
+//! Partitioning a generator into fixed-size chunks.
+
+use gde::{BoxGen, Gen, Step, Value};
+
+/// `chunk(e)` from Fig. 4: a generator of lists, each holding up to
+/// `size` consecutive results of `inner`; the final chunk may be short.
+/// An empty source yields no chunks.
+///
+/// # Panics
+/// Panics if `size` is zero.
+pub fn chunks(inner: impl Gen + 'static, size: usize) -> Chunks {
+    assert!(size > 0, "chunk size must be positive");
+    Chunks { inner: Box::new(inner), size, exhausted: false }
+}
+
+pub struct Chunks {
+    inner: BoxGen,
+    size: usize,
+    exhausted: bool,
+}
+
+impl Gen for Chunks {
+    fn resume(&mut self) -> Step {
+        if self.exhausted {
+            return Step::Fail;
+        }
+        let mut buf = Vec::with_capacity(self.size);
+        while buf.len() < self.size {
+            match self.inner.resume() {
+                Step::Suspend(v) => buf.push(v),
+                Step::Fail => {
+                    self.exhausted = true;
+                    break;
+                }
+            }
+        }
+        if buf.is_empty() {
+            Step::Fail
+        } else {
+            Step::Suspend(Value::list(buf))
+        }
+    }
+
+    fn restart(&mut self) {
+        self.inner.restart();
+        self.exhausted = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde::comb::{fail, to_range};
+    use gde::GenExt;
+
+    fn chunk_sizes(g: &mut dyn Gen) -> Vec<usize> {
+        g.collect_values()
+            .iter()
+            .map(|v| v.size().unwrap() as usize)
+            .collect()
+    }
+
+    #[test]
+    fn even_division() {
+        let mut g = chunks(to_range(1, 9, 1), 3);
+        assert_eq!(chunk_sizes(&mut g), vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn trailing_short_chunk() {
+        let mut g = chunks(to_range(1, 10, 1), 4);
+        assert_eq!(chunk_sizes(&mut g), vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn chunk_contents_preserve_order() {
+        let mut g = chunks(to_range(1, 5, 1), 2);
+        let lists = g.collect_values();
+        let flat: Vec<i64> = lists
+            .iter()
+            .flat_map(|l| {
+                l.as_list()
+                    .unwrap()
+                    .lock()
+                    .iter()
+                    .map(|v| v.as_int().unwrap())
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        assert_eq!(flat, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn empty_source_yields_nothing() {
+        let mut g = chunks(fail(), 10);
+        assert_eq!(g.resume(), Step::Fail);
+    }
+
+    #[test]
+    fn source_smaller_than_one_chunk() {
+        let mut g = chunks(to_range(1, 2, 1), 100);
+        assert_eq!(chunk_sizes(&mut g), vec![2]);
+    }
+
+    #[test]
+    fn restart_rechunks() {
+        let mut g = chunks(to_range(1, 4, 1), 2);
+        assert_eq!(chunk_sizes(&mut g), vec![2, 2]);
+        g.restart();
+        assert_eq!(chunk_sizes(&mut g), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunk_size_panics() {
+        chunks(fail(), 0);
+    }
+}

@@ -1,0 +1,350 @@
+//! The `DataParallel` class of Fig. 4.
+
+use exec::{Task, ThreadPool};
+use gde::{BoxGen, Gen, Step, Value};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+type MapFn = Arc<dyn Fn(&Value) -> Option<Value> + Send + Sync>;
+type ReduceFn = Arc<dyn Fn(Value, Value) -> Option<Value> + Send + Sync>;
+
+/// Data-parallel map-reduce over chunks of a source generator.
+///
+/// Mirrors Fig. 4's `DataParallel(int size)` class: the source is split
+/// into chunks of `chunk_size`; each chunk becomes a task on a thread pool
+/// ("thread creation and allocation leverage Java's facilities for thread
+/// pool management"); results come back *in chunk order* — the paper notes
+/// its formulation "is subtly different from conventional map-reduce in
+/// that it enforces ordering between the results of the partitioned
+/// threads".
+pub struct DataParallel {
+    chunk_size: usize,
+    pool: Arc<ThreadPool>,
+}
+
+impl DataParallel {
+    /// `new DataParallel(1000)` with a dedicated pool sized to the cores.
+    pub fn new(chunk_size: usize) -> DataParallel {
+        let n = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(4);
+        DataParallel::with_pool(chunk_size, Arc::new(ThreadPool::new(n)))
+    }
+
+    /// Use a caller-provided pool (shared across operations, or sized for
+    /// a scaling experiment).
+    pub fn with_pool(chunk_size: usize, pool: Arc<ThreadPool>) -> DataParallel {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        DataParallel { chunk_size, pool }
+    }
+
+    /// The configured chunk size.
+    pub fn chunk_size(&self) -> usize {
+        self.chunk_size
+    }
+
+    /// `mapReduce(f, s, r, i)`: map `f` over each chunk's elements and fold
+    /// the surviving results with `r` from `i`; yields one reduced value
+    /// per chunk, in order. Elements on which `f` fails are skipped, as are
+    /// reduction steps on which `r` fails (both match the `every
+    /// (x=r(x,f(!c)))` loop, where failure simply produces no assignment).
+    pub fn map_reduce(
+        &self,
+        map: impl Fn(&Value) -> Option<Value> + Send + Sync + 'static,
+        source: impl Gen + 'static,
+        reduce: impl Fn(Value, Value) -> Option<Value> + Send + Sync + 'static,
+        init: Value,
+    ) -> MapReduceGen {
+        MapReduceGen {
+            source: Box::new(source),
+            chunk_size: self.chunk_size,
+            pool: Arc::clone(&self.pool),
+            map: Arc::new(map),
+            reduce: Some((Arc::new(reduce), init)),
+            tasks: None,
+            current: VecDeque::new(),
+        }
+    }
+
+    /// The data-parallel (map-only) variant: maps `f` over each chunk in a
+    /// parallel task but yields every mapped element, flattened in order —
+    /// "splitting out the reduction and effecting serialization" (Sec. VII).
+    pub fn map_flat(
+        &self,
+        map: impl Fn(&Value) -> Option<Value> + Send + Sync + 'static,
+        source: impl Gen + 'static,
+    ) -> MapReduceGen {
+        MapReduceGen {
+            source: Box::new(source),
+            chunk_size: self.chunk_size,
+            pool: Arc::clone(&self.pool),
+            map: Arc::new(map),
+            reduce: None,
+            tasks: None,
+            current: VecDeque::new(),
+        }
+    }
+}
+
+/// The generator returned by [`DataParallel::map_reduce`] /
+/// [`DataParallel::map_flat`].
+///
+/// Launch is lazy: the first `resume` drains the source, spawns one pool
+/// task per chunk, and then yields task results in order (each task's
+/// output is one value for map-reduce, a list of values for map-flat).
+/// Restarting restarts the source and relaunches.
+pub struct MapReduceGen {
+    source: BoxGen,
+    chunk_size: usize,
+    pool: Arc<ThreadPool>,
+    map: MapFn,
+    reduce: Option<(ReduceFn, Value)>,
+    tasks: Option<VecDeque<Task<Vec<Value>>>>,
+    current: VecDeque<Value>,
+}
+
+impl MapReduceGen {
+    fn launch(&mut self) {
+        let mut tasks = VecDeque::new();
+        // Chunk the source inline (the chunks() combinator wants ownership,
+        // but the source must stay in self for restart).
+        loop {
+            let mut buf = Vec::with_capacity(self.chunk_size);
+            let mut source_done = false;
+            while buf.len() < self.chunk_size {
+                match self.source.resume() {
+                    Step::Suspend(v) => buf.push(v),
+                    Step::Fail => {
+                        source_done = true;
+                        break;
+                    }
+                }
+            }
+            if !buf.is_empty() {
+                let chunk = Value::list(buf);
+                let map = Arc::clone(&self.map);
+                let reduce = self
+                    .reduce
+                    .as_ref()
+                    .map(|(r, i)| (Arc::clone(r), i.clone()));
+                tasks.push_back(self.pool.submit(move || run_chunk(&chunk, &map, reduce)));
+            }
+            if source_done {
+                break;
+            }
+        }
+        self.tasks = Some(tasks);
+    }
+}
+
+fn run_chunk(
+    chunk: &Value,
+    map: &MapFn,
+    reduce: Option<(ReduceFn, Value)>,
+) -> Vec<Value> {
+    let items = chunk.as_list().expect("chunks yield lists").lock().clone();
+    match reduce {
+        Some((r, init)) => {
+            // |> { var x=i; every (x = r(x, f(!c))); x }
+            let mut x = init;
+            for item in &items {
+                if let Some(mapped) = map(item) {
+                    if let Some(next) = r(x.clone(), mapped) {
+                        x = next;
+                    }
+                }
+            }
+            vec![x]
+        }
+        None => items.iter().filter_map(|item| map(item)).collect(),
+    }
+}
+
+impl Gen for MapReduceGen {
+    fn resume(&mut self) -> Step {
+        if self.tasks.is_none() {
+            self.launch();
+        }
+        loop {
+            if let Some(v) = self.current.pop_front() {
+                return Step::Suspend(v);
+            }
+            let tasks = self.tasks.as_mut().expect("launched above");
+            match tasks.pop_front() {
+                Some(t) => self.current = t.join().into(),
+                None => return Step::Fail,
+            }
+        }
+    }
+
+    fn restart(&mut self) {
+        self.source.restart();
+        self.tasks = None;
+        self.current.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde::comb::{fail, to_range};
+    use gde::{ops, GenExt};
+
+    fn sum_reduce(a: Value, b: Value) -> Option<Value> {
+        ops::add(&a, &b)
+    }
+
+    #[test]
+    fn map_reduce_sums_per_chunk() {
+        let dp = DataParallel::new(3);
+        let mut g = dp.map_reduce(
+            |v| Some(v.clone()),
+            to_range(1, 9, 1),
+            sum_reduce,
+            Value::from(0),
+        );
+        let sums: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        // chunks [1,2,3], [4,5,6], [7,8,9]
+        assert_eq!(sums, vec![6, 15, 24]);
+    }
+
+    #[test]
+    fn total_matches_sequential() {
+        let dp = DataParallel::new(7);
+        let mut g = dp.map_reduce(
+            |v| ops::mul(v, v),
+            to_range(1, 100, 1),
+            sum_reduce,
+            Value::from(0),
+        );
+        let total: i64 = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .sum();
+        let expect: i64 = (1..=100).map(|i| i * i).sum();
+        assert_eq!(total, expect);
+    }
+
+    #[test]
+    fn map_failures_are_skipped() {
+        let dp = DataParallel::new(4);
+        let mut g = dp.map_reduce(
+            |v| {
+                let n = v.as_int()?;
+                if n % 2 == 0 {
+                    Some(v.clone())
+                } else {
+                    None
+                }
+            },
+            to_range(1, 8, 1),
+            sum_reduce,
+            Value::from(0),
+        );
+        let sums: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        // chunk [1..4] evens sum 6; chunk [5..8] evens sum 14.
+        assert_eq!(sums, vec![6, 14]);
+    }
+
+    #[test]
+    fn map_flat_preserves_order_and_skips_failures() {
+        let dp = DataParallel::new(3);
+        let mut g = dp.map_flat(
+            |v| {
+                let n = v.as_int()?;
+                if n == 5 {
+                    None
+                } else {
+                    Some(Value::from(n * 10))
+                }
+            },
+            to_range(1, 7, 1),
+        );
+        let vals: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(vals, vec![10, 20, 30, 40, 60, 70]);
+    }
+
+    #[test]
+    fn empty_source_yields_nothing() {
+        let dp = DataParallel::new(10);
+        let mut g = dp.map_reduce(|v| Some(v.clone()), fail(), sum_reduce, Value::from(0));
+        assert_eq!(g.resume(), Step::Fail);
+    }
+
+    #[test]
+    fn restart_relaunches() {
+        let dp = DataParallel::new(2);
+        let mut g = dp.map_reduce(
+            |v| Some(v.clone()),
+            to_range(1, 4, 1),
+            sum_reduce,
+            Value::from(0),
+        );
+        assert_eq!(g.count(), 2);
+        g.restart();
+        let sums: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(sums, vec![3, 7]);
+    }
+
+    #[test]
+    fn shared_pool_across_operations() {
+        let pool = Arc::new(ThreadPool::new(2));
+        let dp1 = DataParallel::with_pool(5, Arc::clone(&pool));
+        let dp2 = DataParallel::with_pool(5, pool);
+        let s1: i64 = dp1
+            .map_reduce(|v| Some(v.clone()), to_range(1, 10, 1), sum_reduce, Value::from(0))
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .sum();
+        let s2: i64 = dp2
+            .map_reduce(|v| Some(v.clone()), to_range(1, 10, 1), sum_reduce, Value::from(0))
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .sum();
+        assert_eq!(s1, 55);
+        assert_eq!(s2, 55);
+    }
+
+    #[test]
+    fn reduce_failure_keeps_accumulator() {
+        let dp = DataParallel::new(10);
+        // Reduction fails on values > 3: they are ignored.
+        let mut g = dp.map_reduce(
+            |v| Some(v.clone()),
+            to_range(1, 5, 1),
+            |acc, v| {
+                if v.as_int()? > 3 {
+                    None
+                } else {
+                    ops::add(&acc, &v)
+                }
+            },
+            Value::from(0),
+        );
+        let sums: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(sums, vec![6]); // 1+2+3, with 4 and 5 rejected
+    }
+}

@@ -1,0 +1,32 @@
+//! Higher-order concurrency abstractions built from concurrent generators.
+//!
+//! Fig. 4 of the paper builds map-reduce *as a library* on top of the
+//! calculus: `chunk` partitions a source generator into fixed-size lists,
+//! and `mapReduce` spawns, for each chunk, a threaded task that maps a
+//! function over the chunk's elements and reduces the results, finally
+//! yielding each task's reduction in order:
+//!
+//! ```text
+//! def mapReduce(f,s,r,i) {
+//!     var c, t, tasks = [];
+//!     every (c = chunk(<>s)) do {
+//!         t = |> { var x=i; every (x=r(x, f(!c) )); x };
+//!         ((List) tasks)::add(t);
+//!     };
+//!     suspend ! (! tasks);
+//! }
+//! ```
+//!
+//! This crate provides that construction ([`DataParallel::map_reduce`]),
+//! the map-only variant that "splits out the reduction and effects
+//! serialization" ([`DataParallel::map_flat`]), the [`chunks`] combinator,
+//! and a [`Pipeline`] builder for the fixed-code model (`f(!|>s)`) that
+//! Fig. 2 contrasts with the fixed-data model.
+
+mod chunk;
+mod data_parallel;
+mod pipeline;
+
+pub use chunk::{chunks, Chunks};
+pub use data_parallel::DataParallel;
+pub use pipeline::Pipeline;

@@ -1,0 +1,160 @@
+//! Parallel pipelines: the fixed-code model of Fig. 2.
+//!
+//! A pipeline "consists of a chain of tasks where the output of each
+//! element is the input of the next, synchronized using some form of
+//! blocking queues" (Sec. III.B). Each [`Pipeline::stage`] corresponds to
+//! the expression `f(! |> s)`: the accumulated upstream chain `s` is moved
+//! onto its own producer thread via a [`pipes::Pipe`], and `f` is mapped
+//! over the piped results in the downstream thread.
+
+use gde::comb::filter_map;
+use gde::{BoxGen, Value};
+use pipes::Pipe;
+use std::sync::Arc;
+
+type SourceFactory = Arc<dyn Fn() -> BoxGen + Send + Sync>;
+
+/// Builder for a chain of threaded generator stages.
+///
+/// ```
+/// use gde::{GenExt, Value, comb::to_range};
+/// use mapreduce::Pipeline;
+///
+/// // 1..=4, squared on one thread, then incremented downstream.
+/// let mut g = Pipeline::from(|| Box::new(to_range(1, 4, 1)) as gde::BoxGen)
+///     .stage(|v| gde::ops::mul(v, v))
+///     .stage(|v| gde::ops::add(v, &Value::from(1)))
+///     .build();
+/// let out: Vec<i64> = g.collect_values().iter().map(|v| v.as_int().unwrap()).collect();
+/// assert_eq!(out, vec![2, 5, 10, 17]);
+/// ```
+pub struct Pipeline {
+    source: SourceFactory,
+    capacity: usize,
+    stages: usize,
+}
+
+impl Pipeline {
+    /// Start a pipeline from a source generator factory (re-invoked if the
+    /// built generator is restarted).
+    pub fn from(source: impl Fn() -> BoxGen + Send + Sync + 'static) -> Pipeline {
+        Pipeline {
+            source: Arc::new(source),
+            capacity: pipes::DEFAULT_CAPACITY,
+            stages: 0,
+        }
+    }
+
+    /// Set the blocking-queue capacity used by subsequently added stages.
+    pub fn with_capacity(mut self, capacity: usize) -> Pipeline {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Append a stage `f(! |> s)`: everything built so far runs on its own
+    /// thread; `f` maps (with goal-directed failure filtering) over the
+    /// piped results.
+    pub fn stage(
+        self,
+        f: impl Fn(&Value) -> Option<Value> + Send + Sync + 'static,
+    ) -> Pipeline {
+        let upstream = Arc::clone(&self.source);
+        let capacity = self.capacity;
+        let f = Arc::new(f);
+        Pipeline {
+            source: Arc::new(move || {
+                let upstream = Arc::clone(&upstream);
+                let pipe = Pipe::with_capacity(move || upstream(), capacity);
+                let f = Arc::clone(&f);
+                Box::new(filter_map(pipe, move |v| f(v)))
+            }),
+            capacity,
+            stages: self.stages + 1,
+        }
+    }
+
+    /// Number of threaded stages added so far.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Materialize the pipeline as a generator. The final stage's map runs
+    /// on the consumer's thread; each earlier hop runs on its own producer
+    /// thread.
+    pub fn build(self) -> BoxGen {
+        (self.source)()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde::comb::to_range;
+    use gde::{ops, GenExt};
+
+    fn ints(vals: Vec<Value>) -> Vec<i64> {
+        vals.iter().map(|v| v.as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn single_stage_matches_sequential() {
+        let mut g = Pipeline::from(|| Box::new(to_range(1, 20, 1)) as BoxGen)
+            .stage(|v| ops::mul(v, v))
+            .build();
+        assert_eq!(ints(g.collect_values()), (1..=20).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn three_stages_compose_in_order() {
+        let mut g = Pipeline::from(|| Box::new(to_range(1, 5, 1)) as BoxGen)
+            .stage(|v| ops::add(v, &Value::from(100)))
+            .stage(|v| ops::mul(v, &Value::from(2)))
+            .stage(|v| ops::sub(v, &Value::from(1)))
+            .build();
+        assert_eq!(ints(g.collect_values()), vec![201, 203, 205, 207, 209]);
+    }
+
+    #[test]
+    fn stage_failures_filter() {
+        let mut g = Pipeline::from(|| Box::new(to_range(1, 10, 1)) as BoxGen)
+            .stage(|v| {
+                let n = v.as_int()?;
+                if n % 3 == 0 {
+                    Some(v.clone())
+                } else {
+                    None
+                }
+            })
+            .stage(|v| ops::mul(v, &Value::from(10)))
+            .build();
+        assert_eq!(ints(g.collect_values()), vec![30, 60, 90]);
+    }
+
+    #[test]
+    fn restart_reruns_the_whole_chain() {
+        let mut g = Pipeline::from(|| Box::new(to_range(1, 3, 1)) as BoxGen)
+            .stage(|v| Some(v.clone()))
+            .build();
+        assert_eq!(g.count(), 3);
+        g.restart();
+        assert_eq!(ints(g.collect_values()), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stage_count_tracks() {
+        let p = Pipeline::from(|| Box::new(to_range(1, 2, 1)) as BoxGen)
+            .stage(|v| Some(v.clone()))
+            .stage(|v| Some(v.clone()));
+        assert_eq!(p.stages(), 2);
+    }
+
+    #[test]
+    fn tiny_capacity_still_correct() {
+        let mut g = Pipeline::from(|| Box::new(to_range(1, 50, 1)) as BoxGen)
+            .with_capacity(1)
+            .stage(|v| ops::add(v, &Value::from(1)))
+            .stage(|v| ops::add(v, &Value::from(1)))
+            .build();
+        assert_eq!(ints(g.collect_values()), (3..=52).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,271 @@
+//! Fan-in combinators over multiple pipes.
+//!
+//! The paper's calculus composes pipes one at a time; real pipelines often
+//! fan several producers into one consumer. Two disciplines are provided,
+//! matching the two orderings a goal-directed program can want:
+//!
+//! * [`merge`] — *arrival order*: values are forwarded to a shared queue as
+//!   each producer makes them, so the consumer sees an interleaving
+//!   determined by runtime speed (maximum throughput, no ordering);
+//! * [`round_robin`] — *deterministic interleave*: one value from each
+//!   source in turn (skipping exhausted ones), the ordered analogue of
+//!   alternately activating co-expressions with `@`.
+
+use blockingq::BlockingQueue;
+use gde::{BoxGen, Gen, Step, Value};
+#[cfg(test)]
+use gde::GenExt;
+
+/// Merge several generator factories into one generator, each running on
+/// its own producer thread, values in arrival order. The stream ends when
+/// every producer has failed.
+pub fn merge(
+    sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>,
+    capacity: usize,
+) -> Merge {
+    Merge { sources, capacity, state: None }
+}
+
+pub struct Merge {
+    sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>,
+    capacity: usize,
+    state: Option<MergeState>,
+}
+
+struct MergeState {
+    queue: BlockingQueue<Value>,
+    /// Producer count tracking lives in the threads: each decrements and
+    /// the last closes the queue.
+    _marker: (),
+}
+
+impl Merge {
+    fn start(&mut self) -> &MergeState {
+        if self.state.is_none() {
+            let queue = BlockingQueue::bounded(self.capacity.max(1));
+            let remaining = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(
+                self.sources.len(),
+            ));
+            if self.sources.is_empty() {
+                queue.close();
+            }
+            for src in &self.sources {
+                let mut g = src();
+                let q = queue.clone();
+                let remaining = remaining.clone();
+                std::thread::Builder::new()
+                    .name("fan-merge-producer".into())
+                    .spawn(move || {
+                        // Last producer out closes the queue, even on panic.
+                        struct Depart(
+                            std::sync::Arc<std::sync::atomic::AtomicUsize>,
+                            BlockingQueue<Value>,
+                        );
+                        impl Drop for Depart {
+                            fn drop(&mut self) {
+                                if self.0.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                                    self.1.close();
+                                }
+                            }
+                        }
+                        let guard = Depart(remaining, q);
+                        while let Step::Suspend(v) = g.resume() {
+                            if guard.1.put(v.deep_copy()).is_err() {
+                                return;
+                            }
+                        }
+                    })
+                    .expect("spawn merge producer");
+            }
+            self.state = Some(MergeState { queue, _marker: () });
+        }
+        self.state.as_ref().expect("just set")
+    }
+}
+
+impl Gen for Merge {
+    fn resume(&mut self) -> Step {
+        self.start();
+        match self.state.as_ref().expect("started").queue.take() {
+            Some(v) => Step::Suspend(v),
+            None => Step::Fail,
+        }
+    }
+    fn restart(&mut self) {
+        if let Some(st) = self.state.take() {
+            st.queue.close();
+        }
+    }
+}
+
+impl Drop for Merge {
+    fn drop(&mut self) {
+        if let Some(st) = self.state.take() {
+            st.queue.close();
+        }
+    }
+}
+
+/// Deterministic fan-in: one value from each live source per round,
+/// skipping exhausted sources, until all are exhausted. Sources run in
+/// *this* thread (compose with [`crate::Pipe`] per source for parallelism).
+pub fn round_robin(sources: Vec<BoxGen>) -> RoundRobin {
+    let len = sources.len();
+    RoundRobin { sources, alive: vec![true; len], next: 0 }
+}
+
+pub struct RoundRobin {
+    sources: Vec<BoxGen>,
+    alive: Vec<bool>,
+    next: usize,
+}
+
+impl Gen for RoundRobin {
+    fn resume(&mut self) -> Step {
+        let n = self.sources.len();
+        if n == 0 {
+            return Step::Fail;
+        }
+        for _ in 0..n {
+            let i = self.next;
+            self.next = (self.next + 1) % n;
+            if !self.alive[i] {
+                continue;
+            }
+            match self.sources[i].resume() {
+                Step::Suspend(v) => return Step::Suspend(v),
+                Step::Fail => self.alive[i] = false,
+            }
+        }
+        if self.alive.iter().any(|a| *a) {
+            // All sources visited this round failed but some had failed
+            // earlier rounds only; loop once more.
+            self.resume()
+        } else {
+            Step::Fail
+        }
+    }
+    fn restart(&mut self) {
+        for s in &mut self.sources {
+            s.restart();
+        }
+        self.alive.fill(true);
+        self.next = 0;
+    }
+}
+
+/// Collect all values of a merged fan-in, sorted by integer value (test
+/// helper for order-insensitive assertions).
+#[cfg(test)]
+fn drain_sorted(mut g: impl Gen) -> Vec<i64> {
+    let mut out: Vec<i64> = g
+        .collect_values()
+        .iter()
+        .filter_map(|v| v.as_int())
+        .collect();
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde::comb::to_range;
+
+    #[test]
+    fn merge_delivers_everything_once() {
+        let m = merge(
+            vec![
+                Box::new(|| Box::new(to_range(1, 10, 1)) as BoxGen),
+                Box::new(|| Box::new(to_range(11, 20, 1)) as BoxGen),
+                Box::new(|| Box::new(to_range(21, 30, 1)) as BoxGen),
+            ],
+            8,
+        );
+        assert_eq!(drain_sorted(m), (1..=30).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn merge_of_nothing_fails_immediately() {
+        let mut m = merge(vec![], 4);
+        assert_eq!(m.resume(), Step::Fail);
+    }
+
+    #[test]
+    fn merge_with_one_empty_source() {
+        let m = merge(
+            vec![
+                Box::new(|| Box::new(gde::comb::fail()) as BoxGen),
+                Box::new(|| Box::new(to_range(1, 3, 1)) as BoxGen),
+            ],
+            4,
+        );
+        assert_eq!(drain_sorted(m), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn merge_restart_reruns_producers() {
+        let mut m = merge(
+            vec![Box::new(|| Box::new(to_range(1, 5, 1)) as BoxGen)],
+            4,
+        );
+        assert_eq!(m.count(), 5);
+        m.restart();
+        assert_eq!(m.count(), 5);
+    }
+
+    #[test]
+    fn round_robin_interleaves_deterministically() {
+        let mut rr = round_robin(vec![
+            Box::new(to_range(1, 3, 1)) as BoxGen,
+            Box::new(to_range(10, 30, 10)) as BoxGen,
+        ]);
+        let got: Vec<i64> = rr
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![1, 10, 2, 20, 3, 30]);
+    }
+
+    #[test]
+    fn round_robin_skips_exhausted_sources() {
+        let mut rr = round_robin(vec![
+            Box::new(to_range(1, 1, 1)) as BoxGen, // one value
+            Box::new(to_range(10, 13, 1)) as BoxGen,
+        ]);
+        let got: Vec<i64> = rr
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(got, vec![1, 10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn round_robin_restart() {
+        let mut rr = round_robin(vec![Box::new(to_range(1, 2, 1)) as BoxGen]);
+        assert_eq!(rr.count(), 2);
+        rr.restart();
+        assert_eq!(rr.count(), 2);
+    }
+
+    #[test]
+    fn merged_pipes_fan_into_one_consumer() {
+        // Each source is itself a pipe: N producer threads, one consumer.
+        let m = merge(
+            (0..4)
+                .map(|k: i64| {
+                    Box::new(move || {
+                        Box::new(to_range(k * 100 + 1, k * 100 + 25, 1)) as BoxGen
+                    }) as Box<dyn Fn() -> BoxGen + Send + Sync>
+                })
+                .collect(),
+            16,
+        );
+        let got = drain_sorted(m);
+        assert_eq!(got.len(), 100);
+        assert_eq!(got[0], 1);
+        assert_eq!(*got.last().expect("non-empty"), 325);
+    }
+}

@@ -1,0 +1,28 @@
+//! Generator proxies ("pipes"): `|> e` from the paper's calculus (Fig. 1).
+//!
+//! "A pipe is simply a generator proxy for a co-expression that runs in a
+//! separate thread and iterates until failure, and that uses a blocking
+//! channel for the communication of results" (Sec. III.B):
+//!
+//! ```text
+//! |>e → new Iterator() { next() { new Thread { run() {
+//!    c=|<>e; while (!fail) { out.put(@c); }}}.start() }}
+//! ```
+//!
+//! A [`Pipe`] spawns its producer thread on creation; the consuming side is
+//! an ordinary [`gde::Gen`], so pipes compose with every other combinator —
+//! `x * !(|> factorial(!(|> sqrt(y))))` really is a two-stage parallel
+//! pipeline. Values are [deep-copied](gde::Value::deep_copy) as they enter
+//! the channel, so the consumer can never alias the producer's structures
+//! (the isolation the paper otherwise gets from environment shadowing).
+//!
+//! The output queue "is exposed as a public field to permit further
+//! manipulation" — here via [`Pipe::queue`] — and "bounding the output queue
+//! buffer size can also be used to throttle a threaded co-expression" — via
+//! [`Pipe::with_capacity`].
+
+mod fan;
+mod pipe;
+
+pub use fan::{merge, round_robin, Merge, RoundRobin};
+pub use pipe::{drain, pipe, pipe_coexpr, pipe_value, spawn_future, Pipe, DEFAULT_CAPACITY};

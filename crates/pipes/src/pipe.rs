@@ -1,0 +1,376 @@
+//! The pipe proxy itself.
+
+use blockingq::BlockingQueue;
+use gde::{BoxGen, CoRef, Gen, GenExt, Step, Value};
+use std::sync::Arc;
+
+/// Default output-queue capacity for pipes.
+///
+/// Finite so that an unconsumed pipe cannot buffer unboundedly, large
+/// enough that a well-matched producer/consumer pair rarely blocks; the
+/// throttling ablation bench sweeps this.
+pub const DEFAULT_CAPACITY: usize = 1024;
+
+type GenFactory = Arc<dyn Fn() -> BoxGen + Send + Sync>;
+
+/// A multithreaded generator proxy.
+///
+/// Construction spawns a producer thread that drives the underlying
+/// generator to failure, `put`ting each result into a bounded blocking
+/// queue; the `Pipe` itself is a [`Gen`] whose `resume` is a `take` from
+/// that queue. The surrounding expression therefore "runs in parallel to
+/// the piped expression" (Sec. III.B).
+///
+/// Restarting a pipe abandons the current producer (its next `put` fails
+/// and the thread exits) and spawns a fresh one over a fresh queue, matching
+/// the restart-re-evaluates contract of [`Gen`].
+pub struct Pipe {
+    factory: GenFactory,
+    capacity: usize,
+    queue: BlockingQueue<Value>,
+    done: bool,
+    produced: u64,
+}
+
+impl Pipe {
+    /// `|>e` with the default queue capacity. The factory is invoked on the
+    /// producer thread to build the generator (and again on restart).
+    pub fn new(make: impl Fn() -> BoxGen + Send + Sync + 'static) -> Pipe {
+        Pipe::with_capacity(make, DEFAULT_CAPACITY)
+    }
+
+    /// `|>e` with a bounded output queue of `capacity` results — the
+    /// throttling knob.
+    pub fn with_capacity(
+        make: impl Fn() -> BoxGen + Send + Sync + 'static,
+        capacity: usize,
+    ) -> Pipe {
+        let factory: GenFactory = Arc::new(make);
+        let queue = spawn_producer(Arc::clone(&factory), capacity);
+        Pipe { factory, capacity, queue, done: false, produced: 0 }
+    }
+
+    /// The output blocking queue, exposed for further manipulation
+    /// (draining, length inspection, early close).
+    pub fn queue(&self) -> &BlockingQueue<Value> {
+        &self.queue
+    }
+
+    /// Box the pipe as a generic generator.
+    pub fn boxed(self) -> BoxGen {
+        Box::new(self)
+    }
+}
+
+fn spawn_producer(factory: GenFactory, capacity: usize) -> BlockingQueue<Value> {
+    let queue = BlockingQueue::bounded(capacity);
+    let out = queue.clone();
+    std::thread::Builder::new()
+        .name("pipe-producer".into())
+        .spawn(move || {
+            // Close the queue even if the generator panics: a consumer
+            // blocked in take() must observe end-of-stream, never hang.
+            struct CloseOnExit(BlockingQueue<Value>);
+            impl Drop for CloseOnExit {
+                fn drop(&mut self) {
+                    self.0.close();
+                }
+            }
+            let guard = CloseOnExit(out);
+            let mut g = factory();
+            while let Step::Suspend(v) = g.resume() {
+                // Deep-copy at the thread boundary; a failed put means the
+                // consumer restarted or dropped the pipe — stop producing.
+                if guard.0.put(v.deep_copy()).is_err() {
+                    return;
+                }
+            }
+        })
+        .expect("failed to spawn pipe producer");
+    queue
+}
+
+impl Gen for Pipe {
+    fn resume(&mut self) -> Step {
+        if self.done {
+            return Step::Fail;
+        }
+        match self.queue.take() {
+            Some(v) => {
+                self.produced += 1;
+                Step::Suspend(v)
+            }
+            None => {
+                self.done = true;
+                Step::Fail
+            }
+        }
+    }
+
+    fn restart(&mut self) {
+        // Abandon the old producer (it exits on its next put) and start a
+        // fresh one: restart re-evaluates the piped expression.
+        self.queue.close();
+        self.queue = spawn_producer(Arc::clone(&self.factory), self.capacity);
+        self.done = false;
+        self.produced = 0;
+    }
+}
+
+/// A pipe is also a first-class iterator in the calculus: `t := |>e`
+/// assigns the proxy, `@t` steps it, `!t` promotes it back to a generator,
+/// and `^t` spawns a refreshed copy. This impl is what lets a pipe live
+/// inside a [`Value::Co`].
+impl gde::Coroutine for Pipe {
+    fn step(&mut self) -> Option<Value> {
+        self.next_value()
+    }
+    fn restart(&mut self) {
+        Gen::restart(self)
+    }
+    fn refreshed(&self) -> Option<gde::CoRef> {
+        let factory = Arc::clone(&self.factory);
+        let capacity = self.capacity;
+        let queue = spawn_producer(Arc::clone(&factory), capacity);
+        Some(std::sync::Arc::new(parking_lot::Mutex::new(Pipe {
+            factory,
+            capacity,
+            queue,
+            done: false,
+            produced: 0,
+        })))
+    }
+    fn produced(&self) -> u64 {
+        self.produced
+    }
+}
+
+/// `|>e` as a first-class [`Value`]: spawns the producer thread and wraps
+/// the proxy as a co-expression value.
+pub fn pipe_value(
+    make: impl Fn() -> BoxGen + Send + Sync + 'static,
+    capacity: usize,
+) -> Value {
+    Value::Co(std::sync::Arc::new(parking_lot::Mutex::new(
+        Pipe::with_capacity(make, capacity),
+    )))
+}
+
+impl Drop for Pipe {
+    fn drop(&mut self) {
+        // Unblock and terminate the producer if it is still running.
+        self.queue.close();
+    }
+}
+
+/// Convenience constructor mirroring the paper's `|>e` notation.
+pub fn pipe(make: impl Fn() -> BoxGen + Send + Sync + 'static) -> Pipe {
+    Pipe::new(make)
+}
+
+/// `|>` applied to an existing co-expression: the producer thread repeatedly
+/// activates `c` until failure — literally
+/// `while (!fail) { out.put(@c); }`.
+pub fn pipe_coexpr(c: CoRef, capacity: usize) -> Pipe {
+    // The factory wraps the co-expression as a generator; restart restarts
+    // the coroutine itself.
+    Pipe::with_capacity(
+        move || {
+            let c = Arc::clone(&c);
+            Box::new(gde::comb::promote_value(Value::Co(c)))
+        },
+        capacity,
+    )
+}
+
+/// The singleton pipe: spawn `f` and return a future for its one result
+/// ("a singleton piped iterator that produces one result forms a future").
+pub fn spawn_future(
+    f: impl FnOnce() -> Option<Value> + Send + 'static,
+) -> blockingq::Future<Value> {
+    let fut: blockingq::Future<Value> = blockingq::Future::new();
+    let fut2 = fut.clone();
+    std::thread::Builder::new()
+        .name("pipe-future".into())
+        .spawn(move || {
+            if let Some(v) = f() {
+                let _ = fut2.set(v.deep_copy());
+            }
+        })
+        .expect("failed to spawn future");
+    fut
+}
+
+/// Drain a pipe into a vector (drives it to failure).
+pub fn drain(mut p: Pipe) -> Vec<Value> {
+    p.collect_values()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gde::comb::{thunk, to_range, values};
+    use gde::Var;
+    use std::time::Duration;
+
+    fn ints(vals: &[Value]) -> Vec<i64> {
+        vals.iter().map(|v| v.as_int().unwrap()).collect()
+    }
+
+    #[test]
+    fn pipe_preserves_sequence_and_order() {
+        let p = pipe(|| Box::new(to_range(1, 100, 1)));
+        assert_eq!(ints(&drain(p)), (1..=100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_generator_fails_immediately() {
+        let mut p = pipe(|| Box::new(gde::comb::fail()));
+        assert_eq!(p.resume(), Step::Fail);
+        assert_eq!(p.resume(), Step::Fail);
+    }
+
+    #[test]
+    fn pipe_runs_concurrently_with_consumer() {
+        // The producer makes progress while the consumer sleeps: after the
+        // consumer's pause, the queue holds buffered results.
+        let p = Pipe::with_capacity(|| Box::new(to_range(1, 64, 1)), 64);
+        std::thread::sleep(Duration::from_millis(50));
+        assert!(!p.queue().is_empty(), "producer did not run ahead");
+        assert_eq!(ints(&drain(p)), (1..=64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn capacity_throttles_producer() {
+        let progress = Var::new(Value::from(0));
+        let progress2 = progress.clone();
+        let src = move || {
+            let progress = progress2.clone();
+            let counter = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
+            Box::new(gde::comb::repeat_alt(thunk(move || {
+                let n = counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                progress.set(Value::from(n));
+                Some(Value::from(n))
+            }))) as BoxGen
+        };
+        let p = Pipe::with_capacity(src, 4);
+        std::thread::sleep(Duration::from_millis(50));
+        // Producer is unbounded but must stall within capacity + 1.
+        let ahead = progress.get().as_int().unwrap();
+        assert!(ahead <= 5, "producer ran ahead of the bounded queue: {ahead}");
+        drop(p); // close unblocks the producer thread
+    }
+
+    #[test]
+    fn chained_pipes_form_a_pipeline() {
+        // stage 1: 1..10; stage 2: squares of stage-1 results; both threaded.
+        let stage1 = || Box::new(to_range(1, 10, 1)) as BoxGen;
+        let p2 = pipe(move || {
+            let inner = pipe(stage1);
+            Box::new(gde::comb::filter_map(inner, |v| {
+                gde::ops::mul(v, v)
+            }))
+        });
+        assert_eq!(
+            ints(&drain(p2)),
+            (1..=10).map(|i| i * i).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn restart_respawns_and_reevaluates() {
+        let bound = Var::new(Value::from(3));
+        let bound2 = bound.clone();
+        let mut p = pipe(move || {
+            let n = bound2.get().as_int().unwrap();
+            Box::new(to_range(1, n, 1))
+        });
+        assert_eq!(ints(&p.collect_values()), vec![1, 2, 3]);
+        bound.set(Value::from(5));
+        p.restart();
+        assert_eq!(ints(&p.collect_values()), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn values_are_deep_copied_across_the_boundary() {
+        let shared = Value::list(vec![Value::from(1)]);
+        let shared2 = shared.clone();
+        let p = pipe(move || Box::new(values(vec![shared2.clone()])));
+        let got = drain(p);
+        // Mutating the received list must not affect the producer's.
+        if let Value::List(l) = &got[0] {
+            l.lock().push(Value::from(2));
+        }
+        assert_eq!(shared.size(), Some(1));
+    }
+
+    #[test]
+    fn pipe_of_coexpression() {
+        let co = coexpr::CoExpr::first_class(|| Box::new(to_range(10, 13, 1))).into_ref();
+        let p = pipe_coexpr(co, 8);
+        assert_eq!(ints(&drain(p)), vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn partially_consumed_coexpr_pipe_continues() {
+        let co = coexpr::CoExpr::first_class(|| Box::new(to_range(1, 5, 1))).into_ref();
+        co.lock().step(); // consume 1 before piping
+        let p = pipe_coexpr(co, 8);
+        assert_eq!(ints(&drain(p)), vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn spawn_future_resolves() {
+        let f = spawn_future(|| Some(Value::from(42)));
+        assert_eq!(f.get().as_int(), Some(42));
+        assert!(f.is_set());
+    }
+
+    #[test]
+    fn dropping_unconsumed_pipe_does_not_hang() {
+        // An infinite producer must be reaped when the pipe is dropped.
+        let p = Pipe::with_capacity(
+            || {
+                Box::new(gde::comb::repeat_alt(thunk(|| Some(Value::from(1)))))
+            },
+            2,
+        );
+        std::thread::sleep(Duration::from_millis(20));
+        drop(p);
+        // Reaching here without deadlock is the assertion; give the
+        // producer a moment to observe the close.
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    #[test]
+    fn panicking_producer_ends_the_stream() {
+        // Failure injection: the producer's generator panics mid-stream;
+        // the consumer must see the values so far and then end-of-stream,
+        // never a hang.
+        let counter = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
+        let c2 = counter.clone();
+        let mut p = pipe(move || {
+            let c = c2.clone();
+            Box::new(gde::comb::repeat_alt(thunk(move || {
+                let n = c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                assert!(n < 3, "injected producer failure");
+                Some(Value::from(n))
+            })))
+        });
+        let got = ints(&p.collect_values());
+        assert!(got.len() <= 3, "got {got:?}");
+        assert_eq!(p.resume(), Step::Fail); // stream is closed, not hung
+    }
+
+    #[test]
+    fn pipe_composes_with_product() {
+        // x * !(|> y): cross product where the right factor is threaded.
+        let g = gde::comb::product_map(
+            to_range(1, 2, 1),
+            |_| pipe(|| Box::new(to_range(10, 11, 1))).boxed(),
+            gde::ops::mul,
+        );
+        let mut g = g;
+        assert_eq!(ints(&g.collect_values()), vec![10, 11, 20, 22]);
+    }
+}

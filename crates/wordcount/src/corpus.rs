@@ -1,0 +1,113 @@
+//! Deterministic synthetic corpora.
+//!
+//! The paper's benchmarks read "lines of text"; the authors' input file is
+//! not published, so a seeded generator produces base-36 words of 3–8
+//! characters — exactly the alphabet `BigInteger(word, 36)` accepts — which
+//! exercises the identical code path.
+
+use gde::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
+
+/// A generated corpus of text lines.
+#[derive(Clone, Debug)]
+pub struct Corpus {
+    lines: Vec<String>,
+}
+
+impl Corpus {
+    /// Generate `lines` lines of `words_per_line` base-36 words each,
+    /// deterministically from `seed`.
+    pub fn generate(lines: usize, words_per_line: usize, seed: u64) -> Corpus {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let lines = (0..lines)
+            .map(|_| {
+                let words: Vec<String> = (0..words_per_line)
+                    .map(|_| {
+                        let len = rng.random_range(3..=8);
+                        (0..len)
+                            .map(|_| ALPHABET[rng.random_range(0..ALPHABET.len())] as char)
+                            .collect()
+                    })
+                    .collect();
+                words.join(" ")
+            })
+            .collect();
+        Corpus { lines }
+    }
+
+    /// Wrap existing lines.
+    pub fn from_lines(lines: Vec<String>) -> Corpus {
+        Corpus { lines }
+    }
+
+    /// The text lines.
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Total number of words.
+    pub fn word_count(&self) -> usize {
+        self.lines.iter().map(|l| l.split_whitespace().count()).sum()
+    }
+
+    /// The lines as a shared dynamic list (for the embedded suite and the
+    /// interpreter: the `static String[] lines` of Fig. 3).
+    pub fn as_value(&self) -> Value {
+        Value::list(self.lines.iter().map(Value::str).collect())
+    }
+}
+
+/// Split a line into words (the `splitWords` of Fig. 3:
+/// `line::split("\\s+")`).
+pub fn split_words(line: &str) -> impl Iterator<Item = &str> {
+    line.split_whitespace()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = Corpus::generate(10, 5, 99);
+        let b = Corpus::generate(10, 5, 99);
+        assert_eq!(a.lines(), b.lines());
+        let c = Corpus::generate(10, 5, 100);
+        assert_ne!(a.lines(), c.lines());
+    }
+
+    #[test]
+    fn shape_is_as_requested() {
+        let c = Corpus::generate(7, 4, 1);
+        assert_eq!(c.lines().len(), 7);
+        assert_eq!(c.word_count(), 28);
+        for line in c.lines() {
+            for w in split_words(line) {
+                assert!((3..=8).contains(&w.len()));
+                assert!(w.bytes().all(|b| ALPHABET.contains(&b)));
+            }
+        }
+    }
+
+    #[test]
+    fn words_parse_in_base_36() {
+        let c = Corpus::generate(5, 5, 3);
+        for line in c.lines() {
+            for w in split_words(line) {
+                assert!(bigint::BigUint::from_str_radix(w, 36).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn as_value_is_a_list_of_strings() {
+        let c = Corpus::generate(3, 2, 5);
+        let v = c.as_value();
+        assert_eq!(v.size(), Some(3));
+        let l = v.as_list().unwrap().lock().clone();
+        assert_eq!(l[0].as_str(), Some(c.lines()[0].as_str()));
+    }
+}

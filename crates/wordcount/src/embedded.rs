@@ -1,0 +1,211 @@
+//! The embedded suite — the paper's "Junicon" programs as concurrent
+//! generators over the dynamic runtime.
+//!
+//! These four functions build exactly the combinator trees that transpiled
+//! Junicon builds (values are boxed [`gde::Value`]s, words flow through
+//! reified stages, coordination uses pipes and the Fig. 4 `DataParallel`),
+//! so measuring them against [`crate::native`] reproduces Fig. 6's
+//! embedded-vs-native comparison.
+//!
+//! The program is Fig. 3's: `readLines` → `splitWords` → `wordToNumber` →
+//! `hashNumber` → sum. The sequential variant evaluates all stages inline;
+//! the pipeline variant is `hashNumber(!(|> wordToNumber(!splitWords(
+//! readLines()))))` — the parse stage on a producer thread; map-reduce and
+//! data-parallel spread chunks of the word stream over the pool per Fig. 4.
+
+use crate::corpus::Corpus;
+use crate::hash::{hash_number, word_to_number, Weight};
+use gde::comb::{filter_map, product_map, promote_value, values};
+use gde::{BoxGen, Gen, GenExt, Value, Var};
+use mapreduce::DataParallel;
+use pipes::Pipe;
+
+/// Word-chunk size for the chunked variants (`new DataParallel(1000)`).
+pub const CHUNK_SIZE: usize = 1000;
+
+/// `splitWords(readLines())`: the word stream as a generator of string
+/// values.
+fn word_stream(lines: Value) -> BoxGen {
+    Box::new(product_map(
+        promote_value(lines),
+        |line| {
+            let words: Vec<Value> = line
+                .as_str()
+                .map(|s| s.split_whitespace().map(Value::str).collect())
+                .unwrap_or_default();
+            Box::new(values(words)) as BoxGen
+        },
+        |_, w| Some(w.clone()),
+    ))
+}
+
+/// `wordToNumber` as a goal-directed stage: string value → big-integer
+/// value, failing on unparsable words.
+fn parse_stage(words: BoxGen, weight: Weight) -> BoxGen {
+    Box::new(filter_map(words, move |w| {
+        let s = w.as_str()?;
+        Some(Value::big(word_to_number(s, weight)?.into()))
+    }))
+}
+
+/// `hashNumber` as a stage: big-integer value → real value.
+fn hash_stage(numbers: BoxGen, weight: Weight) -> BoxGen {
+    Box::new(filter_map(numbers, move |n| {
+        Some(Value::Real(hash_number(&value_to_biguint(n)?, weight)))
+    }))
+}
+
+fn value_to_biguint(v: &Value) -> Option<bigint::BigUint> {
+    match v.deref() {
+        Value::Int(i) if i >= 0 => Some(bigint::BigUint::from(i as u64)),
+        Value::Big(b) if !b.is_negative() => Some(b.magnitude().clone()),
+        _ => None,
+    }
+}
+
+/// Drive a generator of reals to failure, summing (the `every` reduction
+/// loop of Fig. 3's `runPipeline`).
+fn sum_gen(gen: BoxGen, mut seed: f64) -> f64 {
+    let total = Var::new(Value::Real(seed));
+    let t = total.clone();
+    let mut driver = gde::comb::every_do(gen, move |v| {
+        if let Some(h) = v.as_real() {
+            let cur = t.get().as_real().unwrap_or(0.0);
+            t.set(Value::Real(cur + h));
+        }
+    });
+    let _ = driver.resume();
+    seed = total.get().as_real().unwrap_or(seed);
+    seed
+}
+
+/// Sequential embedded word-count: all stages inline on one thread.
+pub fn sequential(corpus: &Corpus, weight: Weight) -> f64 {
+    let words = word_stream(corpus.as_value());
+    let hashed = hash_stage(parse_stage(words, weight), weight);
+    sum_gen(hashed, 0.0)
+}
+
+/// Pipeline-parallel embedded word-count:
+/// `hashNumber(!(|> wordToNumber(!splitWords(readLines()))))` — split and
+/// parse on the pipe's producer thread, hash and sum downstream.
+pub fn pipeline(corpus: &Corpus, weight: Weight) -> f64 {
+    pipeline_with_capacity(corpus, weight, pipes::DEFAULT_CAPACITY)
+}
+
+/// [`pipeline`] with an explicit queue bound (throttling ablation).
+pub fn pipeline_with_capacity(corpus: &Corpus, weight: Weight, capacity: usize) -> f64 {
+    let lines = corpus.as_value();
+    let pipe = Pipe::with_capacity(
+        move || parse_stage(word_stream(lines.clone()), weight),
+        capacity,
+    );
+    let hashed = hash_stage(Box::new(pipe), weight);
+    sum_gen(hashed, 0.0)
+}
+
+/// Map-reduce embedded word-count: Fig. 4's `mapReduce(hashWords, …,
+/// sumHash, 0)` — chunks of the parsed word stream are mapped and reduced
+/// on pool tasks; the per-chunk partials are summed in order.
+pub fn map_reduce(corpus: &Corpus, weight: Weight) -> f64 {
+    map_reduce_sized(corpus, weight, CHUNK_SIZE)
+}
+
+/// [`map_reduce`] with an explicit chunk size (ablation).
+pub fn map_reduce_sized(corpus: &Corpus, weight: Weight, chunk_size: usize) -> f64 {
+    let dp = DataParallel::new(chunk_size);
+    let numbers = parse_stage(word_stream(corpus.as_value()), weight);
+    let mut partials = dp.map_reduce(
+        move |n| Some(Value::Real(hash_number(&value_to_biguint(n)?, weight))),
+        numbers,
+        |acc, h| gde::ops::add(&acc, &h),
+        Value::Real(0.0),
+    );
+    let mut total = 0.0;
+    while let Some(p) = partials.next_value() {
+        total += p.as_real().unwrap_or(0.0);
+    }
+    total
+}
+
+/// Data-parallel embedded word-count: chunks are mapped on pool tasks but
+/// every per-word hash is flattened back in order and reduced serially —
+/// the variant that "split out the reduction and effected serialization".
+pub fn data_parallel(corpus: &Corpus, weight: Weight) -> f64 {
+    data_parallel_sized(corpus, weight, CHUNK_SIZE)
+}
+
+/// [`data_parallel`] with an explicit chunk size.
+pub fn data_parallel_sized(corpus: &Corpus, weight: Weight, chunk_size: usize) -> f64 {
+    let dp = DataParallel::new(chunk_size);
+    let numbers = parse_stage(word_stream(corpus.as_value()), weight);
+    let hashes = dp.map_flat(
+        move |n| Some(Value::Real(hash_number(&value_to_biguint(n)?, weight))),
+        numbers,
+    );
+    sum_gen(Box::new(hashes), 0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() <= a.abs().max(b.abs()) * 1e-9 + 1e-12
+    }
+
+    #[test]
+    fn sequential_matches_native() {
+        let c = Corpus::generate(40, 8, 21);
+        let native = crate::native::sequential(c.lines(), Weight::Light);
+        let embedded = sequential(&c, Weight::Light);
+        assert!(close(native, embedded), "{native} vs {embedded}");
+    }
+
+    #[test]
+    fn pipeline_matches_native() {
+        let c = Corpus::generate(40, 8, 22);
+        let native = crate::native::sequential(c.lines(), Weight::Light);
+        assert!(close(native, pipeline(&c, Weight::Light)));
+        assert!(close(native, pipeline_with_capacity(&c, Weight::Light, 2)));
+    }
+
+    #[test]
+    fn map_reduce_matches_native() {
+        let c = Corpus::generate(40, 8, 23);
+        let native = crate::native::sequential(c.lines(), Weight::Light);
+        let mr = map_reduce_sized(&c, Weight::Light, 37);
+        assert!(close(native, mr), "{native} vs {mr}");
+    }
+
+    #[test]
+    fn data_parallel_matches_native() {
+        let c = Corpus::generate(40, 8, 24);
+        let native = crate::native::sequential(c.lines(), Weight::Light);
+        let dp = data_parallel_sized(&c, Weight::Light, 37);
+        assert!(close(native, dp));
+    }
+
+    #[test]
+    fn word_stream_yields_every_word() {
+        let c = Corpus::generate(5, 6, 25);
+        let mut g = word_stream(c.as_value());
+        assert_eq!(g.count(), 30);
+    }
+
+    #[test]
+    fn parse_stage_drops_bad_words() {
+        let c = Corpus::from_lines(vec!["zz !! 10".to_string()]);
+        let mut g = parse_stage(word_stream(c.as_value()), Weight::Light);
+        assert_eq!(g.count(), 2); // "!!" dropped
+    }
+
+    #[test]
+    fn empty_corpus() {
+        let c = Corpus::from_lines(vec![]);
+        assert_eq!(sequential(&c, Weight::Light), 0.0);
+        assert_eq!(pipeline(&c, Weight::Light), 0.0);
+        assert_eq!(map_reduce(&c, Weight::Light), 0.0);
+        assert_eq!(data_parallel(&c, Weight::Light), 0.0);
+    }
+}

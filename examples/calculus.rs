@@ -1,0 +1,59 @@
+//! A tour of the calculus for concurrent generators (Fig. 1).
+//!
+//! ```text
+//! <> e    first-class generator
+//! |<> e   co-expression that shadows the local environment
+//! |> e    generator proxy that runs in a separate thread
+//! @ c     next: step co-expression one iteration
+//! ! c     promote co-expression to a generator
+//! ^ c     restart with a new copy of the local environment
+//! ```
+//!
+//! Run with: `cargo run --example calculus`
+
+use concurrent_generators::junicon::Interp;
+
+fn show(interp: &Interp, expr: &str) {
+    let results = interp.eval(expr).expect("valid expression");
+    let rendered: Vec<String> = results.iter().map(|v| v.to_string()).collect();
+    println!("  {expr:<28} => [{}]", rendered.join(", "));
+}
+
+fn main() {
+    let i = Interp::new();
+
+    println!("<> e : first-class generators are explicitly stepped with @");
+    i.eval("c := <> (1 to 3)").unwrap();
+    show(&i, "@c");
+    show(&i, "@c");
+    show(&i, "@c");
+    show(&i, "@c"); // exhausted: fails, producing nothing
+
+    println!("\n^ c : refresh rewinds to a fresh copy of the creation state");
+    i.eval("d := ^c").unwrap();
+    show(&i, "@d"); // starts over at 1
+
+    println!("\n|<> e : co-expressions shadow their environment");
+    i.eval("x := 10").unwrap();
+    i.eval("cap := |<> (x * 100)").unwrap();
+    i.eval("x := 99").unwrap(); // later mutation is invisible to cap
+    show(&i, "@cap"); // 1000, not 9900
+
+    println!("\n! c : promotion turns a co-expression back into a generator");
+    i.eval("e := <> ((1 to 3) * 7)").unwrap();
+    show(&i, "!e");
+
+    println!("\n|> e : pipes run the generator on another thread");
+    show(&i, "! (|> (1 to 4))");
+    // pipes compose: x * !|>(...) is the paper's parallel pipelining form
+    show(&i, "(10 | 20) * ! (|> (1 to 2))");
+
+    println!("\n*c counts results produced so far");
+    i.eval("f := <> (1 to 100)").unwrap();
+    i.eval("@f").unwrap();
+    i.eval("@f").unwrap();
+    show(&i, "*f");
+
+    println!("\nsingleton pipes are futures: |> of a one-result expression");
+    show(&i, "@ (|> (6 * 7))");
+}

@@ -1,0 +1,66 @@
+//! An interactive Junicon REPL — the paper's "capability for interactive
+//! evaluation ... enables exploration and rapid prototyping" (Sec. I), the
+//! Groovy path of the harness.
+//!
+//! Run with: `cargo run --example junicon_repl`
+//!
+//! ```text
+//! junicon> (1 to 3) * (1 to 3)
+//! 1 | 2 | 3 | 2 | 4 | 6 | 3 | 6 | 9
+//! junicon> def fact(n) { if n <= 1 then return 1; return n * fact(n - 1); }
+//! loaded.
+//! junicon> fact(20)
+//! 2432902008176640000
+//! junicon> :quit
+//! ```
+
+use concurrent_generators::junicon::Interp;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let interp = Interp::new().with_echo(true);
+    let stdin = std::io::stdin();
+    let mut stdout = std::io::stdout();
+    println!(
+        "junicon repl — generator expressions, def f(...) {{...}}, :quit to exit\n\
+         results print as  v1 | v2 | ...  ; a failing expression prints (fail)"
+    );
+    loop {
+        print!("junicon> ");
+        stdout.flush().expect("flush prompt");
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break, // EOF
+            Ok(_) => {}
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line == ":quit" || line == ":q" {
+            break;
+        }
+        // Declarations load; expressions evaluate and print all results.
+        if line.starts_with("def ") || line.starts_with("procedure ") || line.starts_with("class ") {
+            match interp.load(line) {
+                Ok(()) => println!("loaded."),
+                Err(e) => println!("error: {e}"),
+            }
+            continue;
+        }
+        match interp.eval(line) {
+            Ok(results) if results.is_empty() => println!("(fail)"),
+            Ok(results) => {
+                let rendered: Vec<String> =
+                    results.iter().map(|v| v.to_string()).collect();
+                println!("{}", rendered.join(" | "));
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    println!("bye.");
+}

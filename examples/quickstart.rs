@@ -1,0 +1,91 @@
+//! Quickstart: goal-directed evaluation in five minutes.
+//!
+//! Reproduces Sec. II of the paper — every expression is a generator, and
+//! nested generators compose by backtracking search — first through the
+//! `gde` combinator API (what transpiled code builds), then through the
+//! Junicon interpreter (the interactive path).
+//!
+//! Run with: `cargo run --example quickstart`
+
+use concurrent_generators::gde::comb::{filter_map, product_map, to_range};
+use concurrent_generators::gde::{GenExt, Value};
+use concurrent_generators::junicon::Interp;
+
+fn main() {
+    // ---------------------------------------------------------------
+    // The paper's opening example:  (1 to 2) * isprime(4 to 7)
+    // isprime(x) produces x if prime, otherwise *fails*; the product
+    // searches the cross product and yields only successful results.
+    // ---------------------------------------------------------------
+    let isprime = |v: &Value| {
+        let n = v.as_int()?;
+        if n >= 2 && (2..n).all(|d| n % d != 0) {
+            Some(v.clone())
+        } else {
+            None
+        }
+    };
+    let mut g = product_map(
+        to_range(1, 2, 1),
+        move |_| Box::new(filter_map(to_range(4, 7, 1), isprime)),
+        concurrent_generators::gde::ops::mul,
+    );
+    let results: Vec<i64> = g
+        .collect_values()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    println!("(1 to 2) * isprime(4 to 7)  =  {results:?}");
+    assert_eq!(results, vec![5, 7, 10, 14]); // 1*5, 1*7, 2*5, 2*7
+
+    // ---------------------------------------------------------------
+    // The same expression through the embedded-language interpreter.
+    // ---------------------------------------------------------------
+    let interp = Interp::new();
+    let via_junicon: Vec<i64> = interp
+        .eval("(1 to 2) * isprime(4 to 7)")
+        .expect("valid junicon")
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    println!("same, interpreted junicon   =  {via_junicon:?}");
+    assert_eq!(via_junicon, results);
+
+    // ---------------------------------------------------------------
+    // Goal-directed comparisons: `<` succeeds producing its right
+    // operand, or fails — so comparisons filter inside generators.
+    // ---------------------------------------------------------------
+    let evens = interp.eval("every x := 1 to 10 do write(x % 2 = 0)").unwrap();
+    drop(evens);
+    println!(
+        "writes of x%2=0 over 1..10  =  {:?}  (only even x succeed)",
+        interp.output()
+    );
+
+    // ---------------------------------------------------------------
+    // Generator functions: suspend yields a sequence across calls.
+    // ---------------------------------------------------------------
+    interp
+        .load("def squares(n) { suspend (1 to n) * (1 to n); }")
+        .unwrap();
+    let sq: Vec<i64> = interp
+        .eval("squares(3) \\ 5") // limitation: first five results
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    println!("squares(3) limited to 5     =  {sq:?}");
+
+    // ---------------------------------------------------------------
+    // And concurrency: a pipe (|>) runs the generator on its own
+    // thread; ! promotes the proxy back into this thread's iteration.
+    // ---------------------------------------------------------------
+    let piped: Vec<i64> = interp
+        .eval("! (|> (1 to 5))")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    println!("! (|> (1 to 5))             =  {piped:?}  (produced on another thread)");
+    assert_eq!(piped, vec![1, 2, 3, 4, 5]);
+}

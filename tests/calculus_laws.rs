@@ -1,0 +1,147 @@
+//! Cross-crate integration tests for the Fig. 1 calculus: the semantic laws
+//! the paper states, checked across `gde`, `coexpr` and `pipes` together.
+
+use concurrent_generators::coexpr::{activate, create, promote_co, refresh};
+use concurrent_generators::gde::comb::{thunk, to_range};
+use concurrent_generators::gde::env::Env;
+use concurrent_generators::gde::{BoxGen, GenExt, Value};
+use concurrent_generators::pipes::{pipe, pipe_value, Pipe};
+
+fn ints(vals: Vec<Value>) -> Vec<i64> {
+    vals.iter().map(|v| v.as_int().unwrap()).collect()
+}
+
+/// `<>e → new Iterator() { next() { return e; } }` — creation does not
+/// evaluate; only `@` steps.
+#[test]
+fn creation_is_lazy() {
+    let side = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let s2 = side.clone();
+    let co = create(move || {
+        s2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        Box::new(to_range(1, 3, 1)) as BoxGen
+    });
+    assert_eq!(side.load(std::sync::atomic::Ordering::SeqCst), 0);
+    activate(&co);
+    assert_eq!(side.load(std::sync::atomic::Ordering::SeqCst), 1);
+}
+
+/// `!e → repeatUntilFailure(suspend @e)` — promotion agrees with repeated
+/// activation.
+#[test]
+fn promotion_equals_repeated_activation() {
+    let make = || create(|| Box::new(to_range(5, 9, 1)) as BoxGen);
+    // via !
+    let promoted = ints(promote_co(make()).collect_values());
+    // via repeated @
+    let co = make();
+    let mut stepped = Vec::new();
+    while let Some(v) = activate(&co) {
+        stepped.push(v.as_int().unwrap());
+    }
+    assert_eq!(promoted, stepped);
+}
+
+/// `|<>e → ^(<>e)` — a fresh co-expression and a refreshed one have the
+/// same sequence.
+#[test]
+fn refresh_equals_fresh() {
+    let env = Env::root();
+    env.declare("n", Value::from(4));
+    let co = concurrent_generators::coexpr::create_shadowed(&env, |e| {
+        let n = e.lookup("n").expect("shadowed");
+        Box::new(thunk(move || Some(n.get())))
+    });
+    // consume, then refresh: the refreshed copy behaves like a new one
+    activate(&co);
+    let refreshed = refresh(&co).expect("refreshable");
+    assert_eq!(activate(&refreshed).unwrap().as_int(), Some(4));
+}
+
+/// A pipe is an iterator proxy: same sequence as the unpiped expression.
+#[test]
+fn pipe_is_a_transparent_proxy() {
+    let direct = ints(to_range(1, 50, 1).collect_values());
+    let mut p = pipe(|| Box::new(to_range(1, 50, 1)));
+    let piped = ints(p.collect_values());
+    assert_eq!(direct, piped);
+}
+
+/// `@` on a pipe value is `out.take()`: stepping the proxy one at a time.
+#[test]
+fn pipe_value_steps_like_coexpression() {
+    let p = pipe_value(|| Box::new(to_range(7, 9, 1)), 4);
+    assert_eq!(activate(&p).unwrap().as_int(), Some(7));
+    assert_eq!(activate(&p).unwrap().as_int(), Some(8));
+    assert_eq!(activate(&p).unwrap().as_int(), Some(9));
+    assert_eq!(activate(&p), None);
+}
+
+/// `^` on a pipe respawns the producer from the start.
+#[test]
+fn pipe_refresh_respawns() {
+    let p = pipe_value(|| Box::new(to_range(1, 3, 1)), 4);
+    activate(&p);
+    activate(&p);
+    let fresh = refresh(&p).expect("pipes are refreshable");
+    assert_eq!(activate(&fresh).unwrap().as_int(), Some(1));
+}
+
+/// The paper's pipelining expression shape:
+/// `x * ! |> factorial(! |> sqrt(y))` — two nested pipes compose with an
+/// outer product, all stages on separate threads.
+#[test]
+fn nested_pipes_in_a_product() {
+    // y = 1,4,9 ; sqrt stage ; factorial stage ; x = 10 multiplies.
+    let sqrt_stage = || {
+        Box::new(concurrent_generators::gde::comb::filter_map(
+            to_range(1, 3, 1),
+            |v| Some(Value::from(v.as_int().unwrap() * v.as_int().unwrap())),
+        )) as BoxGen
+    };
+    let inner = Pipe::new(move || sqrt_stage());
+    let outer = Pipe::new({
+        let inner = std::sync::Arc::new(parking_lot::Mutex::new(Some(inner)));
+        move || {
+            let taken = inner.lock().take().expect("single spawn");
+            Box::new(concurrent_generators::gde::comb::filter_map(taken, |v| {
+                let n = v.as_int().unwrap();
+                Some(Value::from((1..=n).product::<i64>()))
+            })) as BoxGen
+        }
+    });
+    let mut g = concurrent_generators::gde::comb::product_map(
+        concurrent_generators::gde::comb::unit(Value::from(10)),
+        {
+            let outer = std::sync::Arc::new(parking_lot::Mutex::new(Some(outer)));
+            move |_| Box::new(outer.lock().take().expect("single spawn")) as BoxGen
+        },
+        concurrent_generators::gde::ops::mul,
+    );
+    let got = ints(g.collect_values());
+    // 10 * (1!, 4!, 9!) = 10, 240, 3628800
+    assert_eq!(got, vec![10, 240, 3_628_800]);
+}
+
+/// Bounded queues throttle: a pipe with capacity 1 still yields the full
+/// sequence, just with producer/consumer lockstep.
+#[test]
+fn throttled_pipe_is_correct() {
+    let mut p = Pipe::with_capacity(|| Box::new(to_range(1, 200, 1)), 1);
+    assert_eq!(ints(p.collect_values()), (1..=200).collect::<Vec<_>>());
+}
+
+/// Environment isolation across the whole stack: a co-expression shadow,
+/// piped to another thread, never sees later host mutations.
+#[test]
+fn isolation_composes_across_layers() {
+    let env = Env::root();
+    env.declare("bound", Value::from(3));
+    let shadowed_env = env.shadow();
+    env.set("bound", Value::from(1000));
+    let mut p = pipe(move || {
+        let bound = shadowed_env.get("bound").as_int().unwrap();
+        Box::new(to_range(1, bound, 1)) as BoxGen
+    });
+    assert_eq!(ints(p.collect_values()).len(), 3);
+}

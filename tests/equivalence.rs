@@ -1,0 +1,179 @@
+//! Three-way equivalence: for a battery of programs, the interpreter, the
+//! hand-built combinator trees, and (where a fixture exists) the emitted
+//! Rust must produce identical sequences. This is the paper's refinement
+//! story — "the relative observed performance among experimental
+//! alternatives is preserved under refinement" presupposes the *results*
+//! are preserved, which is what this file pins down.
+
+use concurrent_generators::gde::comb::{
+    alt, filter_map, limit, product_map, to_range,
+};
+use concurrent_generators::gde::{GenExt, Value};
+use concurrent_generators::junicon::Interp;
+
+fn interp_ints(src: &str) -> Vec<i64> {
+    Interp::new()
+        .eval(src)
+        .unwrap_or_else(|e| panic!("{src}: {e}"))
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect()
+}
+
+#[test]
+fn ranges_agree() {
+    assert_eq!(
+        interp_ints("1 to 10 by 3"),
+        to_range(1, 10, 3)
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn alternation_agrees() {
+    let mut comb = alt(to_range(1, 2, 1), to_range(8, 9, 1));
+    assert_eq!(
+        interp_ints("(1 to 2) | (8 to 9)"),
+        comb.collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn product_with_filter_agrees() {
+    // interpreter: (1 to 4) * ((1 to 4) % 2 = 0 filtered via comparison)
+    let via_interp = interp_ints("(1 to 3) * isprime(2 to 5)");
+    let mut comb = product_map(
+        to_range(1, 3, 1),
+        |_| {
+            Box::new(filter_map(to_range(2, 5, 1), |v| {
+                let n = v.as_int()?;
+                if (2..n).all(|d| n % d != 0) {
+                    Some(v.clone())
+                } else {
+                    None
+                }
+            }))
+        },
+        concurrent_generators::gde::ops::mul,
+    );
+    assert_eq!(
+        via_interp,
+        comb.collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn limitation_agrees() {
+    let mut comb = limit(to_range(1, 1000, 1), 4);
+    assert_eq!(
+        interp_ints("(1 to 1000) \\ 4"),
+        comb.collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn procedure_vs_native_function() {
+    // A junicon generator function vs a registered Rust native of the
+    // same meaning.
+    let i = Interp::new();
+    i.load("def doubleJ(x) { return x * 2; }").unwrap();
+    i.register_proc(concurrent_generators::gde::ProcValue::native(
+        "doubleR",
+        |args| {
+            concurrent_generators::gde::ops::mul(
+                &concurrent_generators::gde::func::arg(args, 0),
+                &Value::from(2),
+            )
+        },
+    ));
+    let a: Vec<i64> = i
+        .eval("doubleJ(1 to 5)")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    let b: Vec<i64> = i
+        .eval("doubleR(1 to 5)")
+        .unwrap()
+        .iter()
+        .map(|v| v.as_int().unwrap())
+        .collect();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pipe_transparency_in_interpreter() {
+    // Piping any expression must not change its sequence.
+    for expr in ["1 to 7", "(1 to 3) * (1 to 3)", "isprime(2 to 30)"] {
+        let direct = interp_ints(expr);
+        let piped = interp_ints(&format!("! (|> ({expr}))"));
+        assert_eq!(direct, piped, "pipe changed the sequence of {expr}");
+    }
+}
+
+#[test]
+fn coexpression_transparency_in_interpreter() {
+    for expr in ["1 to 7", "(2 | 4 | 8) * 3"] {
+        let direct = interp_ints(expr);
+        let via_co = interp_ints(&format!("! (<> ({expr}))"));
+        assert_eq!(direct, via_co, "co-expression changed {expr}");
+    }
+}
+
+#[test]
+fn wordcount_embedded_vs_native_vs_interpreted() {
+    use concurrent_generators::wordcount::{embedded, native, Corpus, Weight};
+    let corpus = Corpus::generate(30, 6, 123);
+
+    // native Rust
+    let a = native::sequential(corpus.lines(), Weight::Light);
+    // combinator-built embedded
+    let b = embedded::sequential(&corpus, Weight::Light);
+    // fully interpreted
+    let i = Interp::new();
+    i.globals().declare("lines", corpus.as_value());
+    i.register_native("wordToNumber", |_t, args| {
+        let w = args.first()?.as_str()?;
+        concurrent_generators::bigint::BigUint::from_str_radix(w, 36)
+            .ok()
+            .map(|n| Value::big(n.into()))
+    });
+    i.register_native("hashNumber", |_t, args| {
+        let mag = match args.first()?.deref() {
+            Value::Int(v) if v >= 0 => v as f64,
+            Value::Big(b) => b.to_f64(),
+            _ => return None,
+        };
+        Some(Value::Real(mag.sqrt()))
+    });
+    i.load(
+        r#"
+        def hashAll() {
+            local line;
+            every line := !lines do {
+                suspend this::hashNumber(this::wordToNumber( ! line::split("\\s+") ));
+            };
+        }
+        "#,
+    )
+    .unwrap();
+    let mut c = 0.0;
+    for v in i.eval("hashAll()").unwrap() {
+        c += v.as_real().unwrap_or(0.0);
+    }
+
+    assert!((a - b).abs() < a.abs() * 1e-9, "native vs embedded: {a} vs {b}");
+    assert!((a - c).abs() < a.abs() * 1e-9, "native vs interpreted: {a} vs {c}");
+}
