@@ -10,12 +10,14 @@
 //! figure's data, and the criterion benches provide statistically
 //! disciplined per-cell timings.
 
-use serde::Serialize;
 use std::time::{Duration, Instant};
 use wordcount::{run_cell, Corpus, Suite, Variant, Weight};
 
 /// One measured cell of the Fig. 6 matrix.
-#[derive(Clone, Debug, Serialize)]
+///
+/// Serialized to JSON by the hand-rolled writer in the `figure6` binary
+/// (no serde: the workspace is hermetic, see DESIGN.md § "Hermetic build").
+#[derive(Clone, Debug)]
 pub struct Measurement {
     pub suite: &'static str,
     pub variant: &'static str,

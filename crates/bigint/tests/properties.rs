@@ -5,7 +5,7 @@
 //! hand-picked unit tests are weakest.
 
 use bigint::{BigInt, BigUint};
-use proptest::prelude::*;
+use tinyprop::prelude::*;
 
 /// Arbitrary BigUint up to four limbs (enough to cross every carry path).
 fn arb_biguint() -> impl Strategy<Value = BigUint> {

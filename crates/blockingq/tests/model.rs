@@ -3,7 +3,7 @@
 //! randomized multi-threaded conservation checks.
 
 use blockingq::{BlockingQueue, TryPutError, TryTakeError};
-use proptest::prelude::*;
+use tinyprop::prelude::*;
 use std::collections::VecDeque;
 
 /// One operation in a generated scenario.

@@ -1,0 +1,219 @@
+//! Deterministic concurrency stress tests for `BlockingQueue` close/wakeup
+//! semantics (ISSUE 1 satellite): N producers × M consumers under
+//! `std::thread::scope`, asserting no value is lost or duplicated and that
+//! `close()` wakes every blocked party for a clean shutdown.
+//!
+//! "Deterministic" here means: the *assertions* hold on every interleaving
+//! (conservation, ordering, clean termination), not that the schedule is
+//! fixed. Each shape is exercised at several capacities, including
+//! capacity 1 where producers and consumers strictly alternate under
+//! maximal contention.
+
+use blockingq::{BlockingQueue, PutError};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+/// Tag values as (producer_id, sequence) so conservation *and* per-producer
+/// FIFO can both be checked on the consumer side.
+fn run_matrix(producers: u64, consumers: usize, per_producer: u64, capacity: usize) {
+    let q: BlockingQueue<(u64, u64)> = if capacity == 0 {
+        BlockingQueue::unbounded()
+    } else {
+        BlockingQueue::bounded(capacity)
+    };
+    let mut harvested: Vec<Vec<(u64, u64)>> = Vec::new();
+
+    thread::scope(|s| {
+        let mut consumers_handles = Vec::new();
+        for _ in 0..consumers {
+            let q = &q;
+            consumers_handles.push(s.spawn(move || {
+                let mut got = Vec::new();
+                // `take` returns None only when closed *and* drained, so
+                // this loop is the clean-shutdown protocol under test.
+                while let Some(v) = q.take() {
+                    got.push(v);
+                }
+                got
+            }));
+        }
+
+        let mut producer_handles = Vec::new();
+        for p in 0..producers {
+            let q = &q;
+            producer_handles.push(s.spawn(move || {
+                for i in 0..per_producer {
+                    q.put((p, i)).expect("queue closed under producers");
+                }
+            }));
+        }
+
+        for h in producer_handles {
+            h.join().expect("producer panicked");
+        }
+        // All values are in flight or consumed; closing must wake every
+        // consumer blocked in `take` once the queue drains.
+        q.close();
+        for h in consumers_handles {
+            harvested.push(h.join().expect("consumer panicked"));
+        }
+    });
+
+    // Conservation: every (producer, seq) pair arrives exactly once.
+    let mut seen: HashMap<(u64, u64), usize> = HashMap::new();
+    for batch in &harvested {
+        for &v in batch {
+            *seen.entry(v).or_insert(0) += 1;
+        }
+    }
+    let expected = producers * per_producer;
+    assert_eq!(
+        seen.len() as u64,
+        expected,
+        "lost values: got {} distinct of {expected}",
+        seen.len()
+    );
+    for (v, count) in &seen {
+        assert_eq!(*count, 1, "value {v:?} delivered {count} times");
+    }
+
+    // Per-producer FIFO within each consumer: a single consumer can
+    // interleave producers, but each producer's sequence numbers must be
+    // strictly increasing in any one consumer's stream (the queue is FIFO
+    // and a value is removed exactly once).
+    for batch in &harvested {
+        let mut last: HashMap<u64, u64> = HashMap::new();
+        for &(p, i) in batch {
+            if let Some(prev) = last.insert(p, i) {
+                assert!(prev < i, "producer {p}: {i} after {prev} in one consumer");
+            }
+        }
+    }
+}
+
+#[test]
+fn stress_4x4_capacity_1() {
+    // Capacity 1 maximizes blocking on both sides: every put waits for a
+    // take and vice versa.
+    run_matrix(4, 4, 200, 1);
+}
+
+#[test]
+fn stress_4x4_capacity_8() {
+    run_matrix(4, 4, 200, 8);
+}
+
+#[test]
+fn stress_8x2_unbounded() {
+    run_matrix(8, 2, 150, 0);
+}
+
+#[test]
+fn stress_2x8_more_consumers_than_values_sometimes() {
+    // More consumers than producers: some consumers may harvest nothing
+    // and must still shut down cleanly on close().
+    run_matrix(2, 8, 50, 4);
+}
+
+#[test]
+fn close_wakes_blocked_consumers() {
+    // Consumers block on an empty queue; close() must wake all of them
+    // with None — no timeout crutch, the join itself is the assertion.
+    let q: BlockingQueue<i32> = BlockingQueue::bounded(4);
+    let woken = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for _ in 0..6 {
+            let (q, woken) = (&q, &woken);
+            s.spawn(move || {
+                assert_eq!(q.take(), None, "no value was ever put");
+                woken.fetch_add(1, Ordering::SeqCst);
+            });
+        }
+        // Give the consumers a moment to actually block (not required for
+        // correctness — close() wakes both parked and about-to-park).
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+    });
+    assert_eq!(woken.load(Ordering::SeqCst), 6);
+}
+
+#[test]
+fn close_wakes_blocked_producers() {
+    // Producers block on a full queue; close() must fail their puts and
+    // hand the rejected values back.
+    let q = Arc::new(BlockingQueue::bounded(1));
+    q.put(0i32).unwrap();
+    let rejected = AtomicUsize::new(0);
+    thread::scope(|s| {
+        for v in 1..=5 {
+            let (q, rejected) = (&q, &rejected);
+            s.spawn(move || match q.put(v) {
+                Err(PutError(got)) => {
+                    assert_eq!(got, v, "rejected put returns the value");
+                    rejected.fetch_add(1, Ordering::SeqCst);
+                }
+                Ok(()) => panic!("put succeeded on a full-then-closed queue"),
+            });
+        }
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+    });
+    assert_eq!(rejected.load(Ordering::SeqCst), 5);
+    // The pre-close value is still drainable after close.
+    assert_eq!(q.take(), Some(0));
+    assert_eq!(q.take(), None);
+}
+
+#[test]
+fn close_midstream_loses_nothing_already_queued() {
+    // A producer races close(): whatever `put` accepted must be
+    // delivered; whatever it rejected must be reported back. The two
+    // tallies always account for every value exactly once.
+    for trial in 0..20 {
+        let q: BlockingQueue<u64> = BlockingQueue::bounded(2);
+        let (accepted, drained) = thread::scope(|s| {
+            let producer = {
+                let q = &q;
+                s.spawn(move || {
+                    let mut accepted = 0u64;
+                    for i in 0..1000u64 {
+                        match q.put(i) {
+                            Ok(()) => accepted += 1,
+                            Err(PutError(v)) => {
+                                assert_eq!(v, i);
+                                break;
+                            }
+                        }
+                    }
+                    accepted
+                })
+            };
+            let closer = {
+                let q = &q;
+                s.spawn(move || {
+                    // Vary the race window across trials.
+                    if trial % 2 == 0 {
+                        std::hint::black_box(0);
+                    } else {
+                        thread::sleep(Duration::from_micros(50 * trial));
+                    }
+                    q.close();
+                })
+            };
+            closer.join().unwrap();
+            let accepted = producer.join().unwrap();
+            let mut drained = 0u64;
+            let mut expect = 0u64;
+            while let Some(v) = q.take() {
+                assert_eq!(v, expect, "drained out of order");
+                expect += 1;
+                drained += 1;
+            }
+            (accepted, drained)
+        });
+        assert_eq!(accepted, drained, "trial {trial}: accepted != drained");
+    }
+}

@@ -3,7 +3,7 @@
 
 use gde::comb::{alt_all, bind, limit, product, product_map, to_range, values};
 use gde::{BoxGen, Gen, GenExt, Value, Var};
-use proptest::prelude::*;
+use tinyprop::prelude::*;
 
 fn int_values(xs: &[i64]) -> Vec<Value> {
     xs.iter().map(|&x| Value::from(x)).collect()

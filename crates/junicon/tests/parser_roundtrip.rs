@@ -6,7 +6,7 @@
 use junicon::ast::{BinOp, Expr, UnOp};
 use junicon::fmt::pretty;
 use junicon::parse::parse_expr;
-use proptest::prelude::*;
+use tinyprop::prelude::*;
 
 fn arb_ident() -> impl Strategy<Value = String> {
     // lowercase identifiers that are not keywords of the subset

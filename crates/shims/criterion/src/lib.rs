@@ -1,0 +1,458 @@
+//! Hermetic in-tree shim for [`criterion`](https://docs.rs/criterion).
+//!
+//! The workspace builds with `--offline` and zero registry dependencies
+//! (DESIGN.md § "Hermetic build"), so the benchmark API surface the six
+//! bench binaries use — [`Criterion`], [`BenchmarkGroup`], [`Bencher`],
+//! [`BenchmarkId`], [`criterion_group!`], [`criterion_main!`] — is
+//! reimplemented over a tiny measurement loop:
+//!
+//! 1. **calibrate**: time single calls until the per-sample iteration
+//!    count makes a sample take ≥ ~2 ms (so cheap closures aren't pure
+//!    timer noise);
+//! 2. **warm up** for a fixed budget (default 300 ms, overridable with
+//!    `TINYBENCH_WARMUP_MS`);
+//! 3. **sample** `sample_size` times (default 20, `group.sample_size(n)`
+//!    honored, `TINYBENCH_SAMPLES` overrides) and report median, mean,
+//!    and standard deviation.
+//!
+//! No statistical regression analysis, HTML reports, or plotting — just
+//! numbers on stdout, which is what the ablation studies need offline.
+//! CLI compatibility: the harness accepts and ignores `--bench`,
+//! `--test`, and a filter substring (so `cargo bench foo` filters).
+
+use std::fmt;
+use std::hint::black_box as core_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` keeps working (criterion's own is
+/// deprecated in favor of `std::hint::black_box`, which we alias).
+pub fn black_box<T>(x: T) -> T {
+    core_black_box(x)
+}
+
+// ---------------------------------------------------------------------------
+// Identifiers
+// ---------------------------------------------------------------------------
+
+/// A benchmark identifier: function name and/or parameter rendering.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter`.
+    pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// Just the parameter (for single-function sweeps).
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Measurement core
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Copy, Debug)]
+struct BenchConfig {
+    sample_size: usize,
+    warmup: Duration,
+    /// Target wall time per sample (drives iteration calibration).
+    sample_target: Duration,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        let env_ms = |k: &str, default: u64| {
+            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+        };
+        BenchConfig {
+            sample_size: std::env::var("TINYBENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(20),
+            warmup: Duration::from_millis(env_ms("TINYBENCH_WARMUP_MS", 300)),
+            sample_target: Duration::from_millis(env_ms("TINYBENCH_SAMPLE_MS", 2)),
+        }
+    }
+}
+
+/// Measurement statistics for one benchmark.
+#[derive(Clone, Copy, Debug)]
+struct Stats {
+    median: Duration,
+    mean: Duration,
+    stddev: Duration,
+    iters_per_sample: u64,
+    samples: usize,
+}
+
+/// Passed to the closure given to `bench_function`/`bench_with_input`;
+/// its [`Bencher::iter`] runs the measurement loop.
+pub struct Bencher<'a> {
+    config: BenchConfig,
+    result: &'a mut Option<Stats>,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`: calibrate, warm up, then sample. The routine's
+    /// return value is passed through [`black_box`] so the optimizer
+    /// cannot delete the work.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: find an iteration count giving samples >= target.
+        let mut iters: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                core_black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= self.config.sample_target || iters >= 1 << 20 {
+                break;
+            }
+            // Aim straight at the target with a 2x safety margin.
+            let scale = (self.config.sample_target.as_secs_f64()
+                / elapsed.as_secs_f64().max(1e-9))
+            .ceil() as u64;
+            iters = (iters * scale.clamp(2, 1024)).min(1 << 20);
+        }
+
+        // Warmup: run for the configured budget at the calibrated count.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.config.warmup {
+            for _ in 0..iters {
+                core_black_box(routine());
+            }
+        }
+
+        // Sampling.
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size.max(1) {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                core_black_box(routine());
+            }
+            samples.push(t0.elapsed() / iters as u32);
+        }
+        samples.sort();
+        let median = samples[samples.len() / 2];
+        let mean_ns =
+            samples.iter().map(|d| d.as_nanos() as f64).sum::<f64>() / samples.len() as f64;
+        let var = samples
+            .iter()
+            .map(|d| {
+                let x = d.as_nanos() as f64 - mean_ns;
+                x * x
+            })
+            .sum::<f64>()
+            / samples.len() as f64;
+        *self.result = Some(Stats {
+            median,
+            mean: Duration::from_nanos(mean_ns as u64),
+            stddev: Duration::from_nanos(var.sqrt() as u64),
+            iters_per_sample: iters,
+            samples: samples.len(),
+        });
+    }
+
+    /// criterion's batched iteration (setup excluded from timing is NOT
+    /// honored here: setup runs inside the timed region, which is
+    /// acceptable for the cheap setups this workspace uses).
+    pub fn iter_batched<I, O, S: FnMut() -> I, R: FnMut(I) -> O>(
+        &mut self,
+        mut setup: S,
+        mut routine: R,
+        _size: BatchSize,
+    ) {
+        self.iter(move || routine(setup()));
+    }
+}
+
+/// Batch sizing hint (accepted for API compatibility; unused).
+#[derive(Clone, Copy, Debug, Default)]
+pub enum BatchSize {
+    #[default]
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_bench(full_id: &str, filter: Option<&str>, config: BenchConfig, f: impl FnOnce(&mut Bencher)) {
+    if let Some(pat) = filter {
+        if !full_id.contains(pat) {
+            return;
+        }
+    }
+    let mut result = None;
+    let mut b = Bencher { config, result: &mut result };
+    f(&mut b);
+    match result {
+        Some(s) => println!(
+            "{full_id:<60} median {:>12}  mean {:>12}  σ {:>10}  ({} samples × {} iters)",
+            fmt_duration(s.median),
+            fmt_duration(s.mean),
+            fmt_duration(s.stddev),
+            s.samples,
+            s.iters_per_sample,
+        ),
+        None => println!("{full_id:<60} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Criterion / BenchmarkGroup
+// ---------------------------------------------------------------------------
+
+/// The top-level harness handle handed to `criterion_group!` targets.
+pub struct Criterion {
+    config: BenchConfig,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Mimic criterion's CLI just enough for `cargo bench [filter]`:
+        // ignore harness flags, treat the first free argument as a
+        // substring filter.
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" | "--test" | "--profile-time" | "--noplot" | "--quiet" => {}
+                s if s.starts_with('-') => {}
+                s => filter = Some(s.to_string()),
+            }
+        }
+        Criterion { config: BenchConfig::default(), filter }
+    }
+}
+
+impl Criterion {
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        self.group_internal(name.into())
+    }
+
+    /// Benchmark a single function.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&id.into().id, self.filter.as_deref(), self.config, f);
+        self
+    }
+
+    /// Override the number of samples taken per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the warm-up time per benchmark.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.config.warmup = d;
+        self
+    }
+
+    /// Accepted for API compatibility; measurement time is derived from
+    /// sample count × per-sample target here.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: BenchConfig,
+    filter: Option<String>,
+    // Lifetime kept so the API matches criterion's `BenchmarkGroup<'_, M>`.
+    _marker_placeholder: std::marker::PhantomData<&'a ()>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Override the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Override the warm-up time for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warmup = d;
+        self
+    }
+
+    /// Accepted for API compatibility; ignored (see [`Criterion::measurement_time`]).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmark `f` under `group_name/id`.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().id);
+        run_bench(&full, self.filter.as_deref(), self.config, f);
+        self
+    }
+
+    /// Benchmark `f` with an input value under `group_name/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnOnce(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        run_bench(&full, self.filter.as_deref(), self.config, |b| f(b, input));
+        self
+    }
+
+    /// End the group (prints nothing extra; criterion compatibility).
+    pub fn finish(self) {}
+}
+
+// Manual constructor because of the PhantomData field.
+impl Criterion {
+    fn group_internal(&self, name: String) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name,
+            config: self.config,
+            filter: self.filter.clone(),
+            _marker_placeholder: std::marker::PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Define a group-runner function invoking each target with a fresh
+/// [`Criterion`] handle.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Define `main()` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let config = BenchConfig {
+            sample_size: 5,
+            warmup: Duration::from_millis(5),
+            sample_target: Duration::from_micros(200),
+        };
+        let mut result = None;
+        let mut b = Bencher { config, result: &mut result };
+        b.iter(|| {
+            let mut s = 0u64;
+            for i in 0..100 {
+                s = s.wrapping_add(black_box(i));
+            }
+            s
+        });
+        let stats = result.expect("iter stores stats");
+        assert_eq!(stats.samples, 5);
+        assert!(stats.iters_per_sample >= 1);
+        assert!(stats.median > Duration::ZERO);
+    }
+
+    #[test]
+    fn group_runs_benchmarks_without_panic() {
+        let mut c = Criterion {
+            config: BenchConfig {
+                sample_size: 3,
+                warmup: Duration::from_millis(1),
+                sample_target: Duration::from_micros(100),
+            },
+            filter: None,
+        };
+        let mut group = c.benchmark_group("shim-self-test");
+        group.sample_size(3);
+        for n in [10u64, 100] {
+            group.bench_with_input(BenchmarkId::new("sum", n), &n, |b, &n| {
+                b.iter(|| (0..n).sum::<u64>())
+            });
+        }
+        group.bench_function("trivial", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(2 * 2)));
+    }
+
+    #[test]
+    fn filter_skips_non_matching() {
+        let mut c = Criterion {
+            config: BenchConfig {
+                sample_size: 2,
+                warmup: Duration::from_millis(1),
+                sample_target: Duration::from_micros(50),
+            },
+            filter: Some("does-not-match-anything".into()),
+        };
+        // Would hang noticeably if not filtered; closure panics if run.
+        c.bench_function("skipped", |_b| panic!("filter failed to skip"));
+    }
+
+    #[test]
+    fn benchmark_id_renders() {
+        assert_eq!(BenchmarkId::new("f", 32).id, "f/32");
+        assert_eq!(BenchmarkId::from_parameter(8).id, "8");
+        assert_eq!(BenchmarkId::from("plain").id, "plain");
+    }
+}

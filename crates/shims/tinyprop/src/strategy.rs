@@ -1,0 +1,1103 @@
+//! Strategies (value generators) and their integrated-shrinking
+//! [`ValueTree`]s.
+//!
+//! The architecture mirrors proptest: a [`Strategy`] is a *recipe* that,
+//! given randomness, produces a [`ValueTree`] — a current value plus the
+//! ability to `simplify` (propose a simpler value) and `complicate`
+//! (retreat toward the last known-failing value after simplifying too
+//! far). The runner's shrink loop in `lib.rs` drives those two methods;
+//! every tree here is written so the simplify/complicate dialogue makes
+//! monotonic progress and terminates.
+
+use crate::TestRng;
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generated value with integrated shrinking.
+pub trait ValueTree {
+    /// The type of value this tree holds.
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// The value currently proposed.
+    fn current(&self) -> Self::Value;
+
+    /// Propose a simpler value. Returns false when no simpler candidate
+    /// exists (shrinking is exhausted in this direction).
+    fn simplify(&mut self) -> bool;
+
+    /// The last `simplify` went too far (the test passed): move back
+    /// toward the previous failing value. Returns false when there is no
+    /// intermediate candidate left.
+    fn complicate(&mut self) -> bool;
+}
+
+/// A recipe for generating shrinkable values.
+pub trait Strategy: 'static {
+    /// The type of value generated.
+    type Value: Clone + fmt::Debug + 'static;
+
+    /// Generate one shrinkable value.
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self::Value>>;
+
+    /// Transform every generated value with `f` (shrinks through the map).
+    fn prop_map<U, F>(self, f: F) -> Map<Self, U>
+    where
+        Self: Sized,
+        U: Clone + fmt::Debug + 'static,
+        F: Fn(Self::Value) -> U + 'static,
+    {
+        Map { inner: self, f: Rc::new(f) }
+    }
+
+    /// Keep only values satisfying `pred`; `whence` labels the filter in
+    /// the too-many-rejects panic.
+    fn prop_filter<F>(self, whence: &'static str, pred: F) -> Filter<Self>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool + 'static,
+    {
+        Filter { inner: self, whence, pred: Rc::new(pred) }
+    }
+
+    /// Build a recursive strategy: `self` generates leaves, and `branch`
+    /// maps a strategy for depth-`d` values to one for depth-`d+1`
+    /// values. `depth` bounds the nesting; the two size hints are
+    /// accepted for proptest signature compatibility but unused (sizes
+    /// here are controlled by the inner collection strategies).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        branch: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        S2: Strategy<Value = Self::Value>,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let leaf = self.boxed();
+        let mut current = leaf.clone();
+        for _ in 0..depth {
+            // At each level: 1/3 stop at a leaf, 2/3 recurse one deeper.
+            let deeper = branch(current).boxed();
+            current = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+        }
+        current
+    }
+
+    /// Type-erase into a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// BoxedStrategy
+// ---------------------------------------------------------------------------
+
+/// Object-safe face of [`Strategy`] (no generic combinator methods).
+trait DynStrategy<T> {
+    fn dyn_new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>>;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn dyn_new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value>> {
+        self.new_tree(rng)
+    }
+}
+
+/// A reference-counted, type-erased strategy handle (`.boxed()`).
+pub struct BoxedStrategy<T>(Rc<dyn DynStrategy<T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        self.0.dyn_new_tree(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Just
+// ---------------------------------------------------------------------------
+
+/// A strategy producing exactly one value (never shrinks).
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+struct JustTree<T>(T);
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Just<T> {
+    type Value = T;
+    fn new_tree(&self, _rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        Box::new(JustTree(self.0.clone()))
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> ValueTree for JustTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+    fn simplify(&mut self) -> bool {
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integers: ranges and any::<T>()
+// ---------------------------------------------------------------------------
+
+/// Conversion from the i128 the integer shrinker works in.
+pub trait FromI128: Copy {
+    /// Lossless narrowing from the shrinker's working type.
+    fn from_i128(v: i128) -> Self;
+    /// Widening into the shrinker's working type.
+    fn to_i128(self) -> i128;
+}
+
+macro_rules! impl_from_i128 {
+    ($($t:ty),*) => {$(
+        impl FromI128 for $t {
+            fn from_i128(v: i128) -> $t { v as $t }
+            fn to_i128(self) -> i128 { self as i128 }
+        }
+    )*};
+}
+impl_from_i128!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Binary-searching integer shrinker: proposes values ever closer to the
+/// in-range point nearest zero while the test keeps failing, bisecting
+/// between the largest known-passing and smallest known-failing values.
+struct IntTree<T> {
+    curr: i128,
+    /// Lower end of the search interval (simplest candidate still viable).
+    lo: i128,
+    /// Smallest value known (or assumed) to fail.
+    hi: i128,
+    _t: PhantomData<T>,
+}
+
+impl<T> IntTree<T> {
+    fn new(value: i128, origin: i128) -> Self {
+        IntTree { curr: value, lo: origin, hi: value, _t: PhantomData }
+    }
+}
+
+/// The in-range value closest to zero: the natural shrink target.
+fn origin_in(lo: i128, hi: i128) -> i128 {
+    0i128.clamp(lo, hi)
+}
+
+impl<T: FromI128 + Clone + fmt::Debug + 'static> ValueTree for IntTree<T> {
+    type Value = T;
+    fn current(&self) -> T {
+        T::from_i128(self.curr)
+    }
+    fn simplify(&mut self) -> bool {
+        if self.curr == self.lo {
+            return false;
+        }
+        // curr is known-failing: it becomes the new upper bound and we
+        // probe the midpoint of [lo, curr).
+        self.hi = self.curr;
+        self.curr = self.lo + (self.curr - self.lo) / 2;
+        true
+    }
+    fn complicate(&mut self) -> bool {
+        // curr is known-passing: raise the lower bound past it and probe
+        // the midpoint of [lo, hi).
+        self.lo = self.curr + 1;
+        if self.lo > self.hi {
+            return false;
+        }
+        let next = self.lo + (self.hi - self.lo) / 2;
+        if next == self.curr {
+            return false;
+        }
+        self.curr = next;
+        true
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                assert!(self.start < self.end, "empty range strategy {self:?}");
+                let (lo, hi) = (self.start.to_i128(), self.end.to_i128() - 1);
+                let v = rng.int_in(lo, hi);
+                Box::new(IntTree::<$t>::new(v, origin_in(lo, hi)))
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                assert!(self.start() <= self.end(), "empty range strategy {self:?}");
+                let (lo, hi) = (self.start().to_i128(), self.end().to_i128());
+                let v = rng.int_in(lo, hi);
+                Box::new(IntTree::<$t>::new(v, origin_in(lo, hi)))
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy (`any::<T>()`).
+pub trait Arbitrary: Clone + fmt::Debug + 'static {
+    /// Generate one shrinkable value spanning the whole domain.
+    fn arbitrary_tree(rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self>>;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        T::arbitrary_tree(rng)
+    }
+}
+
+/// Full-domain strategy for `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_tree(rng: &mut TestRng) -> Box<dyn ValueTree<Value = $t>> {
+                let v = (rng.next_u64() as $t).to_i128();
+                let (lo, hi) = ((<$t>::MIN).to_i128(), (<$t>::MAX).to_i128());
+                Box::new(IntTree::<$t>::new(v, origin_in(lo, hi)))
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+struct BoolTree {
+    curr: bool,
+    exhausted: bool,
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+    fn current(&self) -> bool {
+        self.curr
+    }
+    fn simplify(&mut self) -> bool {
+        if self.curr && !self.exhausted {
+            self.curr = false;
+            self.exhausted = true;
+            true
+        } else {
+            false
+        }
+    }
+    fn complicate(&mut self) -> bool {
+        if self.exhausted && !self.curr {
+            self.curr = true;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_tree(rng: &mut TestRng) -> Box<dyn ValueTree<Value = bool>> {
+        Box::new(BoolTree { curr: rng.next_u64() & 1 == 1, exhausted: false })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Map
+// ---------------------------------------------------------------------------
+
+/// Strategy adaptor for [`Strategy::prop_map`].
+pub struct Map<S: Strategy, U> {
+    inner: S,
+    f: Rc<dyn Fn(S::Value) -> U>,
+}
+
+struct MapTree<V, U> {
+    inner: Box<dyn ValueTree<Value = V>>,
+    f: Rc<dyn Fn(V) -> U>,
+}
+
+impl<S: Strategy, U: Clone + fmt::Debug + 'static> Strategy for Map<S, U> {
+    type Value = U;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = U>> {
+        Box::new(MapTree { inner: self.inner.new_tree(rng), f: Rc::clone(&self.f) })
+    }
+}
+
+impl<V: Clone + fmt::Debug + 'static, U: Clone + fmt::Debug + 'static> ValueTree
+    for MapTree<V, U>
+{
+    type Value = U;
+    fn current(&self) -> U {
+        (self.f)(self.inner.current())
+    }
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Filter
+// ---------------------------------------------------------------------------
+
+/// Strategy adaptor for [`Strategy::prop_filter`].
+pub struct Filter<S: Strategy> {
+    inner: S,
+    whence: &'static str,
+    pred: Rc<dyn Fn(&S::Value) -> bool>,
+}
+
+struct FilterTree<V> {
+    inner: Box<dyn ValueTree<Value = V>>,
+    pred: Rc<dyn Fn(&V) -> bool>,
+    /// Set once a shrink step violates the predicate: further shrinking
+    /// of this subtree stops (correct, merely less minimal).
+    dead: bool,
+}
+
+impl<S: Strategy> Strategy for Filter<S> {
+    type Value = S::Value;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = S::Value>> {
+        for _ in 0..256 {
+            let tree = self.inner.new_tree(rng);
+            if (self.pred)(&tree.current()) {
+                return Box::new(FilterTree { inner: tree, pred: Rc::clone(&self.pred), dead: false });
+            }
+        }
+        panic!(
+            "tinyprop: prop_filter({:?}) rejected 256 consecutive inputs; \
+             generate satisfying values directly",
+            self.whence
+        );
+    }
+}
+
+impl<V: Clone + fmt::Debug + 'static> ValueTree for FilterTree<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        self.inner.current()
+    }
+    fn simplify(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        if !self.inner.simplify() {
+            return false;
+        }
+        if (self.pred)(&self.inner.current()) {
+            return true;
+        }
+        // The simpler value fell outside the filter: walk back toward the
+        // last accepted value, then stop shrinking this subtree.
+        for _ in 0..16 {
+            if !self.inner.complicate() || (self.pred)(&self.inner.current()) {
+                break;
+            }
+        }
+        self.dead = true;
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        if self.dead {
+            return false;
+        }
+        self.inner.complicate()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Union (prop_oneof!)
+// ---------------------------------------------------------------------------
+
+/// Weighted choice among strategies of a common value type.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Build from `(weight, strategy)` pairs; weights need not sum to
+    /// anything in particular but must not all be zero.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(arms.iter().any(|(w, _)| *w > 0), "prop_oneof! weights are all zero");
+        Union { arms }
+    }
+}
+
+impl<T: Clone + fmt::Debug + 'static> Strategy for Union<T> {
+    type Value = T;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = T>> {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.below(total);
+        for (w, arm) in &self.arms {
+            if pick < *w as u64 {
+                // Shrinking stays within the chosen arm (cross-arm
+                // shrinking is a proptest nicety we skip).
+                return arm.new_tree(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted pick within total")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Tuples
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($TreeName:ident: $($S:ident . $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Self::Value>> {
+                Box::new($TreeName::<$($S::Value),+> {
+                    trees: ($(self.$idx.new_tree(rng),)+),
+                    cursor: 0,
+                    last: None,
+                })
+            }
+        }
+
+        // Parametrized by *value* types (not strategy types): the stored
+        // trees are type-erased, so strategy-type parameters would be
+        // uninferable at construction.
+        struct $TreeName<$($S: Clone + fmt::Debug + 'static),+> {
+            trees: ($(Box<dyn ValueTree<Value = $S>>,)+),
+            /// First component still eligible for simplification.
+            cursor: usize,
+            /// Component most recently simplified (complication target).
+            last: Option<usize>,
+        }
+
+        impl<$($S: Clone + fmt::Debug + 'static),+> ValueTree for $TreeName<$($S),+> {
+            type Value = ($($S,)+);
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+            fn simplify(&mut self) -> bool {
+                $(
+                    if self.cursor <= $idx {
+                        if self.trees.$idx.simplify() {
+                            self.last = Some($idx);
+                            return true;
+                        }
+                        self.cursor = $idx + 1;
+                    }
+                )+
+                false
+            }
+            fn complicate(&mut self) -> bool {
+                match self.last {
+                    $(Some($idx) => self.trees.$idx.complicate(),)+
+                    _ => false,
+                }
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(Tuple1Tree: A.0);
+impl_tuple_strategy!(Tuple2Tree: A.0, B.1);
+impl_tuple_strategy!(Tuple3Tree: A.0, B.1, C.2);
+impl_tuple_strategy!(Tuple4Tree: A.0, B.1, C.2, D.3);
+impl_tuple_strategy!(Tuple5Tree: A.0, B.1, C.2, D.3, E.4);
+impl_tuple_strategy!(Tuple6Tree: A.0, B.1, C.2, D.3, E.4, F.5);
+
+// ---------------------------------------------------------------------------
+// Collections
+// ---------------------------------------------------------------------------
+
+/// Size bounds accepted by [`collection::vec`] (max is exclusive when
+/// built from a `Range`, matching proptest).
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    min: usize,
+    /// Inclusive upper bound.
+    max: usize,
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange { min: r.start, max: r.end - 1 }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange { min: *r.start(), max: *r.end() }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+/// Collection strategies (`prop::collection`).
+pub mod collection {
+    use super::*;
+
+    /// `Vec<V>` of a size drawn from `size`, elements from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { elem, size: size.into() }
+    }
+
+    /// Strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        pub(super) elem: S,
+        pub(super) size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Vec<S::Value>>> {
+            let len = rng.int_in(self.size.min as i128, self.size.max as i128) as usize;
+            let elems = (0..len).map(|_| self.elem.new_tree(rng)).collect();
+            Box::new(VecTree {
+                elems,
+                min_len: self.size.min,
+                phase: VecPhase::Remove { idx: 0 },
+                undo: None,
+            })
+        }
+    }
+}
+pub use collection::VecStrategy;
+
+enum VecPhase {
+    /// Trying to delete the element at `idx`.
+    Remove { idx: usize },
+    /// Deletion done; shrinking element `idx` in place.
+    Element { idx: usize },
+}
+
+enum VecUndo<V> {
+    Reinsert(usize, Box<dyn ValueTree<Value = V>>),
+    Element(usize),
+}
+
+struct VecTree<V> {
+    elems: Vec<Box<dyn ValueTree<Value = V>>>,
+    min_len: usize,
+    phase: VecPhase,
+    undo: Option<VecUndo<V>>,
+}
+
+impl<V: Clone + fmt::Debug + 'static> ValueTree for VecTree<V> {
+    type Value = Vec<V>;
+    fn current(&self) -> Vec<V> {
+        self.elems.iter().map(|t| t.current()).collect()
+    }
+    fn simplify(&mut self) -> bool {
+        loop {
+            match self.phase {
+                VecPhase::Remove { idx } => {
+                    if self.elems.len() > self.min_len && idx < self.elems.len() {
+                        let removed = self.elems.remove(idx);
+                        self.undo = Some(VecUndo::Reinsert(idx, removed));
+                        return true;
+                    }
+                    self.phase = VecPhase::Element { idx: 0 };
+                }
+                VecPhase::Element { idx } => {
+                    if idx >= self.elems.len() {
+                        return false;
+                    }
+                    if self.elems[idx].simplify() {
+                        self.undo = Some(VecUndo::Element(idx));
+                        return true;
+                    }
+                    self.phase = VecPhase::Element { idx: idx + 1 };
+                }
+            }
+        }
+    }
+    fn complicate(&mut self) -> bool {
+        match self.undo.take() {
+            Some(VecUndo::Reinsert(idx, tree)) => {
+                // This element is load-bearing: put it back and never try
+                // to delete it again (monotonic cursor).
+                self.elems.insert(idx, tree);
+                self.phase = VecPhase::Remove { idx: idx + 1 };
+                true
+            }
+            Some(VecUndo::Element(idx)) => {
+                if idx < self.elems.len() && self.elems[idx].complicate() {
+                    self.undo = Some(VecUndo::Element(idx));
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Option
+// ---------------------------------------------------------------------------
+
+/// Option strategies (`prop::option`).
+pub mod option {
+    use super::*;
+
+    /// `Option<V>`: `Some` three times out of four (proptest's default
+    /// weighting), shrinking first through the inner value and finally to
+    /// `None`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    /// Strategy returned by [`of`].
+    pub struct OptionStrategy<S> {
+        pub(super) inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_tree(
+            &self,
+            rng: &mut TestRng,
+        ) -> Box<dyn ValueTree<Value = Option<S::Value>>> {
+            let some = rng.below(4) != 0;
+            Box::new(OptionTree {
+                inner: some.then(|| self.inner.new_tree(rng)),
+                is_none: !some,
+                tried_none: false,
+            })
+        }
+    }
+}
+pub use option::OptionStrategy;
+
+struct OptionTree<V> {
+    inner: Option<Box<dyn ValueTree<Value = V>>>,
+    is_none: bool,
+    tried_none: bool,
+}
+
+impl<V: Clone + fmt::Debug + 'static> ValueTree for OptionTree<V> {
+    type Value = Option<V>;
+    fn current(&self) -> Option<V> {
+        if self.is_none {
+            None
+        } else {
+            self.inner.as_ref().map(|t| t.current())
+        }
+    }
+    fn simplify(&mut self) -> bool {
+        if self.is_none {
+            return false;
+        }
+        if let Some(t) = &mut self.inner {
+            if t.simplify() {
+                return true;
+            }
+            if !self.tried_none {
+                self.tried_none = true;
+                self.is_none = true;
+                return true;
+            }
+        }
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        if self.is_none && self.tried_none && self.inner.is_some() {
+            // None passed the test: restore the Some payload (which is
+            // already fully simplified) and stop there.
+            self.is_none = false;
+            true
+        } else if !self.is_none {
+            self.inner.as_mut().is_some_and(|t| t.complicate())
+        } else {
+            false
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// String patterns (regex subset)
+// ---------------------------------------------------------------------------
+
+/// One pattern atom: a character class repeated `min..=max` times.
+#[derive(Clone, Debug)]
+struct Atom {
+    /// Inclusive character ranges forming the class.
+    class: Vec<(char, char)>,
+    min: usize,
+    max: usize,
+}
+
+impl Atom {
+    fn sample(&self, rng: &mut TestRng) -> char {
+        let total: u64 = self.class.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+        let mut pick = rng.below(total);
+        for (a, b) in &self.class {
+            let span = (*b as u64) - (*a as u64) + 1;
+            if pick < span {
+                return char::from_u32(*a as u32 + pick as u32).expect("in-range char");
+            }
+            pick -= span;
+        }
+        unreachable!("pick within total")
+    }
+}
+
+/// Parse the regex subset used by the property suites: sequences of
+/// literal characters or `[...]` classes (with `a-z` ranges), each
+/// optionally quantified by `{m,n}`, `{n}`, `?`, `*`, or `+` (the
+/// unbounded quantifiers are capped at 8 repetitions). Anything fancier
+/// (alternation, groups, anchors, escapes) panics loudly.
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let mut out = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let class: Vec<(char, char)> = match c {
+            '[' => {
+                let mut members = Vec::new();
+                loop {
+                    let m = chars
+                        .next()
+                        .unwrap_or_else(|| panic!("unterminated [ in pattern {pattern:?}"));
+                    if m == ']' {
+                        break;
+                    }
+                    if m == '^' && members.is_empty() {
+                        panic!("negated classes unsupported in tinyprop pattern {pattern:?}");
+                    }
+                    if chars.peek() == Some(&'-') {
+                        chars.next();
+                        let hi = chars.next().unwrap_or_else(|| {
+                            panic!("dangling - in pattern {pattern:?}")
+                        });
+                        if hi == ']' {
+                            members.push((m, m));
+                            members.push(('-', '-'));
+                            break;
+                        }
+                        assert!(m <= hi, "inverted range {m}-{hi} in pattern {pattern:?}");
+                        members.push((m, hi));
+                    } else {
+                        members.push((m, m));
+                    }
+                }
+                assert!(!members.is_empty(), "empty class in pattern {pattern:?}");
+                members
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' | '\\' => panic!(
+                "tinyprop string patterns support only classes and quantifiers; \
+                 {c:?} in {pattern:?} is not implemented"
+            ),
+            lit => vec![(lit, lit)],
+        };
+        let (min, max) = match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+                match body.split_once(',') {
+                    Some((m, n)) => (
+                        m.parse().unwrap_or_else(|_| panic!("bad {{m,n}} in {pattern:?}")),
+                        n.parse().unwrap_or_else(|_| panic!("bad {{m,n}} in {pattern:?}")),
+                    ),
+                    None => {
+                        let n = body
+                            .parse()
+                            .unwrap_or_else(|_| panic!("bad {{n}} in {pattern:?}"));
+                        (n, n)
+                    }
+                }
+            }
+            Some('?') => {
+                chars.next();
+                (0, 1)
+            }
+            Some('*') => {
+                chars.next();
+                (0, 8)
+            }
+            Some('+') => {
+                chars.next();
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "bad quantifier in pattern {pattern:?}");
+        out.push(Atom { class, min, max });
+    }
+    out
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = String>> {
+        let atoms = parse_pattern(self);
+        let chars: Vec<Vec<char>> = atoms
+            .iter()
+            .map(|a| {
+                let n = rng.int_in(a.min as i128, a.max as i128) as usize;
+                (0..n).map(|_| a.sample(rng)).collect()
+            })
+            .collect();
+        let frozen = vec![false; atoms.len()];
+        Box::new(StrTree { atoms, chars, frozen, undo: None })
+    }
+}
+
+struct StrTree {
+    atoms: Vec<Atom>,
+    /// Concrete repetitions chosen for each atom.
+    chars: Vec<Vec<char>>,
+    /// Atoms whose length has proven load-bearing (no further pops).
+    frozen: Vec<bool>,
+    undo: Option<(usize, char)>,
+}
+
+impl ValueTree for StrTree {
+    type Value = String;
+    fn current(&self) -> String {
+        self.chars.iter().flatten().collect()
+    }
+    fn simplify(&mut self) -> bool {
+        // Shorten from the rightmost atom that is above its minimum.
+        for idx in (0..self.atoms.len()).rev() {
+            if self.frozen[idx] || self.chars[idx].len() <= self.atoms[idx].min {
+                continue;
+            }
+            let c = self.chars[idx].pop().expect("len > min >= 0");
+            self.undo = Some((idx, c));
+            return true;
+        }
+        false
+    }
+    fn complicate(&mut self) -> bool {
+        match self.undo.take() {
+            Some((idx, c)) => {
+                self.chars[idx].push(c);
+                self.frozen[idx] = true;
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> TestRng {
+        TestRng::new(0xDEAD_BEEF)
+    }
+
+    fn matches_class(c: char, class: &[(char, char)]) -> bool {
+        class.iter().any(|(a, b)| (*a..=*b).contains(&c))
+    }
+
+    #[test]
+    fn range_strategy_in_bounds_and_shrinks_to_origin() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let mut t = (10i64..20).new_tree(&mut r);
+            assert!((10..20).contains(&t.current()));
+            // Shrinking with no complications walks to the origin (10).
+            while t.simplify() {}
+            assert_eq!(t.current(), 10);
+        }
+    }
+
+    #[test]
+    fn int_binary_search_converges() {
+        // Simulate a test "fails iff v >= 57" on value 100 in 0..1000.
+        let mut t = IntTree::<i64>::new(100, 0);
+        let fails = |v: i64| v >= 57;
+        // Runner loop in miniature.
+        let mut best = 100;
+        for _ in 0..64 {
+            if !t.simplify() {
+                break;
+            }
+            if fails(t.current()) {
+                best = t.current();
+            } else {
+                let mut recovered = false;
+                for _ in 0..64 {
+                    if !t.complicate() {
+                        break;
+                    }
+                    if fails(t.current()) {
+                        best = t.current();
+                        recovered = true;
+                        break;
+                    }
+                }
+                if !recovered {
+                    break;
+                }
+            }
+        }
+        assert_eq!(best, 57);
+    }
+
+    #[test]
+    fn vec_tree_removes_then_shrinks_elements() {
+        let mut r = rng();
+        let strat = collection::vec(0i64..100, 3..6);
+        let mut t = strat.new_tree(&mut r);
+        let initial = t.current();
+        assert!((3..6).contains(&initial.len()));
+        // Unconstrained simplification bottoms out at min_len zeros.
+        while t.simplify() {}
+        let fin = t.current();
+        assert_eq!(fin.len(), 3);
+        assert!(fin.iter().all(|&v| v == 0), "elements not shrunk: {fin:?}");
+    }
+
+    #[test]
+    fn union_respects_arms() {
+        let mut r = rng();
+        let s = Union::new(vec![
+            (1, (0i64..10).boxed()),
+            (1, (100i64..110).boxed()),
+        ]);
+        let mut low = false;
+        let mut high = false;
+        for _ in 0..200 {
+            let v = s.new_tree(&mut r).current();
+            assert!((0..10).contains(&v) || (100..110).contains(&v));
+            low |= v < 10;
+            high |= v >= 100;
+        }
+        assert!(low && high, "both arms should be exercised");
+    }
+
+    #[test]
+    fn pattern_generates_matching_strings() {
+        let mut r = rng();
+        let atoms = parse_pattern("[a-g][a-g0-9]{0,5}");
+        assert_eq!(atoms.len(), 2);
+        for _ in 0..200 {
+            let mut t = "[a-g][a-g0-9]{0,5}".new_tree(&mut r);
+            let s = t.current();
+            let cs: Vec<char> = s.chars().collect();
+            assert!((1..=6).contains(&cs.len()), "bad length: {s:?}");
+            assert!(matches_class(cs[0], &atoms[0].class), "bad head: {s:?}");
+            for &c in &cs[1..] {
+                assert!(matches_class(c, &atoms[1].class), "bad tail: {s:?}");
+            }
+            // Shrinking only ever shortens toward the minimum, staying valid.
+            while t.simplify() {}
+            assert_eq!(t.current().chars().count(), 1);
+        }
+    }
+
+    #[test]
+    fn pattern_with_space_class() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let s = "[a-z ]{0,8}".new_tree(&mut r).current();
+            assert!(s.chars().count() <= 8);
+            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn filter_rejects_and_accepts() {
+        let mut r = rng();
+        let s = (0i64..100).prop_filter("even", |v| v % 2 == 0);
+        for _ in 0..50 {
+            assert_eq!(s.new_tree(&mut r).current() % 2, 0);
+        }
+    }
+
+    #[test]
+    fn map_shrinks_through() {
+        let mut r = rng();
+        let s = (0i64..100).prop_map(|v| format!("n={v}"));
+        let mut t = s.new_tree(&mut r);
+        while t.simplify() {}
+        assert_eq!(t.current(), "n=0");
+    }
+
+    #[test]
+    fn option_of_produces_both_and_shrinks_to_none() {
+        let mut r = rng();
+        let s = option::of(1i64..10);
+        let (mut some, mut none) = (false, false);
+        for _ in 0..100 {
+            let mut t = s.new_tree(&mut r);
+            match t.current() {
+                Some(v) => {
+                    assert!((1..10).contains(&v));
+                    some = true;
+                    while t.simplify() {}
+                    assert_eq!(t.current(), None, "Some should shrink to None");
+                }
+                None => none = true,
+            }
+        }
+        assert!(some && none);
+    }
+
+    #[test]
+    fn recursive_strategy_is_depth_bounded() {
+        #[derive(Clone, Debug, PartialEq)]
+        enum T {
+            Leaf(i64),
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf(_) => 1,
+                T::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = (0i64..10).prop_map(T::Leaf).prop_recursive(3, 16, 3, |inner| {
+            collection::vec(inner, 0..3).prop_map(T::Node)
+        });
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = s.new_tree(&mut r).current();
+            assert!(depth(&v) <= 4, "depth bound exceeded: {v:?}");
+        }
+    }
+
+    #[test]
+    fn tuples_shrink_componentwise() {
+        let mut r = rng();
+        let mut t = ((0i64..50), (0i64..50)).new_tree(&mut r);
+        while t.simplify() {}
+        assert_eq!(t.current(), (0, 0));
+    }
+}

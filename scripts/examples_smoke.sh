@@ -1,0 +1,46 @@
+#!/usr/bin/env bash
+# Smoke-run every example in examples/ (ISSUE 1 satellite).
+#
+# Each example must exit 0 within the timeout. The interactive
+# `junicon_repl` is driven with a scripted session on stdin (it exits
+# cleanly on `:quit` / EOF). Everything runs `--offline`: the workspace is
+# hermetic and must never need the registry (see DESIGN.md § "Hermetic
+# build").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+TIMEOUT="${EXAMPLES_SMOKE_TIMEOUT:-120}"
+PROFILE_FLAG="${EXAMPLES_SMOKE_PROFILE:---release}"
+
+echo "== building examples ($PROFILE_FLAG, offline)"
+cargo build --offline "$PROFILE_FLAG" --examples
+
+run() {
+    local name="$1"
+    shift
+    echo "== example: $name"
+    timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" --quiet --example "$name" -- "$@" \
+        > /dev/null
+}
+
+fail=0
+for src in examples/*.rs; do
+    name="$(basename "$src" .rs)"
+    case "$name" in
+        junicon_repl)
+            echo "== example: junicon_repl (scripted session)"
+            printf 'write(1 to 3)\nevery i := 1 to 3 do write(i * i)\n:quit\n' \
+                | timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" --quiet --example junicon_repl \
+                > /dev/null || { echo "FAILED: junicon_repl"; fail=1; }
+            ;;
+        *)
+            run "$name" || { echo "FAILED: $name"; fail=1; }
+            ;;
+    esac
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "examples smoke: FAILURES"
+    exit 1
+fi
+echo "examples smoke: all examples ran cleanly"

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Tier-1 verification (ROADMAP.md) plus the hermetic-build guard (ISSUE 1):
+#
+#   1. grep guard  — no dependency section in any Cargo.toml may name a
+#                    registry (version-requirement) dependency; everything
+#                    must be a `path = ...` / `workspace = true` entry;
+#   2. metadata    — `cargo metadata` must resolve to path-only packages
+#                    (every package's `source` is null);
+#   3. build+test  — `cargo build --release --offline` and
+#                    `cargo test -q --offline` across the whole workspace.
+#
+# The `--offline` flag is the invariant, not an optimization: this
+# repository must build on a machine that has never reached a registry.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== [1/3] manifest guard: no registry dependencies"
+# Inside [dependencies]/[dev-dependencies]/[build-dependencies]/
+# [workspace.dependencies] sections, any value containing a version
+# requirement (a digit, caret, tilde, wildcard or comparison after `"`)
+# reintroduces the registry and fails the build.
+bad=0
+while IFS= read -r manifest; do
+    hits="$(awk '
+        /^\[/ {
+            indeps = ($0 ~ /^\[(workspace\.)?(dependencies|dev-dependencies|build-dependencies)\]/)
+        }
+        indeps && /=[[:space:]]*"[0-9^~*<>=]/ { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+        indeps && /version[[:space:]]*=[[:space:]]*"/ { printf "%s:%d: %s\n", FILENAME, FNR, $0 }
+    ' "$manifest")"
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        bad=1
+    fi
+done < <(find . -name Cargo.toml -not -path './target/*')
+if [ "$bad" -ne 0 ]; then
+    echo "FAIL: registry (non-path) dependencies found; use an in-tree shim under crates/shims/ instead"
+    exit 1
+fi
+echo "   ok: all dependency entries are path/workspace"
+
+echo "== [2/3] cargo metadata: path-only package sources"
+if cargo metadata --offline --format-version 1 2>/dev/null | grep -q '"source":"registry+'; then
+    echo "FAIL: cargo metadata resolves at least one registry package"
+    exit 1
+fi
+echo "   ok: no registry sources in the resolved graph"
+
+echo "== [3/3] build + test (offline)"
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "verify: OK"
