@@ -10,7 +10,9 @@ use wordcount::{embedded, native, Corpus, Weight};
 fn chunk_size_sweep(c: &mut Criterion) {
     let corpus = Corpus::generate(400, 10, 8);
     let pool = Arc::new(exec::ThreadPool::new(
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4),
     ));
     let mut group = c.benchmark_group("ablation/chunk_size");
     group.sample_size(10);

@@ -29,7 +29,11 @@ fn queue_capacity_sweep(c: &mut Criterion) {
             &capacity,
             |b, &cap| {
                 b.iter(|| {
-                    black_box(embedded::pipeline_with_capacity(&corpus, Weight::Light, cap))
+                    black_box(embedded::pipeline_with_capacity(
+                        &corpus,
+                        Weight::Light,
+                        cap,
+                    ))
                 })
             },
         );

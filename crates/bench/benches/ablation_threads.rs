@@ -20,20 +20,16 @@ fn thread_scaling(c: &mut Criterion) {
     group.sample_size(10);
     for threads in counts {
         let pool = exec::ThreadPool::new(threads);
-        group.bench_with_input(
-            BenchmarkId::from_parameter(threads),
-            &threads,
-            |b, _| {
-                b.iter(|| {
-                    black_box(native::map_reduce_on(
-                        corpus.lines(),
-                        Weight::Heavy,
-                        10, // fine-grained chunks so every worker gets fed
-                        &pool,
-                    ))
-                })
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                black_box(native::map_reduce_on(
+                    corpus.lines(),
+                    Weight::Heavy,
+                    10, // fine-grained chunks so every worker gets fed
+                    &pool,
+                ))
+            })
+        });
     }
     group.finish();
 }

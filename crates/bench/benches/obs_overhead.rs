@@ -1,0 +1,68 @@
+//! Measures the cost of the `obs` instrumentation on the hottest runtime
+//! path (blockingq put/take), plus the raw cost of the obs primitives.
+//!
+//! Run twice and compare:
+//!
+//! ```text
+//! cargo bench -p bench --bench obs_overhead                         # obs ON
+//! cargo bench -p bench --no-default-features --bench obs_overhead   # obs OFF
+//! ```
+//!
+//! With the feature off, the instrumentation macro expands to nothing, so
+//! `queue_put_take` must match current-main performance exactly — that is
+//! the "no measurable regression" acceptance gate, and `scripts/ci.sh`
+//! prints both numbers side by side.
+
+use blockingq::BlockingQueue;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn queue_put_take(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_overhead");
+    group.bench_function("queue_put_take", |b| {
+        let q: BlockingQueue<u64> = BlockingQueue::bounded(64);
+        b.iter(|| {
+            q.put(std::hint::black_box(1)).unwrap();
+            std::hint::black_box(q.take());
+        });
+    });
+    group.bench_function("mvar_put_take", |b| {
+        let m = blockingq::MVar::empty();
+        b.iter(|| {
+            m.put(std::hint::black_box(7u64));
+            std::hint::black_box(m.take());
+        });
+    });
+    group.finish();
+}
+
+#[cfg(feature = "obs")]
+fn primitives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_primitives");
+    group.bench_function("counter_inc", |b| {
+        let counter = obs::Counter::new();
+        b.iter(|| counter.inc());
+    });
+    group.bench_function("gauge_record_max", |b| {
+        let gauge = obs::Gauge::new();
+        let mut i = 0i64;
+        b.iter(|| {
+            i += 1;
+            gauge.record_max(std::hint::black_box(i % 128));
+        });
+    });
+    group.bench_function("histogram_record", |b| {
+        let hist = obs::Histogram::new();
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            hist.record(std::hint::black_box(i));
+        });
+    });
+    group.finish();
+}
+
+#[cfg(not(feature = "obs"))]
+fn primitives(_c: &mut Criterion) {}
+
+criterion_group!(benches, queue_put_take, primitives);
+criterion_main!(benches);

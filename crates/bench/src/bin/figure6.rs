@@ -72,19 +72,30 @@ fn main() {
         );
     }
 
+    #[cfg(feature = "obs")]
+    {
+        println!("Runtime observability snapshot (obs):");
+        for line in obs::snapshot().render_text().lines() {
+            println!("  {line}");
+        }
+        println!();
+    }
+
     if let Some(path) = json_path {
-        std::fs::write(&path, to_json(&measurements)).expect("write json");
+        std::fs::write(&path, to_json(&cfg, &measurements)).expect("write json");
         eprintln!("wrote {path}");
     }
 }
 
-/// Minimal JSON rendering (measurements are flat; no serde_json needed).
-fn to_json(m: &[bench::Measurement]) -> String {
+/// Minimal JSON rendering (hand-rolled; no serde in the hermetic
+/// workspace). The layout is an object so the obs snapshot can ride along
+/// with the timings — `BENCH_baseline.json` is this, committed.
+fn to_json(cfg: &Figure6Config, m: &[bench::Measurement]) -> String {
     let rows: Vec<String> = m
         .iter()
         .map(|x| {
             format!(
-                "  {{\"suite\": \"{}\", \"variant\": \"{}\", \"weight\": \"{}\", \"median_ns\": {}, \"normalized\": {}}}",
+                "    {{\"suite\": \"{}\", \"variant\": \"{}\", \"weight\": \"{}\", \"median_ns\": {}, \"normalized\": {}}}",
                 x.suite,
                 x.variant,
                 x.weight,
@@ -93,5 +104,20 @@ fn to_json(m: &[bench::Measurement]) -> String {
             )
         })
         .collect();
-    format!("[\n{}\n]\n", rows.join(",\n"))
+    let mut out = String::from("{\n");
+    out.push_str("  \"schema\": \"figure6-v2\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{\"light_lines\": {}, \"heavy_lines\": {}, \"words_per_line\": {}, \"iterations\": {}, \"warmup\": {}, \"seed\": {}}},\n",
+        cfg.light_lines, cfg.heavy_lines, cfg.words_per_line, cfg.iterations, cfg.warmup, cfg.seed
+    ));
+    out.push_str(&format!(
+        "  \"measurements\": [\n{}\n  ],\n",
+        rows.join(",\n")
+    ));
+    #[cfg(feature = "obs")]
+    out.push_str(&format!("  \"obs\": {}\n", obs::snapshot().render_json()));
+    #[cfg(not(feature = "obs"))]
+    out.push_str("  \"obs\": null\n");
+    out.push_str("}\n");
+    out
 }

@@ -136,9 +136,7 @@ pub fn render_table(measurements: &[Measurement]) -> String {
             let get = |suite: &str| {
                 measurements
                     .iter()
-                    .find(|m| {
-                        m.weight == weight && m.variant == variant.name() && m.suite == suite
-                    })
+                    .find(|m| m.weight == weight && m.variant == variant.name() && m.suite == suite)
                     .expect("complete matrix")
             };
             let junicon = get("Junicon");

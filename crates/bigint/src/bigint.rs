@@ -24,12 +24,18 @@ pub struct BigInt {
 impl BigInt {
     /// The value `0`.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: BigUint::zero() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: BigUint::zero(),
+        }
     }
 
     /// The value `1`.
     pub fn one() -> Self {
-        BigInt { sign: Sign::Positive, mag: BigUint::one() }
+        BigInt {
+            sign: Sign::Positive,
+            mag: BigUint::one(),
+        }
     }
 
     /// Construct from a sign and magnitude (sign is normalized for zero).
@@ -37,7 +43,11 @@ impl BigInt {
         if mag.is_zero() {
             BigInt::zero()
         } else {
-            let sign = if sign == Sign::Zero { Sign::Positive } else { sign };
+            let sign = if sign == Sign::Zero {
+                Sign::Positive
+            } else {
+                sign
+            };
             BigInt { sign, mag }
         }
     }
@@ -115,7 +125,11 @@ impl BigInt {
     /// `r` takes the sign of `self` (like Rust's `/` and `%` on integers).
     pub fn div_rem(&self, rhs: &Self) -> (Self, Self) {
         let (q, r) = self.mag.div_rem(&rhs.mag);
-        let q_sign = if self.sign == rhs.sign { Sign::Positive } else { Sign::Negative };
+        let q_sign = if self.sign == rhs.sign {
+            Sign::Positive
+        } else {
+            Sign::Negative
+        };
         (
             BigInt::from_sign_mag(q_sign, q),
             BigInt::from_sign_mag(self.sign, r),
@@ -217,7 +231,10 @@ impl Neg for BigInt {
             Sign::Zero => Sign::Zero,
             Sign::Positive => Sign::Negative,
         };
-        BigInt { sign, mag: self.mag }
+        BigInt {
+            sign,
+            mag: self.mag,
+        }
     }
 }
 
@@ -317,7 +334,17 @@ mod tests {
 
     #[test]
     fn signed_addition_all_sign_combinations() {
-        for (x, y) in [(5i64, 3i64), (5, -3), (-5, 3), (-5, -3), (3, -5), (-3, 5), (0, 7), (7, 0), (5, -5)] {
+        for (x, y) in [
+            (5i64, 3i64),
+            (5, -3),
+            (-5, 3),
+            (-5, -3),
+            (3, -5),
+            (-3, 5),
+            (0, 7),
+            (7, 0),
+            (5, -5),
+        ] {
             assert_eq!((&b(x) + &b(y)).to_i64(), Some(x + y), "{x} + {y}");
         }
     }
@@ -361,7 +388,10 @@ mod tests {
         let n = BigInt::from_str_radix("-hello", 36).unwrap();
         assert_eq!(n.to_i64(), Some(-29234652));
         assert_eq!(n.to_str_radix(36), "-hello");
-        assert_eq!(BigInt::from_str_radix("+42", 10).unwrap().to_i64(), Some(42));
+        assert_eq!(
+            BigInt::from_str_radix("+42", 10).unwrap().to_i64(),
+            Some(42)
+        );
     }
 
     #[test]

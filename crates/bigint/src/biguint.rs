@@ -252,8 +252,7 @@ impl BigUint {
             let mut q_hat = top / v_hi as u128;
             let mut r_hat = top % v_hi as u128;
             // Correct q_hat down to at most off-by-one.
-            while q_hat >> 64 != 0
-                || q_hat * v_next as u128 > (r_hat << 64 | u[j + n - 2] as u128)
+            while q_hat >> 64 != 0 || q_hat * v_next as u128 > (r_hat << 64 | u[j + n - 2] as u128)
             {
                 q_hat -= 1;
                 r_hat += v_hi as u128;
@@ -529,8 +528,14 @@ mod tests {
         assert!(BigUint::zero().is_zero());
         assert!(BigUint::one().is_one());
         assert_eq!(BigUint::zero().add_ref(&BigUint::one()), BigUint::one());
-        assert_eq!(BigUint::from(7u64).mul_ref(&BigUint::one()), BigUint::from(7u64));
-        assert_eq!(BigUint::from(7u64).mul_ref(&BigUint::zero()), BigUint::zero());
+        assert_eq!(
+            BigUint::from(7u64).mul_ref(&BigUint::one()),
+            BigUint::from(7u64)
+        );
+        assert_eq!(
+            BigUint::from(7u64).mul_ref(&BigUint::zero()),
+            BigUint::zero()
+        );
     }
 
     #[test]
@@ -566,7 +571,9 @@ mod tests {
         let a = big("123456789012345678901234567890");
         let (q, r) = a.div_rem(&BigUint::from(97u64));
         assert_eq!(
-            q.mul_ref(&BigUint::from(97u64)).add_ref(&r).to_str_radix(10),
+            q.mul_ref(&BigUint::from(97u64))
+                .add_ref(&r)
+                .to_str_radix(10),
             "123456789012345678901234567890"
         );
         assert!(r < BigUint::from(97u64));
@@ -626,10 +633,7 @@ mod tests {
 
     #[test]
     fn gcd_basics() {
-        assert_eq!(
-            big("48").gcd(&big("36")),
-            big("12")
-        );
+        assert_eq!(big("48").gcd(&big("36")), big("12"));
         assert_eq!(big("17").gcd(&big("5")), BigUint::one());
         assert_eq!(big("0").gcd(&big("9")), big("9"));
     }

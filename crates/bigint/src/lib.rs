@@ -23,8 +23,8 @@
 //! Algorithm D, which is more than adequate for the word-hash workloads the
 //! paper benchmarks (numbers of a few machine words).
 
-mod biguint;
 mod bigint;
+mod biguint;
 mod prime;
 mod radix;
 mod sqrt;

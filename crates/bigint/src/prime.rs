@@ -144,17 +144,25 @@ mod tests {
         let m61 = BigUint::from((1u64 << 61) - 1);
         assert!(m61.is_probable_prime());
         // 2^89 - 1 is a Mersenne prime (multi-limb).
-        let m89 = BigUint::one().shl_bits(89).checked_sub_ref(&BigUint::one()).unwrap();
+        let m89 = BigUint::one()
+            .shl_bits(89)
+            .checked_sub_ref(&BigUint::one())
+            .unwrap();
         assert!(m89.is_probable_prime());
         // 2^67 - 1 is famously composite (193707721 * 761838257287).
-        let m67 = BigUint::one().shl_bits(67).checked_sub_ref(&BigUint::one()).unwrap();
+        let m67 = BigUint::one()
+            .shl_bits(67)
+            .checked_sub_ref(&BigUint::one())
+            .unwrap();
         assert!(!m67.is_probable_prime());
     }
 
     #[test]
     fn carmichael_numbers_are_composite() {
         // Carmichael numbers fool Fermat tests but not Miller-Rabin.
-        for n in [561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341] {
+        for n in [
+            561u64, 1105, 1729, 2465, 2821, 6601, 8911, 10585, 15841, 29341,
+        ] {
             assert!(!BigUint::from(n).is_probable_prime(), "{n} is Carmichael");
         }
     }

@@ -59,7 +59,17 @@ mod tests {
 
     #[test]
     fn sqrt_small_values() {
-        for (n, r) in [(0u64, 0u64), (1, 1), (2, 1), (3, 1), (4, 2), (8, 2), (9, 3), (15, 3), (16, 4)] {
+        for (n, r) in [
+            (0u64, 0u64),
+            (1, 1),
+            (2, 1),
+            (3, 1),
+            (4, 2),
+            (8, 2),
+            (9, 3),
+            (15, 3),
+            (16, 4),
+        ] {
             assert_eq!(BigUint::from(n).sqrt(), BigUint::from(r), "sqrt({n})");
         }
     }
@@ -94,7 +104,18 @@ mod tests {
 
     #[test]
     fn u64_isqrt_exhaustive_corners() {
-        for v in [0u64, 1, 2, 3, 4, 24, 25, 26, u32::MAX as u64, (u32::MAX as u64).pow(2)] {
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            24,
+            25,
+            26,
+            u32::MAX as u64,
+            (u32::MAX as u64).pow(2),
+        ] {
             let r = u64_isqrt(v);
             assert!(r * r <= v);
             assert!((r + 1).checked_mul(r + 1).is_none_or(|sq| sq > v));

@@ -14,7 +14,11 @@ fn arb_biguint() -> impl Strategy<Value = BigUint> {
 
 fn arb_bigint() -> impl Strategy<Value = BigInt> {
     (arb_biguint(), any::<bool>()).prop_map(|(mag, neg)| {
-        let sign = if neg { bigint::Sign::Negative } else { bigint::Sign::Positive };
+        let sign = if neg {
+            bigint::Sign::Negative
+        } else {
+            bigint::Sign::Positive
+        };
         BigInt::from_sign_mag(sign, mag)
     })
 }

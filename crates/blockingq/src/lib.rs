@@ -16,8 +16,23 @@
 //! * [`Future`] — a write-once MVar: "a singleton piped iterator that
 //!   produces one result forms a future" (Sec. III.B).
 
+/// Expands its body only when the `obs` feature is on, so instrumentation
+/// call sites vanish from the compilation entirely (not even a no-op call)
+/// when observability is disabled. Textual macro scoping makes this
+/// visible in the modules declared below.
+#[cfg(feature = "obs")]
+macro_rules! obs_on {
+    ($($body:tt)*) => { $($body)* };
+}
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_on {
+    ($($body:tt)*) => {};
+}
+
 mod mvar;
 mod queue;
+#[cfg(feature = "obs")]
+mod stats;
 
 pub use mvar::{Future, MVar};
 pub use queue::{BlockingQueue, PutError, TimedOut, TryPutError, TryTakeError};

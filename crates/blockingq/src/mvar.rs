@@ -21,7 +21,9 @@ pub struct MVar<T> {
 
 impl<T> Clone for MVar<T> {
     fn clone(&self) -> Self {
-        MVar { slot: Arc::clone(&self.slot) }
+        MVar {
+            slot: Arc::clone(&self.slot),
+        }
     }
 }
 
@@ -35,37 +37,53 @@ impl<T> MVar<T> {
     /// Create an empty MVar.
     pub fn empty() -> Self {
         MVar {
-            slot: Arc::new(Slot { value: Mutex::new(None), cond: Condvar::new() }),
+            slot: Arc::new(Slot {
+                value: Mutex::new(None),
+                cond: Condvar::new(),
+            }),
         }
     }
 
     /// Create a full MVar.
     pub fn new(v: T) -> Self {
         MVar {
-            slot: Arc::new(Slot { value: Mutex::new(Some(v)), cond: Condvar::new() }),
+            slot: Arc::new(Slot {
+                value: Mutex::new(Some(v)),
+                cond: Condvar::new(),
+            }),
         }
     }
 
     /// Block until the slot is empty, then fill it.
     pub fn put(&self, v: T) {
         let mut guard = self.slot.value.lock();
+        obs_on!(if guard.is_some() {
+            crate::stats::mvar().blocked_puts.inc();
+        });
         while guard.is_some() {
             self.slot.cond.wait(&mut guard);
         }
         *guard = Some(v);
         drop(guard);
         self.slot.cond.notify_all();
+        obs_on!(crate::stats::mvar().puts.inc(););
     }
 
     /// Block until the slot is full, then empty and return it.
     pub fn take(&self) -> T {
         let mut guard = self.slot.value.lock();
+        obs_on!(let mut waited = false;);
         loop {
             if let Some(v) = guard.take() {
                 drop(guard);
                 self.slot.cond.notify_all();
+                obs_on!(crate::stats::mvar().takes.inc(););
                 return v;
             }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::mvar().blocked_takes.inc();
+            });
             self.slot.cond.wait(&mut guard);
         }
     }
@@ -79,6 +97,7 @@ impl<T> MVar<T> {
         *guard = Some(v);
         drop(guard);
         self.slot.cond.notify_all();
+        obs_on!(crate::stats::mvar().puts.inc(););
         Ok(())
     }
 
@@ -87,6 +106,7 @@ impl<T> MVar<T> {
         let v = self.slot.value.lock().take();
         if v.is_some() {
             self.slot.cond.notify_all();
+            obs_on!(crate::stats::mvar().takes.inc(););
         }
         v
     }
@@ -101,10 +121,15 @@ impl<T: Clone> MVar<T> {
     /// Block until the slot is full and return a copy, leaving it full.
     pub fn read(&self) -> T {
         let mut guard = self.slot.value.lock();
+        obs_on!(let mut waited = false;);
         loop {
             if let Some(v) = guard.as_ref() {
                 return v.clone();
             }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::mvar().blocked_takes.inc();
+            });
             self.slot.cond.wait(&mut guard);
         }
     }
@@ -118,7 +143,9 @@ pub struct Future<T> {
 
 impl<T> Clone for Future<T> {
     fn clone(&self) -> Self {
-        Future { mvar: self.mvar.clone() }
+        Future {
+            mvar: self.mvar.clone(),
+        }
     }
 }
 
@@ -131,7 +158,9 @@ impl<T> Default for Future<T> {
 impl<T> Future<T> {
     /// Create an unresolved future.
     pub fn new() -> Self {
-        Future { mvar: MVar::empty() }
+        Future {
+            mvar: MVar::empty(),
+        }
     }
 
     /// Resolve the future. Returns the value back if already resolved.

@@ -62,7 +62,9 @@ pub struct BlockingQueue<T> {
 
 impl<T> Clone for BlockingQueue<T> {
     fn clone(&self) -> Self {
-        BlockingQueue { shared: Arc::clone(&self.shared) }
+        BlockingQueue {
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -72,7 +74,10 @@ impl<T> BlockingQueue<T> {
     pub fn bounded(capacity: usize) -> Self {
         BlockingQueue {
             shared: Arc::new(Shared {
-                state: Mutex::new(State { buf: VecDeque::new(), closed: false }),
+                state: Mutex::new(State {
+                    buf: VecDeque::new(),
+                    closed: false,
+                }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 capacity: capacity.max(1),
@@ -84,7 +89,10 @@ impl<T> BlockingQueue<T> {
     pub fn unbounded() -> Self {
         BlockingQueue {
             shared: Arc::new(Shared {
-                state: Mutex::new(State { buf: VecDeque::new(), closed: false }),
+                state: Mutex::new(State {
+                    buf: VecDeque::new(),
+                    closed: false,
+                }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
                 capacity: usize::MAX,
@@ -118,16 +126,28 @@ impl<T> BlockingQueue<T> {
     /// waiting) closed.
     pub fn put(&self, v: T) -> Result<(), PutError<T>> {
         let mut st = self.shared.state.lock();
+        obs_on!(let mut waited = false;);
         loop {
             if st.closed {
                 return Err(PutError(v));
             }
             if st.buf.len() < self.shared.capacity {
                 st.buf.push_back(v);
+                obs_on!(let depth = st.buf.len(););
                 drop(st);
                 self.shared.not_empty.notify_one();
+                obs_on!({
+                    crate::stats::queue().puts.inc();
+                    crate::stats::queue()
+                        .depth_highwater
+                        .record_max(depth as i64);
+                });
                 return Ok(());
             }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::queue().blocked_puts.inc();
+            });
             self.shared.not_full.wait(&mut st);
         }
     }
@@ -142,8 +162,15 @@ impl<T> BlockingQueue<T> {
             return Err(TryPutError::Full(v));
         }
         st.buf.push_back(v);
+        obs_on!(let depth = st.buf.len(););
         drop(st);
         self.shared.not_empty.notify_one();
+        obs_on!({
+            crate::stats::queue().puts.inc();
+            crate::stats::queue()
+                .depth_highwater
+                .record_max(depth as i64);
+        });
         Ok(())
     }
 
@@ -152,15 +179,21 @@ impl<T> BlockingQueue<T> {
     /// Returns `None` once the queue is closed *and* drained.
     pub fn take(&self) -> Option<T> {
         let mut st = self.shared.state.lock();
+        obs_on!(let mut waited = false;);
         loop {
             if let Some(v) = st.buf.pop_front() {
                 drop(st);
                 self.shared.not_full.notify_one();
+                obs_on!(crate::stats::queue().takes.inc(););
                 return Some(v);
             }
             if st.closed {
                 return None;
             }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::queue().blocked_takes.inc();
+            });
             self.shared.not_empty.wait(&mut st);
         }
     }
@@ -171,6 +204,7 @@ impl<T> BlockingQueue<T> {
         if let Some(v) = st.buf.pop_front() {
             drop(st);
             self.shared.not_full.notify_one();
+            obs_on!(crate::stats::queue().takes.inc(););
             return Ok(v);
         }
         if st.closed {
@@ -185,15 +219,21 @@ impl<T> BlockingQueue<T> {
     pub fn take_timeout(&self, timeout: Duration) -> Result<Option<T>, TimedOut> {
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.shared.state.lock();
+        obs_on!(let mut waited = false;);
         loop {
             if let Some(v) = st.buf.pop_front() {
                 drop(st);
                 self.shared.not_full.notify_one();
+                obs_on!(crate::stats::queue().takes.inc(););
                 return Ok(Some(v));
             }
             if st.closed {
                 return Ok(None);
             }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::queue().blocked_takes.inc();
+            });
             if self
                 .shared
                 .not_empty
@@ -209,6 +249,9 @@ impl<T> BlockingQueue<T> {
     /// buffer and then observe end-of-stream. Idempotent.
     pub fn close(&self) {
         let mut st = self.shared.state.lock();
+        obs_on!(if !st.closed {
+            crate::stats::queue().closes.inc();
+        });
         st.closed = true;
         drop(st);
         self.shared.not_empty.notify_all();

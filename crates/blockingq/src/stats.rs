@@ -1,0 +1,58 @@
+//! Instrumentation points for the blocking channels (`obs` feature only).
+//!
+//! All queue instances share one family of process-wide metrics in the
+//! global [`obs::Registry`] — the snapshot answers "what did the runtime's
+//! queues do", which is what the Fig. 6 evaluation needs, at the cost of a
+//! single relaxed atomic op per event. Call sites are wrapped in the
+//! crate-local `obs_on!` macro, so none of this exists without the
+//! feature.
+
+use std::sync::{Arc, OnceLock};
+
+/// Metrics for [`crate::BlockingQueue`].
+pub(crate) struct QueueStats {
+    /// Successful `put`s (elements enqueued).
+    pub puts: Arc<obs::Counter>,
+    /// Successful `take`s (elements dequeued).
+    pub takes: Arc<obs::Counter>,
+    /// `put` wait episodes: a producer found the queue full and blocked.
+    pub blocked_puts: Arc<obs::Counter>,
+    /// `take` wait episodes: a consumer found the queue empty and blocked.
+    pub blocked_takes: Arc<obs::Counter>,
+    /// `close` calls.
+    pub closes: Arc<obs::Counter>,
+    /// High-water buffered depth across all queues.
+    pub depth_highwater: Arc<obs::Gauge>,
+}
+
+pub(crate) fn queue() -> &'static QueueStats {
+    static STATS: OnceLock<QueueStats> = OnceLock::new();
+    STATS.get_or_init(|| QueueStats {
+        puts: obs::counter("blockingq.queue.puts"),
+        takes: obs::counter("blockingq.queue.takes"),
+        blocked_puts: obs::counter("blockingq.queue.blocked_puts"),
+        blocked_takes: obs::counter("blockingq.queue.blocked_takes"),
+        closes: obs::counter("blockingq.queue.closes"),
+        depth_highwater: obs::gauge("blockingq.queue.depth_highwater"),
+    })
+}
+
+/// Metrics for [`crate::MVar`] (and therefore [`crate::Future`]).
+pub(crate) struct MVarStats {
+    pub puts: Arc<obs::Counter>,
+    pub takes: Arc<obs::Counter>,
+    /// `put` wait episodes (slot was full).
+    pub blocked_puts: Arc<obs::Counter>,
+    /// `take`/`read` wait episodes (slot was empty).
+    pub blocked_takes: Arc<obs::Counter>,
+}
+
+pub(crate) fn mvar() -> &'static MVarStats {
+    static STATS: OnceLock<MVarStats> = OnceLock::new();
+    STATS.get_or_init(|| MVarStats {
+        puts: obs::counter("blockingq.mvar.puts"),
+        takes: obs::counter("blockingq.mvar.takes"),
+        blocked_puts: obs::counter("blockingq.mvar.blocked_puts"),
+        blocked_takes: obs::counter("blockingq.mvar.blocked_takes"),
+    })
+}

@@ -3,8 +3,8 @@
 //! randomized multi-threaded conservation checks.
 
 use blockingq::{BlockingQueue, TryPutError, TryTakeError};
-use tinyprop::prelude::*;
 use std::collections::VecDeque;
+use tinyprop::prelude::*;
 
 /// One operation in a generated scenario.
 #[derive(Clone, Debug)]

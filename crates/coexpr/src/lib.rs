@@ -57,16 +57,20 @@ impl CoExpr {
     /// `|<>e`: a co-expression that shadows `env`'s local frame. The body
     /// builder receives the shadowed environment and must resolve its
     /// variables through it.
-    pub fn shadowed(
-        env: &Env,
-        body: impl Fn(&Env) -> BoxGen + Send + Sync + 'static,
-    ) -> CoExpr {
+    pub fn shadowed(env: &Env, body: impl Fn(&Env) -> BoxGen + Send + Sync + 'static) -> CoExpr {
         CoExpr::build(env.shadow(), Arc::new(body))
     }
 
     fn build(pristine: Env, body: Arc<BodyFn>) -> CoExpr {
         let working = pristine.shadow();
-        CoExpr { pristine, working, body, cur: None, produced: 0, done: false }
+        CoExpr {
+            pristine,
+            working,
+            body,
+            cur: None,
+            produced: 0,
+            done: false,
+        }
     }
 
     /// Wrap into a shared [`CoRef`] handle (the representation used inside
@@ -91,9 +95,7 @@ impl Coroutine for CoExpr {
         if self.done {
             return None;
         }
-        let cur = self
-            .cur
-            .get_or_insert_with(|| (self.body)(&self.working));
+        let cur = self.cur.get_or_insert_with(|| (self.body)(&self.working));
         match cur.resume() {
             Step::Suspend(v) => {
                 self.produced += 1;
@@ -132,10 +134,7 @@ pub fn create(make: impl Fn() -> BoxGen + Send + Sync + 'static) -> Value {
 }
 
 /// `|<>e` as a [`Value`].
-pub fn create_shadowed(
-    env: &Env,
-    body: impl Fn(&Env) -> BoxGen + Send + Sync + 'static,
-) -> Value {
+pub fn create_shadowed(env: &Env, body: impl Fn(&Env) -> BoxGen + Send + Sync + 'static) -> Value {
     CoExpr::shadowed(env, body).into_value()
 }
 
@@ -268,7 +267,11 @@ mod tests {
     fn promote_unravels_to_generator() {
         let co = create(|| Box::new(to_range(5, 7, 1)));
         let mut g = promote_co(co);
-        let vals: Vec<i64> = g.collect_values().iter().map(|v| v.as_int().unwrap()).collect();
+        let vals: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         assert_eq!(vals, vec![5, 6, 7]);
     }
 
@@ -277,7 +280,11 @@ mod tests {
         let co = create(|| Box::new(to_range(1, 4, 1)));
         activate(&co); // consume 1
         let mut g = promote_co(co);
-        let vals: Vec<i64> = g.collect_values().iter().map(|v| v.as_int().unwrap()).collect();
+        let vals: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
         assert_eq!(vals, vec![2, 3, 4]);
     }
 

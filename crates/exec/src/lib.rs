@@ -6,6 +6,20 @@
 //! shared [`blockingq::BlockingQueue`] of jobs, plus a [`Task`] handle that
 //! resolves a write-once [`blockingq::Future`] with the job's result.
 
+/// Expands its body only when the `obs` feature is on (see the identical
+/// shim in `blockingq`): instrumentation sites vanish entirely when
+/// observability is disabled.
+#[cfg(feature = "obs")]
+macro_rules! obs_on {
+    ($($body:tt)*) => { $($body)* };
+}
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_on {
+    ($($body:tt)*) => {};
+}
+
 mod pool;
+#[cfg(feature = "obs")]
+mod stats;
 
 pub use pool::{global, Task, ThreadPool};

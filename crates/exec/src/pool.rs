@@ -25,11 +25,14 @@ impl ThreadPool {
         let workers = (0..threads)
             .map(|i| {
                 let queue = queue.clone();
+                obs_on!(crate::stats::pool().workers_spawned.inc(););
                 std::thread::Builder::new()
                     .name(format!("exec-worker-{i}"))
                     .spawn(move || {
                         while let Some(job) = queue.take() {
+                            obs_on!(let _busy = crate::stats::pool().busy.start(););
                             job();
+                            obs_on!(crate::stats::pool().tasks_run.inc(););
                         }
                     })
                     .expect("failed to spawn pool worker")
@@ -48,6 +51,7 @@ impl ThreadPool {
         self.queue
             .put(Box::new(job))
             .unwrap_or_else(|_| panic!("pool is shut down"));
+        obs_on!(crate::stats::pool().tasks_queued.inc(););
     }
 
     /// Enqueue a job and get a [`Task`] handle resolving to its result.

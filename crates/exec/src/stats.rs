@@ -1,0 +1,30 @@
+//! Instrumentation points for the thread pool (`obs` feature only).
+//!
+//! Shared process-wide metric family in the global [`obs::Registry`];
+//! see `blockingq::stats` for the design rationale. Pool utilization is
+//! `busy.total_ns / (workers × wall time of the run)` — the snapshot
+//! carries the numerator, the benchmark harness knows the denominator.
+
+use std::sync::{Arc, OnceLock};
+
+/// Metrics for [`crate::ThreadPool`].
+pub(crate) struct PoolStats {
+    /// Worker threads ever spawned.
+    pub workers_spawned: Arc<obs::Counter>,
+    /// Jobs accepted into pool queues (`execute`/`submit`).
+    pub tasks_queued: Arc<obs::Counter>,
+    /// Jobs actually run by workers.
+    pub tasks_run: Arc<obs::Counter>,
+    /// Per-job busy time on workers (count, total, and latency window).
+    pub busy: Arc<obs::Timer>,
+}
+
+pub(crate) fn pool() -> &'static PoolStats {
+    static STATS: OnceLock<PoolStats> = OnceLock::new();
+    STATS.get_or_init(|| PoolStats {
+        workers_spawned: obs::counter("exec.pool.workers_spawned"),
+        tasks_queued: obs::counter("exec.pool.tasks_queued"),
+        tasks_run: obs::counter("exec.pool.tasks_run"),
+        busy: obs::timer("exec.pool.busy"),
+    })
+}

@@ -62,7 +62,10 @@ impl Gen for FailGen {
 /// each (re)start — the lifted closure form of `@<script lang="java">`
 /// regions and reified variable reads.
 pub fn thunk(f: impl Fn() -> Option<Value> + Send + 'static) -> Thunk {
-    Thunk { f: Box::new(f), done: false }
+    Thunk {
+        f: Box::new(f),
+        done: false,
+    }
 }
 
 pub struct Thunk {
@@ -117,7 +120,13 @@ impl Gen for Values {
 /// Panics if `by` is zero (as Icon errors at runtime).
 pub fn to_range(from: i64, to: i64, by: i64) -> ToRange {
     assert!(by != 0, "`to ... by 0` is an error");
-    ToRange { from, to, by, next: from, exhausted: false }
+    ToRange {
+        from,
+        to,
+        by,
+        next: from,
+        exhausted: false,
+    }
 }
 
 pub struct ToRange {
@@ -130,7 +139,11 @@ pub struct ToRange {
 
 impl Gen for ToRange {
     fn resume(&mut self) -> Step {
-        let in_range = if self.by > 0 { self.next <= self.to } else { self.next >= self.to };
+        let in_range = if self.by > 0 {
+            self.next <= self.to
+        } else {
+            self.next >= self.to
+        };
         if self.exhausted || !in_range {
             return Step::Fail;
         }
@@ -156,7 +169,13 @@ pub fn to_range_dyn(
     to: impl Fn() -> Option<i64> + Send + 'static,
     by: impl Fn() -> Option<i64> + Send + 'static,
 ) -> ToRangeDyn {
-    ToRangeDyn { from: Box::new(from), to: Box::new(to), by: Box::new(by), state: None, failed: false }
+    ToRangeDyn {
+        from: Box::new(from),
+        to: Box::new(to),
+        by: Box::new(by),
+        state: None,
+        failed: false,
+    }
 }
 
 pub struct ToRangeDyn {
@@ -202,7 +221,11 @@ impl Gen for ToRangeDyn {
 /// *backtracks* by resuming `left`. Values flow from left to right through
 /// [`Var`] bindings (see [`bind`]), so `right`'s restart re-reads them.
 pub fn product(left: impl Gen + 'static, right: impl Gen + 'static) -> Product {
-    Product { left: Box::new(left), right: Box::new(right), have_left: false }
+    Product {
+        left: Box::new(left),
+        right: Box::new(right),
+        have_left: false,
+    }
 }
 
 /// [`product`] over a slice of already-boxed factors, associating right.
@@ -212,7 +235,11 @@ pub fn product_all(mut factors: Vec<BoxGen>) -> BoxGen {
         1 => factors.pop().expect("len checked"),
         _ => {
             let first = factors.remove(0);
-            Box::new(Product { left: first, right: product_all(factors), have_left: false })
+            Box::new(Product {
+                left: first,
+                right: product_all(factors),
+                have_left: false,
+            })
         }
     }
 }
@@ -310,7 +337,10 @@ impl Gen for ProductMap {
 /// the glue of the normalization of Sec. V.A: flattened primaries
 /// communicate through these bindings.
 pub fn bind(var: Var, inner: impl Gen + 'static) -> Bind {
-    Bind { var, inner: Box::new(inner) }
+    Bind {
+        var,
+        inner: Box::new(inner),
+    }
 }
 
 pub struct Bind {
@@ -335,7 +365,10 @@ impl Gen for Bind {
 
 /// Alternation `e | e'`: concatenation of generator sequences.
 pub fn alt(a: impl Gen + 'static, b: impl Gen + 'static) -> Alt {
-    Alt { items: vec![Box::new(a), Box::new(b)], pos: 0 }
+    Alt {
+        items: vec![Box::new(a), Box::new(b)],
+        pos: 0,
+    }
 }
 
 /// N-ary alternation.
@@ -372,7 +405,11 @@ impl Gen for Alt {
 
 /// Limitation `e \ n`: at most `n` results.
 pub fn limit(inner: impl Gen + 'static, n: usize) -> Limit {
-    Limit { inner: Box::new(inner), n, produced: 0 }
+    Limit {
+        inner: Box::new(inner),
+        n,
+        produced: 0,
+    }
 }
 
 pub struct Limit {
@@ -411,7 +448,11 @@ pub fn bounded(inner: impl Gen + 'static) -> Limit {
 /// out; fails only when a full pass of `e` produces no result (which
 /// otherwise would loop forever).
 pub fn repeat_alt(inner: impl Gen + 'static) -> RepeatAlt {
-    RepeatAlt { inner: Box::new(inner), produced_this_pass: false, dead: false }
+    RepeatAlt {
+        inner: Box::new(inner),
+        produced_this_pass: false,
+        dead: false,
+    }
 }
 
 pub struct RepeatAlt {
@@ -459,7 +500,10 @@ pub fn filter_map(
     inner: impl Gen + 'static,
     f: impl Fn(&Value) -> Option<Value> + Send + 'static,
 ) -> FilterMap {
-    FilterMap { inner: Box::new(inner), f: Box::new(f) }
+    FilterMap {
+        inner: Box::new(inner),
+        f: Box::new(f),
+    }
 }
 
 type ValueMapFn = Box<dyn Fn(&Value) -> Option<Value> + Send>;
@@ -504,7 +548,10 @@ impl Gen for FilterMap {
 /// The value is obtained from a thunk so that a restart re-reads the
 /// (possibly reassigned) source variable.
 pub fn promote(src: impl Fn() -> Value + Send + 'static) -> Promote {
-    Promote { src: Box::new(src), state: PromoteState::Fresh }
+    Promote {
+        src: Box::new(src),
+        state: PromoteState::Fresh,
+    }
 }
 
 /// [`promote`] of an already-known value.
@@ -571,7 +618,11 @@ impl Gen for Promote {
 /// the generator the invocation returns. A thunk returning `None` (callee
 /// not invocable) fails.
 pub fn invoke_iter(thunk: impl Fn() -> Option<BoxGen> + Send + 'static) -> InvokeIter {
-    InvokeIter { thunk: Box::new(thunk), cur: None, dead: false }
+    InvokeIter {
+        thunk: Box::new(thunk),
+        cur: None,
+        dead: false,
+    }
 }
 
 pub struct InvokeIter {
@@ -609,11 +660,12 @@ impl Gen for InvokeIter {
 /// `every e do body`: drive `e` to failure, evaluating `body` (bounded) for
 /// each result; the whole construct fails (produces no results), like Icon's
 /// `every`.
-pub fn every_do(
-    source: impl Gen + 'static,
-    body: impl FnMut(&Value) + Send + 'static,
-) -> EveryDo {
-    EveryDo { source: Box::new(source), body: Box::new(body), done: false }
+pub fn every_do(source: impl Gen + 'static, body: impl FnMut(&Value) + Send + 'static) -> EveryDo {
+    EveryDo {
+        source: Box::new(source),
+        body: Box::new(body),
+        done: false,
+    }
 }
 
 pub struct EveryDo {
@@ -644,7 +696,11 @@ pub fn while_do(
     cond: impl FnMut() -> Option<Value> + Send + 'static,
     body: impl FnMut() + Send + 'static,
 ) -> WhileDo {
-    WhileDo { cond: Box::new(cond), body: Box::new(body), done: false }
+    WhileDo {
+        cond: Box::new(cond),
+        body: Box::new(body),
+        done: false,
+    }
 }
 
 pub struct WhileDo {
@@ -715,7 +771,11 @@ pub fn seq(mut exprs: Vec<BoxGen>) -> BoxGen {
         1 => exprs.pop().expect("len checked"),
         _ => {
             let last = exprs.pop().expect("len checked");
-            Box::new(Seq { leading: exprs, last, pos: 0 })
+            Box::new(Seq {
+                leading: exprs,
+                last,
+                pos: 0,
+            })
         }
     }
 }
@@ -751,7 +811,10 @@ mod tests {
     use crate::ops;
 
     fn ints(g: &mut dyn Gen) -> Vec<i64> {
-        g.collect_values().iter().map(|v| v.as_int().unwrap()).collect()
+        g.collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect()
     }
 
     #[test]

@@ -36,7 +36,10 @@ impl Env {
     /// A fresh root scope.
     pub fn root() -> Env {
         Env {
-            frame: Arc::new(Frame { vars: Mutex::new(HashMap::new()), parent: None }),
+            frame: Arc::new(Frame {
+                vars: Mutex::new(HashMap::new()),
+                parent: None,
+            }),
         }
     }
 

@@ -28,7 +28,10 @@ impl ProcValue {
         name: impl AsRef<str>,
         f: impl Fn(Vec<Value>) -> BoxGen + Send + Sync + 'static,
     ) -> ProcValue {
-        ProcValue { name: Arc::from(name.as_ref()), f: Arc::new(f) }
+        ProcValue {
+            name: Arc::from(name.as_ref()),
+            f: Arc::new(f),
+        }
     }
 
     /// Lift a plain (non-generator) native function: its result is promoted
@@ -116,7 +119,10 @@ mod tests {
         });
         assert!(half.invoke(vec![Value::from(3)]).next_value().is_none());
         assert_eq!(
-            half.invoke(vec![Value::from(8)]).next_value().unwrap().as_int(),
+            half.invoke(vec![Value::from(8)])
+                .next_value()
+                .unwrap()
+                .as_int(),
             Some(4)
         );
     }
@@ -137,7 +143,11 @@ mod tests {
             Some(Value::from(if arg(args, 1).is_null() { 1 } else { 0 }))
         });
         assert_eq!(
-            probe.invoke(vec![Value::from(9)]).next_value().unwrap().as_int(),
+            probe
+                .invoke(vec![Value::from(9)])
+                .next_value()
+                .unwrap()
+                .as_int(),
             Some(1)
         );
         assert_eq!(

@@ -303,7 +303,12 @@ pub fn index(x: &Value, i: &Value) -> Option<Value> {
         Value::Table(t) => {
             let key = i.as_key()?;
             let t = t.lock();
-            Some(t.entries.get(&key).cloned().unwrap_or_else(|| t.default.clone()))
+            Some(
+                t.entries
+                    .get(&key)
+                    .cloned()
+                    .unwrap_or_else(|| t.default.clone()),
+            )
         }
         _ => None,
     }

@@ -82,8 +82,7 @@ pub enum Key {
 /// handles with interior mutability, matching Icon's reference semantics for
 /// structures. All variants are `Send + Sync`, which is what lets pipes move
 /// generated values between threads.
-#[derive(Clone)]
-#[derive(Default)]
+#[derive(Clone, Default)]
 pub enum Value {
     /// The null value (`&null`); also the value of unset variables.
     #[default]
@@ -285,7 +284,6 @@ impl PartialEq for Value {
         self.equiv(other)
     }
 }
-
 
 impl From<i64> for Value {
     fn from(v: i64) -> Self {

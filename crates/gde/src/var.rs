@@ -28,7 +28,9 @@ pub struct Var {
 impl Var {
     /// Create a variable holding `v`.
     pub fn new(v: Value) -> Var {
-        Var { cell: Arc::new(Mutex::new(v)) }
+        Var {
+            cell: Arc::new(Mutex::new(v)),
+        }
     }
 
     /// Create a variable holding null.

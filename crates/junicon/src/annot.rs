@@ -80,7 +80,11 @@ impl Region {
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum AnnotError {
     /// `@</tag>` without a matching opener, or mismatched tag name.
-    MismatchedClose { found: String, expected: Option<String>, at: usize },
+    MismatchedClose {
+        found: String,
+        expected: Option<String>,
+        at: usize,
+    },
     /// Reached end of input inside an open region.
     UnclosedRegion { tag: String, opened_at: usize },
     /// Malformed annotation syntax at the given byte offset.
@@ -90,7 +94,11 @@ pub enum AnnotError {
 impl fmt::Display for AnnotError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AnnotError::MismatchedClose { found, expected, at } => match expected {
+            AnnotError::MismatchedClose {
+                found,
+                expected,
+                at,
+            } => match expected {
                 Some(e) => write!(f, "mismatched @</{found}> at byte {at}, expected @</{e}>"),
                 None => write!(f, "stray @</{found}> at byte {at}"),
             },
@@ -199,14 +207,20 @@ pub fn parse_annotated(src: &str) -> Result<Vec<Segment>, AnnotError> {
     }
 
     if let Some((region, opened_at)) = stack.pop() {
-        return Err(AnnotError::UnclosedRegion { tag: region.tag, opened_at });
+        return Err(AnnotError::UnclosedRegion {
+            tag: region.tag,
+            opened_at,
+        });
     }
     push_host(&mut root, src, host_start, src.len());
     Ok(root)
 }
 
 fn find_byte(bytes: &[u8], from: usize, target: u8) -> Option<usize> {
-    bytes[from..].iter().position(|&b| b == target).map(|p| from + p)
+    bytes[from..]
+        .iter()
+        .position(|&b| b == target)
+        .map(|p| from + p)
 }
 
 /// Parse `@<tag attrs>` starting at `at`; returns the region (body empty),
@@ -215,11 +229,16 @@ fn parse_open_tag(src: &str, at: usize) -> Result<(Region, usize, bool), AnnotEr
     let bytes = src.as_bytes();
     let mut i = at + 2; // past "@<"
     let name_start = i;
-    while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'_' | b':' | b'.')) {
+    while i < bytes.len()
+        && (bytes[i].is_ascii_alphanumeric() || matches!(bytes[i], b'_' | b':' | b'.'))
+    {
         i += 1;
     }
     if i == name_start {
-        return Err(AnnotError::Malformed { at, what: "missing tag name" });
+        return Err(AnnotError::Malformed {
+            at,
+            what: "missing tag name",
+        });
     }
     let tag = src[name_start..i].to_string();
 
@@ -227,15 +246,19 @@ fn parse_open_tag(src: &str, at: usize) -> Result<(Region, usize, bool), AnnotEr
     let mut attrs = Vec::new();
     let paren_form = bytes.get(i) == Some(&b'(');
     if paren_form {
-        let close = find_byte(bytes, i, b')')
-            .ok_or(AnnotError::Malformed { at, what: "unterminated attribute list" })?;
+        let close = find_byte(bytes, i, b')').ok_or(AnnotError::Malformed {
+            at,
+            what: "unterminated attribute list",
+        })?;
         parse_attrs(&src[i + 1..close], b',', &mut attrs);
         i = close + 1;
     }
 
     // Scan to '>' collecting space-separated attributes (XML form).
-    let gt = find_byte(bytes, i, b'>')
-        .ok_or(AnnotError::Malformed { at, what: "unterminated open tag" })?;
+    let gt = find_byte(bytes, i, b'>').ok_or(AnnotError::Malformed {
+        at,
+        what: "unterminated open tag",
+    })?;
     let mut self_closing = false;
     let mut attr_text = &src[i..gt];
     if attr_text.ends_with('/') {
@@ -245,11 +268,19 @@ fn parse_open_tag(src: &str, at: usize) -> Result<(Region, usize, bool), AnnotEr
     if !paren_form {
         parse_attrs(attr_text, b' ', &mut attrs);
     } else if !attr_text.trim().is_empty() && attr_text.trim() != "/" {
-        return Err(AnnotError::Malformed { at, what: "text after attribute list" });
+        return Err(AnnotError::Malformed {
+            at,
+            what: "text after attribute list",
+        });
     }
 
     Ok((
-        Region { tag, attrs, body: Vec::new(), self_closing },
+        Region {
+            tag,
+            attrs,
+            body: Vec::new(),
+            self_closing,
+        },
         gt + 1 - at,
         self_closing,
     ))
@@ -276,7 +307,10 @@ fn parse_attrs(text: &str, sep: u8, out: &mut Vec<Attr>) {
             .and_then(|v| v.strip_suffix('"'))
             .or_else(|| value.strip_prefix('\'').and_then(|v| v.strip_suffix('\'')))
             .unwrap_or(value);
-        out.push(Attr { name: name.to_string(), value: value.to_string() });
+        out.push(Attr {
+            name: name.to_string(),
+            value: value.to_string(),
+        });
     }
 }
 
@@ -410,8 +444,7 @@ mod tests {
 
     #[test]
     fn attribute_quoting_variants() {
-        let segs =
-            parse_annotated(r#"@<t a="double" b='single' c=bare/>"#).unwrap();
+        let segs = parse_annotated(r#"@<t a="double" b='single' c=bare/>"#).unwrap();
         let r = embedded(&segs)[0];
         assert_eq!(r.attr("a"), Some("double"));
         assert_eq!(r.attr("b"), Some("single"));

@@ -76,7 +76,11 @@ pub enum Expr {
     /// `e | e'` — alternation
     Alt(Box<Expr>, Box<Expr>),
     /// `i to j [by k]`
-    To { from: Box<Expr>, to: Box<Expr>, by: Option<Box<Expr>> },
+    To {
+        from: Box<Expr>,
+        to: Box<Expr>,
+        by: Option<Box<Expr>>,
+    },
     /// `target := value`
     Assign(Box<Expr>, Box<Expr>),
     /// `target <- value` — *reversible* assignment: the old value is
@@ -98,13 +102,26 @@ pub enum Expr {
     /// `e1`'s value and `&pos` starting at 1
     Scan(Box<Expr>, Box<Expr>),
     /// `if c then t [else e]`
-    If { cond: Box<Expr>, then: Box<Expr>, els: Option<Box<Expr>> },
+    If {
+        cond: Box<Expr>,
+        then: Box<Expr>,
+        els: Option<Box<Expr>>,
+    },
     /// `while c [do b]`
-    While { cond: Box<Expr>, body: Option<Box<Expr>> },
+    While {
+        cond: Box<Expr>,
+        body: Option<Box<Expr>>,
+    },
     /// `until c [do b]`
-    Until { cond: Box<Expr>, body: Option<Box<Expr>> },
+    Until {
+        cond: Box<Expr>,
+        body: Option<Box<Expr>>,
+    },
     /// `every g [do b]`
-    Every { source: Box<Expr>, body: Option<Box<Expr>> },
+    Every {
+        source: Box<Expr>,
+        body: Option<Box<Expr>>,
+    },
     /// `repeat b`
     Repeat(Box<Expr>),
     /// `not e`

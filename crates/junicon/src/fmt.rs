@@ -338,10 +338,8 @@ mod tests {
 
     #[test]
     fn proc_pretty_is_reparseable() {
-        let prog = crate::parse::parse_program(
-            "def f(a, b) { local t := a; suspend t to b; }",
-        )
-        .unwrap();
+        let prog =
+            crate::parse::parse_program("def f(a, b) { local t := a; suspend t to b; }").unwrap();
         let printed = pretty_proc(&prog.procs[0]);
         let reparsed = crate::parse::parse_program(&printed).unwrap();
         assert_eq!(prog.procs[0], reparsed.procs[0]);

@@ -17,9 +17,9 @@
 mod builtins;
 
 use crate::ast::BinOp;
-use crate::rt::{self, Flag, Slot};
 use crate::normalize::{normalize_program, Atom, CoKind, NClass, NProc, Norm};
 use crate::parse::{parse_expr, parse_program, ParseError};
+use crate::rt::{self, Flag, Slot};
 use bigint::BigInt;
 use gde::comb;
 use gde::env::Env;
@@ -155,7 +155,9 @@ impl Interp {
         let nprog = normalize_program(&prog);
         for p in &nprog.procs {
             let proc_value = self.make_proc(Arc::new(p.clone()));
-            self.shared.globals.declare(&p.name, Value::Proc(proc_value));
+            self.shared
+                .globals
+                .declare(&p.name, Value::Proc(proc_value));
         }
         for c in &nprog.classes {
             let ctor = self.make_class(Arc::new(c.clone()));
@@ -270,11 +272,7 @@ fn make_bound_proc_in(shared: Arc<Shared>, nproc: Arc<NProc>, scope: Env) -> Pro
             returned: rt::flag(),
             loop_flags: None,
         };
-        let stmts: Vec<BoxGen> = nproc
-            .body
-            .iter()
-            .map(|s| compile_stmt(s, &ctx))
-            .collect();
+        let stmts: Vec<BoxGen> = nproc.body.iter().map(|s| compile_stmt(s, &ctx)).collect();
         Box::new(rt::body_root(stmts, ctx.returned.clone())) as BoxGen
     })
 }
@@ -375,10 +373,7 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
             Box::new(comb::bind(var, compile(inner, ctx, Mode::Value)))
         }
         Norm::Alt(items) => {
-            let gens: Vec<BoxGen> = items
-                .iter()
-                .map(|i| compile(i, ctx, mode))
-                .collect();
+            let gens: Vec<BoxGen> = items.iter().map(|i| compile(i, ctx, mode)).collect();
             Box::new(comb::alt_all(gens))
         }
         Norm::Op(op, a, b) => {
@@ -415,7 +410,11 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
                 gde::func::invoke_value(&callee, argv)
             }))
         }
-        Norm::NativeInvoke { target, method, args } => {
+        Norm::NativeInvoke {
+            target,
+            method,
+            args,
+        } => {
             let rt = rt_atom(target, ctx);
             let rargs: Vec<Slot> = args.iter().map(|a| rt_atom(a, ctx)).collect();
             let shared = Arc::clone(&ctx.shared);
@@ -522,9 +521,7 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
                 ..ctx.clone()
             };
             let source_gen = compile(source, ctx, Mode::Value);
-            let body_gen = body
-                .as_ref()
-                .map(|b| compile_stmt(b, &body_ctx));
+            let body_gen = body.as_ref().map(|b| compile_stmt(b, &body_ctx));
             Box::new(rt::every_gen(
                 source_gen,
                 body_gen,
@@ -547,8 +544,7 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
         }
         Norm::Block(stmts) => match mode {
             Mode::Stmt => {
-                let gens: Vec<BoxGen> =
-                    stmts.iter().map(|s| compile_stmt(s, ctx)).collect();
+                let gens: Vec<BoxGen> = stmts.iter().map(|s| compile_stmt(s, ctx)).collect();
                 Box::new(rt::stmt_seq(gens, ctx.abort_flags()))
             }
             Mode::Value => {
@@ -567,9 +563,7 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
         },
         Norm::Suspend(inner) => compile(inner, ctx, Mode::Value),
         Norm::Return(inner) => {
-            let value_gen = inner
-                .as_ref()
-                .map(|e| compile(e, ctx, Mode::Value));
+            let value_gen = inner.as_ref().map(|e| compile(e, ctx, Mode::Value));
             Box::new(rt::return_gen(value_gen, ctx.returned.clone()))
         }
         Norm::Fail => match mode {

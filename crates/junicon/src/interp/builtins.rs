@@ -85,14 +85,12 @@ pub(super) fn install(interp: &Interp) {
     }));
 
     // list(n, x): a list of n copies of x (default null); list() is empty.
-    interp.register_proc(ProcValue::native("list", |args| {
-        match arg(args, 0) {
-            Value::Null => Some(Value::list(Vec::new())),
-            n => {
-                let n = n.as_int()?;
-                let init = arg(args, 1);
-                Some(Value::list(vec![init; n.max(0) as usize]))
-            }
+    interp.register_proc(ProcValue::native("list", |args| match arg(args, 0) {
+        Value::Null => Some(Value::list(Vec::new())),
+        n => {
+            let n = n.as_int()?;
+            let init = arg(args, 1);
+            Some(Value::list(vec![init; n.max(0) as usize]))
         }
     }));
     // table(): a fresh table (default value via arg 0).
@@ -337,7 +335,14 @@ fn install_strings(interp: &Interp) {
         let s = ops::to_str(&arg(args, 0))?;
         let n = arg(args, 1).as_int()?.max(0) as usize;
         let chars: Vec<char> = s.chars().collect();
-        let taken: String = chars.iter().rev().take(n).collect::<Vec<_>>().into_iter().rev().collect();
+        let taken: String = chars
+            .iter()
+            .rev()
+            .take(n)
+            .collect::<Vec<_>>()
+            .into_iter()
+            .rev()
+            .collect();
         let mut out = String::new();
         while out.chars().count() + taken.chars().count() < n {
             out.push(pad_char(args));
@@ -351,7 +356,9 @@ fn install_strings(interp: &Interp) {
         let len = s.chars().count();
         if len >= n {
             let skip = (len - n) / 2;
-            return Some(Value::from(s.chars().skip(skip).take(n).collect::<String>()));
+            return Some(Value::from(
+                s.chars().skip(skip).take(n).collect::<String>(),
+            ));
         }
         let pad = pad_char(args);
         let total = n - len;
@@ -424,11 +431,19 @@ fn install_scanning(interp: &Interp) {
         let frame = crate::rt::scan_top()?;
         let len = frame.subject.chars().count() as i64;
         // Icon's nonpositive position spec: 0 is the end, -1 one before it.
-        let target = if target <= 0 { len + 1 + target } else { target };
+        let target = if target <= 0 {
+            len + 1 + target
+        } else {
+            target
+        };
         if !crate::rt::scan_set_pos(target) {
             return None;
         }
-        let (lo, hi) = if frame.pos <= target { (frame.pos, target) } else { (target, frame.pos) };
+        let (lo, hi) = if frame.pos <= target {
+            (frame.pos, target)
+        } else {
+            (target, frame.pos)
+        };
         let piece: String = frame
             .subject
             .chars()
@@ -445,7 +460,11 @@ fn install_scanning(interp: &Interp) {
         if !crate::rt::scan_set_pos(target) {
             return None;
         }
-        let (lo, hi) = if frame.pos <= target { (frame.pos, target) } else { (target, frame.pos) };
+        let (lo, hi) = if frame.pos <= target {
+            (frame.pos, target)
+        } else {
+            (target, frame.pos)
+        };
         let piece: String = frame
             .subject
             .chars()

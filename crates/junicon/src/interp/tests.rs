@@ -3,7 +3,9 @@
 use super::*;
 
 fn ints(vals: Vec<Value>) -> Vec<i64> {
-    vals.iter().map(|v| v.as_int().expect("int value")).collect()
+    vals.iter()
+        .map(|v| v.as_int().expect("int value"))
+        .collect()
 }
 
 fn eval_ints(interp: &Interp, src: &str) -> Vec<i64> {
@@ -40,10 +42,7 @@ fn to_range_generates() {
 fn cross_product_of_nested_generators() {
     let i = Interp::new();
     // The transformation test: both operands are generators.
-    assert_eq!(
-        eval_ints(&i, "(1 to 2) * (10 to 11)"),
-        vec![10, 11, 20, 22]
-    );
+    assert_eq!(eval_ints(&i, "(1 to 2) * (10 to 11)"), vec![10, 11, 20, 22]);
 }
 
 #[test]
@@ -139,10 +138,8 @@ fn procedures_return_once() {
 #[test]
 fn return_stops_later_statements() {
     let i = Interp::new();
-    i.load(
-        "def f() { return 1; write(\"unreachable\"); }",
-    )
-    .unwrap();
+    i.load("def f() { return 1; write(\"unreachable\"); }")
+        .unwrap();
     assert_eq!(eval_ints(&i, "f()"), vec![1]);
     assert!(i.output().is_empty());
 }
@@ -150,7 +147,8 @@ fn return_stops_later_statements() {
 #[test]
 fn fail_statement_terminates_procedure() {
     let i = Interp::new();
-    i.load("def f(x) { if x < 0 then fail; return x; }").unwrap();
+    i.load("def f(x) { if x < 0 then fail; return x; }")
+        .unwrap();
     assert_eq!(eval_ints(&i, "f(5)"), vec![5]);
     assert_eq!(eval_ints(&i, "f(-1)"), Vec::<i64>::new());
 }
@@ -166,10 +164,8 @@ fn implicit_fail_when_falling_off_end() {
 fn suspend_inside_while_loop() {
     // The Fig. 4 pattern: suspend inside a loop body, no threads.
     let i = Interp::new();
-    i.load(
-        "def countdown(n) { while n > 0 do { suspend n; n := n - 1; }; }",
-    )
-    .unwrap();
+    i.load("def countdown(n) { while n > 0 do { suspend n; n := n - 1; }; }")
+        .unwrap();
     assert_eq!(eval_ints(&i, "countdown(4)"), vec![4, 3, 2, 1]);
 }
 
@@ -353,7 +349,8 @@ fn size_of_coexpression_counts_results() {
 fn pipe_runs_in_separate_thread() {
     let i = Interp::new();
     // |> squares the values on a producer thread; ! consumes here.
-    i.load("def squares(n) { suspend (1 to n) * (1 to n); }").unwrap();
+    i.load("def squares(n) { suspend (1 to n) * (1 to n); }")
+        .unwrap();
     let got = eval_ints(&i, "! (|> (1 to 5))");
     assert_eq!(got, vec![1, 2, 3, 4, 5]);
 }
@@ -413,17 +410,18 @@ fn registered_host_procedure() {
 #[test]
 fn host_preset_globals_are_visible() {
     let i = Interp::new();
-    i.globals().declare("lines", Value::list(vec![Value::str("x y"), Value::str("z")]));
+    i.globals().declare(
+        "lines",
+        Value::list(vec![Value::str("x y"), Value::str("z")]),
+    );
     assert_eq!(eval_ints(&i, "*lines"), vec![2]);
 }
 
 #[test]
 fn recursion_works() {
     let i = Interp::new();
-    i.load(
-        "def fact(n) { if n <= 1 then return 1; return n * fact(n - 1); }",
-    )
-    .unwrap();
+    i.load("def fact(n) { if n <= 1 then return 1; return n * fact(n - 1); }")
+        .unwrap();
     assert_eq!(eval_ints(&i, "fact(10)"), vec![3628800]);
     // big result via promotion
     let f30 = i.eval("fact(30)").unwrap();
@@ -454,10 +452,8 @@ fn variadic_missing_args_are_null() {
 #[test]
 fn locals_do_not_leak_between_invocations() {
     let i = Interp::new();
-    i.load(
-        "def counter() { local n; n := 0; n := n + 1; return n; }",
-    )
-    .unwrap();
+    i.load("def counter() { local n; n := 0; n := n + 1; return n; }")
+        .unwrap();
     assert_eq!(eval_ints(&i, "counter()"), vec![1]);
     assert_eq!(eval_ints(&i, "counter()"), vec![1]); // fresh frame
 }
@@ -465,20 +461,16 @@ fn locals_do_not_leak_between_invocations() {
 #[test]
 fn until_loop() {
     let i = Interp::new();
-    i.load(
-        "def f() { local n; n := 0; until n >= 3 do n := n + 1; return n; }",
-    )
-    .unwrap();
+    i.load("def f() { local n; n := 0; until n >= 3 do n := n + 1; return n; }")
+        .unwrap();
     assert_eq!(eval_ints(&i, "f()"), vec![3]);
 }
 
 #[test]
 fn repeat_with_break() {
     let i = Interp::new();
-    i.load(
-        "def f() { local n; n := 0; repeat { n := n + 1; if n >= 5 then break; }; return n; }",
-    )
-    .unwrap();
+    i.load("def f() { local n; n := 0; repeat { n := n + 1; if n >= 5 then break; }; return n; }")
+        .unwrap();
     assert_eq!(eval_ints(&i, "f()"), vec![5]);
 }
 
@@ -575,7 +567,10 @@ fn reversible_assignment_commits_on_success() {
     i.eval("x := 1").unwrap();
     // Taking only the first result leaves the assignment committed
     // (no backtrack resumed it).
-    assert_eq!(i.eval_first("(x <- 42) & x").unwrap().unwrap().as_int(), Some(42));
+    assert_eq!(
+        i.eval_first("(x <- 42) & x").unwrap().unwrap().as_int(),
+        Some(42)
+    );
     assert_eq!(eval_ints(&i, "x"), vec![42]);
 }
 

@@ -43,15 +43,15 @@ pub enum Tok {
     Le,
     Gt,
     Ge,
-    Eq,    // =
-    Ne,    // ~=
-    SEq,   // ==
-    SNe,   // ~==
-    SLt,   // <<
-    SLe,   // <<=
-    SGt,   // >>
-    SGe,   // >>=
-    EqEqEq, // ===
+    Eq,        // =
+    Ne,        // ~=
+    SEq,       // ==
+    SNe,       // ~==
+    SLt,       // <<
+    SLe,       // <<=
+    SGt,       // >>
+    SGe,       // >>=
+    EqEqEq,    // ===
     RevAssign, // <-
     Backslash, // \ (limitation)
     Question,  // ?
@@ -171,7 +171,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 let mut s = String::new();
                 loop {
                     if i >= b.len() {
-                        return Err(LexError { at, msg: "unterminated string".into() });
+                        return Err(LexError {
+                            at,
+                            msg: "unterminated string".into(),
+                        });
                     }
                     match b[i] {
                         q if q == quote => {
@@ -181,7 +184,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         b'\\' => {
                             i += 1;
                             if i >= b.len() {
-                                return Err(LexError { at, msg: "unterminated escape".into() });
+                                return Err(LexError {
+                                    at,
+                                    msg: "unterminated escape".into(),
+                                });
                             }
                             s.push(match b[i] {
                                 b'n' => '\n',
@@ -206,7 +212,10 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         }
                     }
                 }
-                out.push(Spanned { tok: Tok::Str(s), at });
+                out.push(Spanned {
+                    tok: Tok::Str(s),
+                    at,
+                });
                 continue;
             }
             b'0'..=b'9' => {
@@ -215,11 +224,7 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                     i += 1;
                 }
                 // real: digits '.' digits (but not '..' or method call)
-                if i < b.len()
-                    && b[i] == b'.'
-                    && i + 1 < b.len()
-                    && b[i + 1].is_ascii_digit()
-                {
+                if i < b.len() && b[i] == b'.' && i + 1 < b.len() && b[i + 1].is_ascii_digit() {
                     i += 1;
                     while i < b.len() && b[i].is_ascii_digit() {
                         i += 1;
@@ -238,15 +243,25 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                         }
                     }
                     let text = &src[start..i];
-                    let v: f64 = text
-                        .parse()
-                        .map_err(|_| LexError { at, msg: format!("bad real {text}") })?;
-                    out.push(Spanned { tok: Tok::Real(v), at });
+                    let v: f64 = text.parse().map_err(|_| LexError {
+                        at,
+                        msg: format!("bad real {text}"),
+                    })?;
+                    out.push(Spanned {
+                        tok: Tok::Real(v),
+                        at,
+                    });
                 } else {
                     let text = &src[start..i];
                     match text.parse::<i64>() {
-                        Ok(v) => out.push(Spanned { tok: Tok::Int(v), at }),
-                        Err(_) => out.push(Spanned { tok: Tok::BigInt(text.to_string()), at }),
+                        Ok(v) => out.push(Spanned {
+                            tok: Tok::Int(v),
+                            at,
+                        }),
+                        Err(_) => out.push(Spanned {
+                            tok: Tok::BigInt(text.to_string()),
+                            at,
+                        }),
                     }
                 }
                 continue;
@@ -258,8 +273,14 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
                 }
                 let word = &src[start..i];
                 match Kw::from_ident(word) {
-                    Some(kw) => out.push(Spanned { tok: Tok::Keyword(kw), at }),
-                    None => out.push(Spanned { tok: Tok::Ident(word.to_string()), at }),
+                    Some(kw) => out.push(Spanned {
+                        tok: Tok::Keyword(kw),
+                        at,
+                    }),
+                    None => out.push(Spanned {
+                        tok: Tok::Ident(word.to_string()),
+                        at,
+                    }),
                 }
                 continue;
             }
@@ -314,14 +335,20 @@ pub fn lex(src: &str) -> Result<Vec<Spanned>, LexError> {
         let mut matched = false;
         for (pat, tok) in table {
             if rest.starts_with(pat) {
-                out.push(Spanned { tok: tok.clone(), at });
+                out.push(Spanned {
+                    tok: tok.clone(),
+                    at,
+                });
                 i += pat.len();
                 matched = true;
                 break;
             }
         }
         if !matched {
-            return Err(LexError { at, msg: format!("unexpected character {:?}", rest.chars().next().unwrap()) });
+            return Err(LexError {
+                at,
+                msg: format!("unexpected character {:?}", rest.chars().next().unwrap()),
+            });
         }
     }
     Ok(out)
@@ -383,7 +410,13 @@ mod tests {
     fn concurrency_operators_longest_match() {
         assert_eq!(
             toks("|<> |> <> | ||"),
-            vec![Tok::BarDiamond, Tok::PipeOp, Tok::Diamond, Tok::Bar, Tok::BarBar]
+            vec![
+                Tok::BarDiamond,
+                Tok::PipeOp,
+                Tok::Diamond,
+                Tok::Bar,
+                Tok::BarBar
+            ]
         );
     }
 
@@ -425,10 +458,7 @@ mod tests {
 
     #[test]
     fn comments_are_skipped() {
-        assert_eq!(
-            toks("1 # a comment\n2"),
-            vec![Tok::Int(1), Tok::Int(2)]
-        );
+        assert_eq!(toks("1 # a comment\n2"), vec![Tok::Int(1), Tok::Int(2)]);
     }
 
     #[test]

@@ -72,10 +72,7 @@ pub fn extract_regions(src: &str) -> Result<Vec<(String, String)>, MixedError> {
     fn walk(segs: &[Segment], out: &mut Vec<(String, String)>) {
         for seg in segs {
             if let Segment::Embedded(r) = seg {
-                out.push((
-                    r.lang().unwrap_or_default().to_string(),
-                    r.text(),
-                ));
+                out.push((r.lang().unwrap_or_default().to_string(), r.text()));
                 walk(&r.body, out);
             }
         }
@@ -196,7 +193,8 @@ mod tests {
 
     #[test]
     fn transpile_replaces_regions_and_keeps_host() {
-        let src = "// before\n@<script lang=\"junicon\"> def id(x) { return x; } @</script>\n// after\n";
+        let src =
+            "// before\n@<script lang=\"junicon\"> def id(x) { return x; } @</script>\n// after\n";
         let out = transpile_mixed(src).unwrap();
         assert!(out.contains("// before"));
         assert!(out.contains("// after"));

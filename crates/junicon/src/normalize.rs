@@ -65,37 +65,84 @@ pub enum Norm {
     Refresh(Atom),
     /// Generator-function invocation: iterate the generator returned by
     /// applying the (atom-valued) callee to atom arguments.
-    Invoke { callee: Atom, args: Vec<Atom> },
+    Invoke {
+        callee: Atom,
+        args: Vec<Atom>,
+    },
     /// Host-native invocation `target::method(args)` — promoted to a
     /// singleton result ("plain Java methods" treatment).
-    NativeInvoke { target: Atom, method: String, args: Vec<Atom> },
+    NativeInvoke {
+        target: Atom,
+        method: String,
+        args: Vec<Atom>,
+    },
     /// Subscript read `base[index]`.
-    Index { base: Atom, index: Atom },
+    Index {
+        base: Atom,
+        index: Atom,
+    },
     /// Subscript write `base[index] := value`.
-    IndexAssign { base: Atom, index: Atom, value: Atom },
+    IndexAssign {
+        base: Atom,
+        index: Atom,
+        value: Atom,
+    },
     /// Field read `base.field`.
-    FieldGet { base: Atom, field: String },
+    FieldGet {
+        base: Atom,
+        field: String,
+    },
     /// Field write `base.field := value`.
-    FieldSet { base: Atom, field: String, value: Atom },
+    FieldSet {
+        base: Atom,
+        field: String,
+        value: Atom,
+    },
     /// List construction from atoms.
     ListLit(Vec<Atom>),
     /// Assignment into a named variable; yields the assigned value.
-    SetVar { name: String, from: Atom },
+    SetVar {
+        name: String,
+        from: Atom,
+    },
     /// Reversible assignment `x <- e`: assigns and yields, then restores
     /// the previous value when resumed for backtracking.
-    RevSet { name: String, from: Atom },
+    RevSet {
+        name: String,
+        from: Atom,
+    },
     /// `from to to [by by]` with atom bounds.
-    ToRange { from: Atom, to: Atom, by: Option<Atom> },
+    ToRange {
+        from: Atom,
+        to: Atom,
+        by: Option<Atom>,
+    },
     /// Limitation `e \ n` with an atom bound.
-    Limit { inner: Box<Norm>, n: Atom },
+    Limit {
+        inner: Box<Norm>,
+        n: Atom,
+    },
     /// `if`/`then`/`else`.
-    If { cond: Box<Norm>, then: Box<Norm>, els: Option<Box<Norm>> },
+    If {
+        cond: Box<Norm>,
+        then: Box<Norm>,
+        els: Option<Box<Norm>>,
+    },
     /// `while cond do body`.
-    While { cond: Box<Norm>, body: Option<Box<Norm>> },
+    While {
+        cond: Box<Norm>,
+        body: Option<Box<Norm>>,
+    },
     /// `until cond do body`.
-    Until { cond: Box<Norm>, body: Option<Box<Norm>> },
+    Until {
+        cond: Box<Norm>,
+        body: Option<Box<Norm>>,
+    },
     /// `every source do body`.
-    Every { source: Box<Norm>, body: Option<Box<Norm>> },
+    Every {
+        source: Box<Norm>,
+        body: Option<Box<Norm>>,
+    },
     /// `repeat body`.
     Repeat(Box<Norm>),
     /// `not e`: succeeds (null) iff e fails.
@@ -113,11 +160,17 @@ pub enum Norm {
     /// Local declarations with optional initializers.
     Decl(Vec<(String, Option<Norm>)>),
     /// `<>e` / `|<>e` / `create e`.
-    CoCreate { kind: CoKind, body: Box<Norm> },
+    CoCreate {
+        kind: CoKind,
+        body: Box<Norm>,
+    },
     /// `|>e` — threaded generator proxy.
     Pipe(Box<Norm>),
     /// `e1 ? e2` — string scanning.
-    Scan { subject: Box<Norm>, body: Box<Norm> },
+    Scan {
+        subject: Box<Norm>,
+        body: Box<Norm>,
+    },
 }
 
 /// A normalized procedure.
@@ -167,7 +220,12 @@ pub fn normalize_program(p: &Program) -> NProgram {
     let classes = p.classes.iter().map(normalize_class).collect();
     let mut tmps = Tmps::default();
     let stmts = p.stmts.iter().map(|e| normalize(e, &mut tmps)).collect();
-    NProgram { procs, classes, stmts, tmp_count: tmps.next }
+    NProgram {
+        procs,
+        classes,
+        stmts,
+        tmp_count: tmps.next,
+    }
 }
 
 /// Normalize one class declaration.
@@ -284,14 +342,27 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
             let f = flatten(from, &mut binds, tmps);
             let t = flatten(to, &mut binds, tmps);
             let b = by.as_ref().map(|b| flatten(b, &mut binds, tmps));
-            with_binds(binds, Norm::ToRange { from: f, to: t, by: b })
+            with_binds(
+                binds,
+                Norm::ToRange {
+                    from: f,
+                    to: t,
+                    by: b,
+                },
+            )
         }
 
         Expr::RevAssign(target, value) => match &**target {
             Expr::Var(name) => {
                 let mut binds = Vec::new();
                 let v = flatten(value, &mut binds, tmps);
-                with_binds(binds, Norm::RevSet { name: name.clone(), from: v })
+                with_binds(
+                    binds,
+                    Norm::RevSet {
+                        name: name.clone(),
+                        from: v,
+                    },
+                )
             }
             other => {
                 let _ = normalize(other, tmps);
@@ -303,14 +374,27 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
             Expr::Var(name) => {
                 let mut binds = Vec::new();
                 let v = flatten(value, &mut binds, tmps);
-                with_binds(binds, Norm::SetVar { name: name.clone(), from: v })
+                with_binds(
+                    binds,
+                    Norm::SetVar {
+                        name: name.clone(),
+                        from: v,
+                    },
+                )
             }
             Expr::Index(base, idx) => {
                 let mut binds = Vec::new();
                 let b = flatten(base, &mut binds, tmps);
                 let i = flatten(idx, &mut binds, tmps);
                 let v = flatten(value, &mut binds, tmps);
-                with_binds(binds, Norm::IndexAssign { base: b, index: i, value: v })
+                with_binds(
+                    binds,
+                    Norm::IndexAssign {
+                        base: b,
+                        index: i,
+                        value: v,
+                    },
+                )
             }
             Expr::Field(base, field) => {
                 let mut binds = Vec::new();
@@ -318,7 +402,11 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
                 let v = flatten(value, &mut binds, tmps);
                 with_binds(
                     binds,
-                    Norm::FieldSet { base: b, field: field.clone(), value: v },
+                    Norm::FieldSet {
+                        base: b,
+                        field: field.clone(),
+                        value: v,
+                    },
                 )
             }
             other => {
@@ -334,7 +422,13 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
             let mut binds = Vec::new();
             let f = flatten(callee, &mut binds, tmps);
             let fargs = args.iter().map(|a| flatten(a, &mut binds, tmps)).collect();
-            with_binds(binds, Norm::Invoke { callee: f, args: fargs })
+            with_binds(
+                binds,
+                Norm::Invoke {
+                    callee: f,
+                    args: fargs,
+                },
+            )
         }
         Expr::NativeCall(target, method, args) => {
             let mut binds = Vec::new();
@@ -342,7 +436,11 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
             let fargs = args.iter().map(|a| flatten(a, &mut binds, tmps)).collect();
             with_binds(
                 binds,
-                Norm::NativeInvoke { target: t, method: method.clone(), args: fargs },
+                Norm::NativeInvoke {
+                    target: t,
+                    method: method.clone(),
+                    args: fargs,
+                },
             )
         }
         Expr::Index(base, idx) => {
@@ -354,7 +452,13 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
         Expr::Field(base, field) => {
             let mut binds = Vec::new();
             let b = flatten(base, &mut binds, tmps);
-            with_binds(binds, Norm::FieldGet { base: b, field: field.clone() })
+            with_binds(
+                binds,
+                Norm::FieldGet {
+                    base: b,
+                    field: field.clone(),
+                },
+            )
         }
         Expr::List(items) => {
             let mut binds = Vec::new();
@@ -369,7 +473,13 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
             let mut binds = Vec::new();
             let bound = flatten(n, &mut binds, tmps);
             let inner = normalize(inner, tmps);
-            with_binds(binds, Norm::Limit { inner: Box::new(inner), n: bound })
+            with_binds(
+                binds,
+                Norm::Limit {
+                    inner: Box::new(inner),
+                    n: bound,
+                },
+            )
         }
 
         Expr::If { cond, then, els } => Norm::If {
@@ -393,9 +503,7 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
         Expr::Not(inner) => Norm::Not(Box::new(normalize(inner, tmps))),
         Expr::Block(stmts) => Norm::Block(stmts.iter().map(|s| normalize(s, tmps)).collect()),
         Expr::Suspend(inner) => Norm::Suspend(Box::new(normalize(inner, tmps))),
-        Expr::Return(inner) => {
-            Norm::Return(inner.as_ref().map(|e| Box::new(normalize(e, tmps))))
-        }
+        Expr::Return(inner) => Norm::Return(inner.as_ref().map(|e| Box::new(normalize(e, tmps)))),
         Expr::Fail => Norm::Fail,
         Expr::Break => Norm::Break,
         Expr::Next => Norm::Next,
@@ -508,10 +616,7 @@ mod tests {
                         assert!(*t > 0);
                         match &**inner {
                             Norm::Product(inner_factors) => {
-                                assert!(matches!(
-                                    inner_factors.last(),
-                                    Some(Norm::Invoke { .. })
-                                ));
+                                assert!(matches!(inner_factors.last(), Some(Norm::Invoke { .. })));
                             }
                             other => panic!("inner {other:?}"),
                         }
@@ -574,7 +679,10 @@ mod tests {
         // atom rhs needs no bind
         assert_eq!(
             norm("x := 5"),
-            Norm::SetVar { name: "x".into(), from: Atom::Int(5) }
+            Norm::SetVar {
+                name: "x".into(),
+                from: Atom::Int(5)
+            }
         );
     }
 
@@ -609,15 +717,24 @@ mod tests {
     fn coexpression_kinds() {
         assert!(matches!(
             norm("<> (1 to 3)"),
-            Norm::CoCreate { kind: CoKind::FirstClass, .. }
+            Norm::CoCreate {
+                kind: CoKind::FirstClass,
+                ..
+            }
         ));
         assert!(matches!(
             norm("|<> f()"),
-            Norm::CoCreate { kind: CoKind::Shadowed, .. }
+            Norm::CoCreate {
+                kind: CoKind::Shadowed,
+                ..
+            }
         ));
         assert!(matches!(
             norm("create g()"),
-            Norm::CoCreate { kind: CoKind::FirstClass, .. }
+            Norm::CoCreate {
+                kind: CoKind::FirstClass,
+                ..
+            }
         ));
     }
 
@@ -694,7 +811,9 @@ mod tests {
     fn limitation_normalizes() {
         let n = norm("f(x) \\ 3");
         match n {
-            Norm::Limit { n: Atom::Int(3), .. } => {}
+            Norm::Limit {
+                n: Atom::Int(3), ..
+            } => {}
             other => panic!("got {other:?}"),
         }
     }

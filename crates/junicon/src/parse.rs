@@ -37,7 +37,10 @@ impl std::error::Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { at: e.at, msg: e.msg }
+        ParseError {
+            at: e.at,
+            msg: e.msg,
+        }
     }
 }
 
@@ -105,7 +108,10 @@ impl Parser {
     }
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
-        ParseError { at: self.at(), msg: msg.into() }
+        ParseError {
+            at: self.at(),
+            msg: msg.into(),
+        }
     }
 
     fn bump(&mut self) -> Option<Tok> {
@@ -230,14 +236,22 @@ impl Parser {
                 return Err(self.error("expected method declaration in class body"));
             }
         }
-        Ok(ClassDecl { name, fields, methods })
+        Ok(ClassDecl {
+            name,
+            fields,
+            methods,
+        })
     }
 
     // ---- statements -------------------------------------------------------
 
     /// Statement = declaration | suspend/return/fail/break/next | expr.
     fn statement(&mut self) -> Result<Expr, ParseError> {
-        if self.eat_kw(Kw::Local) || self.eat_kw(Kw::Var) || self.eat_kw(Kw::Static) || self.eat_kw(Kw::Global) {
+        if self.eat_kw(Kw::Local)
+            || self.eat_kw(Kw::Var)
+            || self.eat_kw(Kw::Static)
+            || self.eat_kw(Kw::Global)
+        {
             let mut decls = Vec::new();
             loop {
                 let name = self.ident()?;
@@ -333,7 +347,11 @@ impl Parser {
             } else {
                 None
             };
-            return Ok(Expr::To { from: Box::new(lhs), to: Box::new(hi), by });
+            return Ok(Expr::To {
+                from: Box::new(lhs),
+                to: Box::new(hi),
+                by,
+            });
         }
         Ok(lhs)
     }
@@ -513,7 +531,9 @@ impl Parser {
                     Some(Tok::Ident(name)) => Ok(Expr::KeywordAmp(name)),
                     Some(Tok::Keyword(Kw::Null)) => Ok(Expr::Null),
                     Some(Tok::Keyword(Kw::Fail)) => Ok(Expr::Fail),
-                    other => Err(self.error(format!("expected keyword after '&', found {other:?}"))),
+                    other => {
+                        Err(self.error(format!("expected keyword after '&', found {other:?}")))
+                    }
                 }
             }
             Some(Tok::LParen) => {
@@ -555,7 +575,11 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Expr::If { cond: Box::new(cond), then: Box::new(then), els })
+                Ok(Expr::If {
+                    cond: Box::new(cond),
+                    then: Box::new(then),
+                    els,
+                })
             }
             Some(Tok::Keyword(Kw::While)) => {
                 let cond = self.expr()?;
@@ -564,7 +588,10 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Expr::While { cond: Box::new(cond), body })
+                Ok(Expr::While {
+                    cond: Box::new(cond),
+                    body,
+                })
             }
             Some(Tok::Keyword(Kw::Until)) => {
                 let cond = self.expr()?;
@@ -573,7 +600,10 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Expr::Until { cond: Box::new(cond), body })
+                Ok(Expr::Until {
+                    cond: Box::new(cond),
+                    body,
+                })
             }
             Some(Tok::Keyword(Kw::Every)) => {
                 let source = self.expr()?;
@@ -582,7 +612,10 @@ impl Parser {
                 } else {
                     None
                 };
-                Ok(Expr::Every { source: Box::new(source), body })
+                Ok(Expr::Every {
+                    source: Box::new(source),
+                    body,
+                })
             }
             Some(Tok::Keyword(Kw::Repeat)) => {
                 let body = self.statement()?;
@@ -651,7 +684,10 @@ mod tests {
             E::To { by: Some(_), .. } => {}
             other => panic!("got {other:?}"),
         }
-        assert!(matches!(parse_expr("i to j").unwrap(), E::To { by: None, .. }));
+        assert!(matches!(
+            parse_expr("i to j").unwrap(),
+            E::To { by: None, .. }
+        ));
     }
 
     #[test]
@@ -677,10 +713,22 @@ mod tests {
             parse_expr("|> h(y)").unwrap(),
             E::Unary(UnOp::Pipe, _)
         ));
-        assert!(matches!(parse_expr("@c").unwrap(), E::Unary(UnOp::Activate, _)));
-        assert!(matches!(parse_expr("^c").unwrap(), E::Unary(UnOp::Refresh, _)));
-        assert!(matches!(parse_expr("!xs").unwrap(), E::Unary(UnOp::Promote, _)));
-        assert!(matches!(parse_expr("*xs").unwrap(), E::Unary(UnOp::Size, _)));
+        assert!(matches!(
+            parse_expr("@c").unwrap(),
+            E::Unary(UnOp::Activate, _)
+        ));
+        assert!(matches!(
+            parse_expr("^c").unwrap(),
+            E::Unary(UnOp::Refresh, _)
+        ));
+        assert!(matches!(
+            parse_expr("!xs").unwrap(),
+            E::Unary(UnOp::Promote, _)
+        ));
+        assert!(matches!(
+            parse_expr("*xs").unwrap(),
+            E::Unary(UnOp::Size, _)
+        ));
     }
 
     #[test]
@@ -691,8 +739,7 @@ mod tests {
     #[test]
     fn the_paper_pipeline_expression_parses() {
         // From Fig. 3's runPipeline body.
-        let e = parse_expr("hashNumber( ! (|> wordToNumber( ! splitWords(readLines()))))")
-            .unwrap();
+        let e = parse_expr("hashNumber( ! (|> wordToNumber( ! splitWords(readLines()))))").unwrap();
         // shape: Call(hashNumber, [Promote(Pipe(Call(wordToNumber, ...)))])
         match e {
             E::Call(callee, args) => {
@@ -753,7 +800,10 @@ mod tests {
             parse_expr("every x := 1 to 3 do put(l, x)").unwrap(),
             E::Every { body: Some(_), .. }
         ));
-        assert!(matches!(parse_expr("until done").unwrap(), E::Until { body: None, .. }));
+        assert!(matches!(
+            parse_expr("until done").unwrap(),
+            E::Until { body: None, .. }
+        ));
     }
 
     #[test]
@@ -786,10 +836,7 @@ mod tests {
 
     #[test]
     fn procedure_end_form() {
-        let prog = parse_program(
-            "procedure add(a, b)\n  return a + b\nend",
-        )
-        .unwrap();
+        let prog = parse_program("procedure add(a, b)\n  return a + b\nend").unwrap();
         assert_eq!(prog.procs[0].name, "add");
         assert_eq!(prog.procs[0].body.len(), 1);
         assert!(matches!(prog.procs[0].body[0], E::Return(Some(_))));

@@ -114,7 +114,11 @@ pub struct StmtSeq {
 
 /// Build a [`StmtSeq`].
 pub fn stmt_seq(stmts: Vec<BoxGen>, aborts: Vec<Flag>) -> StmtSeq {
-    StmtSeq { stmts, pos: 0, aborts }
+    StmtSeq {
+        stmts,
+        pos: 0,
+        aborts,
+    }
 }
 
 impl StmtSeq {
@@ -154,7 +158,10 @@ pub struct BodyRoot {
 
 /// Build a procedure body from statement generators and the return flag.
 pub fn body_root(stmts: Vec<BoxGen>, returned: Flag) -> BodyRoot {
-    BodyRoot { seq: stmt_seq(stmts, vec![returned.clone()]), returned }
+    BodyRoot {
+        seq: stmt_seq(stmts, vec![returned.clone()]),
+        returned,
+    }
 }
 
 impl Gen for BodyRoot {
@@ -202,7 +209,11 @@ pub struct ReturnGen {
 
 /// Build a [`ReturnGen`].
 pub fn return_gen(value: Option<BoxGen>, returned: Flag) -> ReturnGen {
-    ReturnGen { value, returned, done: false }
+    ReturnGen {
+        value,
+        returned,
+        done: false,
+    }
 }
 
 impl Gen for ReturnGen {
@@ -276,7 +287,16 @@ pub fn loop_gen(
     next_f: Flag,
     outer_loop: Option<(Flag, Flag)>,
 ) -> LoopGen {
-    LoopGen { cond, body, until, in_pass: false, returned, break_f, next_f, outer_loop }
+    LoopGen {
+        cond,
+        body,
+        until,
+        in_pass: false,
+        returned,
+        break_f,
+        next_f,
+        outer_loop,
+    }
 }
 
 impl LoopGen {
@@ -357,7 +377,15 @@ pub fn every_gen(
     next_f: Flag,
     outer_loop: Option<(Flag, Flag)>,
 ) -> EveryGen {
-    EveryGen { source, body, in_pass: false, returned, break_f, next_f, outer_loop }
+    EveryGen {
+        source,
+        body,
+        in_pass: false,
+        returned,
+        break_f,
+        next_f,
+        outer_loop,
+    }
 }
 
 impl EveryGen {
@@ -427,7 +455,11 @@ pub struct DynLimit {
 
 /// Build a [`DynLimit`].
 pub fn dyn_limit(inner: BoxGen, n: Slot) -> DynLimit {
-    DynLimit { inner, n, remaining: None }
+    DynLimit {
+        inner,
+        n,
+        remaining: None,
+    }
 }
 
 impl Gen for DynLimit {
@@ -465,7 +497,11 @@ pub struct RevSetGen {
 
 /// Build a [`RevSetGen`].
 pub fn rev_set(cell: Var, value: Slot) -> RevSetGen {
-    RevSetGen { cell, value, saved: None }
+    RevSetGen {
+        cell,
+        value,
+        saved: None,
+    }
 }
 
 impl Gen for RevSetGen {
@@ -569,7 +605,12 @@ pub struct ScanGen {
 
 /// Build a [`ScanGen`].
 pub fn scan_gen(subject: BoxGen, body: BoxGen) -> ScanGen {
-    ScanGen { subject, body, active: false, saved: None }
+    ScanGen {
+        subject,
+        body,
+        active: false,
+        saved: None,
+    }
 }
 
 impl Gen for ScanGen {
@@ -627,10 +668,12 @@ pub fn native_method(target: &Value, method: &str, args: &[Value]) -> Option<Val
             let s = ops::to_str(target)?;
             let pat = args.first().and_then(|p| p.as_str().map(str::to_string));
             let parts: Vec<Value> = match pat.as_deref() {
-                None | Some("\\s+") | Some(" ") => {
-                    s.split_whitespace().map(Value::str).collect()
-                }
-                Some(sep) => s.split(sep).filter(|p| !p.is_empty()).map(Value::str).collect(),
+                None | Some("\\s+") | Some(" ") => s.split_whitespace().map(Value::str).collect(),
+                Some(sep) => s
+                    .split(sep)
+                    .filter(|p| !p.is_empty())
+                    .map(Value::str)
+                    .collect(),
             };
             Some(Value::list(parts))
         }
@@ -648,7 +691,9 @@ pub fn native_method(target: &Value, method: &str, args: &[Value]) -> Option<Val
             // 0-based, Java style.
             let s = ops::to_str(target)?;
             let i = args.first()?.as_int()?;
-            s.chars().nth(usize::try_from(i).ok()?).map(|c| Value::from(c.to_string()))
+            s.chars()
+                .nth(usize::try_from(i).ok()?)
+                .map(|c| Value::from(c.to_string()))
         }
         "apply" => {
             // functional-interface invocation of a generator function:

@@ -12,11 +12,7 @@ fn ints(i: &Interp, src: &str) -> Vec<i64> {
 }
 
 fn strs(i: &Interp, src: &str) -> Vec<String> {
-    i.eval(src)
-        .unwrap()
-        .iter()
-        .map(|v| v.to_string())
-        .collect()
+    i.eval(src).unwrap().iter().map(|v| v.to_string()).collect()
 }
 
 #[test]
@@ -32,10 +28,7 @@ fn find_generates_every_position() {
 fn find_composes_with_goal_direction() {
     // First position of "is" after position 3: goal-directed filtering.
     let i = Interp::new();
-    assert_eq!(
-        ints(&i, r#"(3 < find("is", "misty isles")) \ 1"#),
-        vec![7]
-    );
+    assert_eq!(ints(&i, r#"(3 < find("is", "misty isles")) \ 1"#), vec![7]);
 }
 
 #[test]

@@ -54,7 +54,8 @@ fn methods_see_and_mutate_fields() {
 #[test]
 fn field_assignment_from_embedded_code() {
     let i = Interp::new();
-    i.load("class Box(v)\n method get() { return v; }\n end").unwrap();
+    i.load("class Box(v)\n method get() { return v; }\n end")
+        .unwrap();
     i.eval("b := Box(1)").unwrap();
     i.eval("b.v := 99").unwrap();
     assert_eq!(ints(&i, "b.get()"), vec![99]);
@@ -83,10 +84,8 @@ fn methods_can_be_generators() {
 #[test]
 fn instances_are_independent() {
     let i = Interp::new();
-    i.load(
-        "class Acc(total)\n method add(v) { total := total + v; return total; }\n end",
-    )
-    .unwrap();
+    i.load("class Acc(total)\n method add(v) { total := total + v; return total; }\n end")
+        .unwrap();
     i.eval("a := Acc(0)").unwrap();
     i.eval("b := Acc(100)").unwrap();
     assert_eq!(ints(&i, "a.add(5)"), vec![5]);
@@ -144,20 +143,16 @@ fn objects_cross_the_host_boundary() {
 fn methods_and_pipes_compose() {
     // A generator method piped to another thread.
     let i = Interp::new();
-    i.load(
-        "class Src(n)\n method vals() { suspend 1 to n; }\n end",
-    )
-    .unwrap();
+    i.load("class Src(n)\n method vals() { suspend 1 to n; }\n end")
+        .unwrap();
     i.eval("s := Src(4)").unwrap();
     assert_eq!(ints(&i, "! (|> s.vals())"), vec![1, 2, 3, 4]);
 }
 
 #[test]
 fn emitter_notes_classes() {
-    let code = junicon::emit::emit_program_source(
-        "class C(x)\n method m() { return x; }\n end",
-    )
-    .unwrap();
+    let code =
+        junicon::emit::emit_program_source("class C(x)\n method m() { return x; }\n end").unwrap();
     assert!(code.contains("class C(x)"));
     assert!(code.contains("interpreter-only"));
 }

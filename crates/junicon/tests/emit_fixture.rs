@@ -13,8 +13,7 @@ pub const SPAWNMAP_SRC: &str = "def spawnMap(f, chunk) { suspend ! (|> f(!chunk)
 
 /// A second fixture covering statement-level emission: loops, suspend
 /// inside a loop body, assignment, and goal-directed comparison.
-pub const COUNTDOWN_SRC: &str =
-    "def countdown(n) { while n > 0 do { suspend n; n := n - 1; }; }";
+pub const COUNTDOWN_SRC: &str = "def countdown(n) { while n > 0 do { suspend n; n := n - 1; }; }";
 
 fn check_fixture(src: &str, path: &str) {
     let want = emit_program_source(src).unwrap();
@@ -34,7 +33,10 @@ fn check_fixture(src: &str, path: &str) {
 fn spawnmap_fixture_is_current() {
     check_fixture(
         SPAWNMAP_SRC,
-        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/spawnmap_emitted.rs"),
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/spawnmap_emitted.rs"
+        ),
     );
 }
 
@@ -42,6 +44,9 @@ fn spawnmap_fixture_is_current() {
 fn countdown_fixture_is_current() {
     check_fixture(
         COUNTDOWN_SRC,
-        concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures/countdown_emitted.rs"),
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/fixtures/countdown_emitted.rs"
+        ),
     );
 }

@@ -63,28 +63,30 @@ fn arb_unop() -> impl Strategy<Value = UnOp> {
 fn arb_expr() -> impl Strategy<Value = Expr> {
     arb_leaf().prop_recursive(4, 40, 4, |inner| {
         prop_oneof![
-            (arb_binop(), inner.clone(), inner.clone())
-                .prop_map(|(op, a, b)| Expr::Binary(op, Box::new(a), Box::new(b))),
-            (arb_unop(), inner.clone())
-                .prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
+            (arb_binop(), inner.clone(), inner.clone()).prop_map(|(op, a, b)| Expr::Binary(
+                op,
+                Box::new(a),
+                Box::new(b)
+            )),
+            (arb_unop(), inner.clone()).prop_map(|(op, a)| Expr::Unary(op, Box::new(a))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Expr::Product(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Expr::Alt(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone(), prop::option::of(inner.clone())).prop_map(
-                |(a, b, by)| Expr::To {
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Expr::Alt(Box::new(a), Box::new(b))),
+            (
+                inner.clone(),
+                inner.clone(),
+                prop::option::of(inner.clone())
+            )
+                .prop_map(|(a, b, by)| Expr::To {
                     from: Box::new(a),
                     to: Box::new(b),
                     by: by.map(Box::new),
-                }
-            ),
+                }),
             (arb_ident(), prop::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(f, args)| Expr::Call(Box::new(Expr::Var(f)), args)),
             prop::collection::vec(inner.clone(), 0..3).prop_map(Expr::List),
-            (inner.clone(), inner.clone())
-                .prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
-            (inner.clone(), arb_ident())
-                .prop_map(|(b, f)| Expr::Field(Box::new(b), f)),
+            (inner.clone(), inner.clone()).prop_map(|(b, i)| Expr::Index(Box::new(b), Box::new(i))),
+            (inner.clone(), arb_ident()).prop_map(|(b, f)| Expr::Field(Box::new(b), f)),
             (arb_ident(), inner.clone())
                 .prop_map(|(v, e)| Expr::Assign(Box::new(Expr::Var(v)), Box::new(e))),
         ]

@@ -38,10 +38,7 @@ fn tab_and_pos_basics() {
 fn tab_backwards_returns_the_span() {
     let i = Interp::new();
     // move forward then tab back: the span is still produced.
-    assert_eq!(
-        strs(&i, r#""abcdef" ? { tab(5); tab(2) }"#),
-        vec!["bcd"]
-    );
+    assert_eq!(strs(&i, r#""abcdef" ? { tab(5); tab(2) }"#), vec!["bcd"]);
 }
 
 #[test]
@@ -109,10 +106,7 @@ fn subject_builtin_reports_the_string() {
 #[test]
 fn scans_nest_and_restore() {
     let i = Interp::new();
-    let out = strs(
-        &i,
-        r#""outer" ? { tab(3); "in" ? tab(2) }"#,
-    );
+    let out = strs(&i, r#""outer" ? { tab(3); "in" ? tab(2) }"#);
     assert_eq!(out, vec!["i"]);
     // After the inner scan the outer frame is current again.
     assert_eq!(
@@ -125,10 +119,7 @@ fn scans_nest_and_restore() {
 fn scan_value_is_the_body_value() {
     let i = Interp::new();
     // The scan expression generates the body's results.
-    assert_eq!(
-        ints(&i, r#""aaa" ? (upto("a") * 10)"#),
-        vec![10, 20, 30]
-    );
+    assert_eq!(ints(&i, r#""aaa" ? (upto("a") * 10)"#), vec![10, 20, 30]);
 }
 
 #[test]

@@ -10,7 +10,11 @@ use gde::{BoxGen, Gen, Step, Value};
 /// Panics if `size` is zero.
 pub fn chunks(inner: impl Gen + 'static, size: usize) -> Chunks {
     assert!(size > 0, "chunk size must be positive");
-    Chunks { inner: Box::new(inner), size, exhausted: false }
+    Chunks {
+        inner: Box::new(inner),
+        size,
+        exhausted: false,
+    }
 }
 
 pub struct Chunks {

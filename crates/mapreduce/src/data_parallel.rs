@@ -105,6 +105,7 @@ pub struct MapReduceGen {
 
 impl MapReduceGen {
     fn launch(&mut self) {
+        obs_on!(let _launch_span = crate::stats::mr().launch.start(););
         let mut tasks = VecDeque::new();
         // Chunk the source inline (the chunks() combinator wants ownership,
         // but the source must stay in self for restart).
@@ -127,6 +128,7 @@ impl MapReduceGen {
                     .reduce
                     .as_ref()
                     .map(|(r, i)| (Arc::clone(r), i.clone()));
+                obs_on!(crate::stats::mr().chunks.inc(););
                 tasks.push_back(self.pool.submit(move || run_chunk(&chunk, &map, reduce)));
             }
             if source_done {
@@ -137,11 +139,8 @@ impl MapReduceGen {
     }
 }
 
-fn run_chunk(
-    chunk: &Value,
-    map: &MapFn,
-    reduce: Option<(ReduceFn, Value)>,
-) -> Vec<Value> {
+fn run_chunk(chunk: &Value, map: &MapFn, reduce: Option<(ReduceFn, Value)>) -> Vec<Value> {
+    obs_on!(let _chunk_span = crate::stats::mr().chunk_run.start(););
     let items = chunk.as_list().expect("chunks yield lists").lock().clone();
     match reduce {
         Some((r, init)) => {
@@ -221,11 +220,7 @@ mod tests {
             sum_reduce,
             Value::from(0),
         );
-        let total: i64 = g
-            .collect_values()
-            .iter()
-            .map(|v| v.as_int().unwrap())
-            .sum();
+        let total: i64 = g.collect_values().iter().map(|v| v.as_int().unwrap()).sum();
         let expect: i64 = (1..=100).map(|i| i * i).sum();
         assert_eq!(total, expect);
     }
@@ -309,13 +304,23 @@ mod tests {
         let dp1 = DataParallel::with_pool(5, Arc::clone(&pool));
         let dp2 = DataParallel::with_pool(5, pool);
         let s1: i64 = dp1
-            .map_reduce(|v| Some(v.clone()), to_range(1, 10, 1), sum_reduce, Value::from(0))
+            .map_reduce(
+                |v| Some(v.clone()),
+                to_range(1, 10, 1),
+                sum_reduce,
+                Value::from(0),
+            )
             .collect_values()
             .iter()
             .map(|v| v.as_int().unwrap())
             .sum();
         let s2: i64 = dp2
-            .map_reduce(|v| Some(v.clone()), to_range(1, 10, 1), sum_reduce, Value::from(0))
+            .map_reduce(
+                |v| Some(v.clone()),
+                to_range(1, 10, 1),
+                sum_reduce,
+                Value::from(0),
+            )
             .collect_values()
             .iter()
             .map(|v| v.as_int().unwrap())

@@ -23,9 +23,23 @@
 //! and a [`Pipeline`] builder for the fixed-code model (`f(!|>s)`) that
 //! Fig. 2 contrasts with the fixed-data model.
 
+/// Expands its body only when the `obs` feature is on (see the identical
+/// shim in `blockingq`): instrumentation sites vanish entirely when
+/// observability is disabled.
+#[cfg(feature = "obs")]
+macro_rules! obs_on {
+    ($($body:tt)*) => { $($body)* };
+}
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_on {
+    ($($body:tt)*) => {};
+}
+
 mod chunk;
 mod data_parallel;
 mod pipeline;
+#[cfg(feature = "obs")]
+mod stats;
 
 pub use chunk::{chunks, Chunks};
 pub use data_parallel::DataParallel;

@@ -54,13 +54,11 @@ impl Pipeline {
     /// Append a stage `f(! |> s)`: everything built so far runs on its own
     /// thread; `f` maps (with goal-directed failure filtering) over the
     /// piped results.
-    pub fn stage(
-        self,
-        f: impl Fn(&Value) -> Option<Value> + Send + Sync + 'static,
-    ) -> Pipeline {
+    pub fn stage(self, f: impl Fn(&Value) -> Option<Value> + Send + Sync + 'static) -> Pipeline {
         let upstream = Arc::clone(&self.source);
         let capacity = self.capacity;
         let f = Arc::new(f);
+        obs_on!(crate::stats::mr().pipeline_stages.inc(););
         Pipeline {
             source: Arc::new(move || {
                 let upstream = Arc::clone(&upstream);
@@ -101,7 +99,10 @@ mod tests {
         let mut g = Pipeline::from(|| Box::new(to_range(1, 20, 1)) as BoxGen)
             .stage(|v| ops::mul(v, v))
             .build();
-        assert_eq!(ints(g.collect_values()), (1..=20).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(
+            ints(g.collect_values()),
+            (1..=20).map(|i| i * i).collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -1,0 +1,420 @@
+//! The metric primitives: relaxed-atomic counters and gauges, a windowed
+//! histogram, and a stage timer.
+//!
+//! Everything here is wait-free on the write path (a single
+//! `Ordering::Relaxed` atomic op per event); reads reconstruct a
+//! consistent-enough view for reporting. Relaxed ordering is deliberate:
+//! metrics never synchronize program state, they only count it, and the
+//! quiescent points where snapshots are taken (end of a benchmark run,
+//! after joins) have already synchronized via the structures under
+//! measurement.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+/// Default number of samples a [`Histogram`] window retains.
+pub const DEFAULT_WINDOW: usize = 512;
+
+// ---------------------------------------------------------------------------
+// Counter
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Counter {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Count one event.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current total.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero (between benchmark phases).
+    pub fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauge
+// ---------------------------------------------------------------------------
+
+/// An instantaneous level (queue depth, live workers) with a high-water
+/// helper for recording peaks.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A gauge starting at zero.
+    pub const fn new() -> Gauge {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Set the level.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust the level by `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.value.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Increment the level.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Decrement the level.
+    #[inline]
+    pub fn dec(&self) {
+        self.add(-1);
+    }
+
+    /// Raise the gauge to `v` if `v` exceeds the current value — the
+    /// high-water-mark discipline used for queue depths.
+    #[inline]
+    pub fn record_max(&self, v: i64) {
+        self.value.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Current level.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Reset to zero.
+    pub fn reset(&self) {
+        self.set(0);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+/// A windowed histogram: the most recent `window` samples, stored exactly,
+/// in a lock-free ring of atomics.
+///
+/// Writers claim a slot with one `fetch_add` and store with one `store` —
+/// no locking, no allocation. Readers copy the window out and sort it, so
+/// quantiles are *exact* over the retained window (nearest-rank), not
+/// bucket approximations. A torn read can at worst observe a sample from
+/// the previous lap of the ring — acceptable for reporting, and impossible
+/// at the quiescent points where snapshots are taken.
+#[derive(Debug)]
+pub struct Histogram {
+    slots: Box<[AtomicU64]>,
+    /// Total samples ever recorded; `head % slots.len()` is the next slot.
+    head: AtomicUsize,
+}
+
+impl Histogram {
+    /// A histogram retaining the last `window` samples (minimum 1).
+    pub fn with_window(window: usize) -> Histogram {
+        let window = window.max(1);
+        let slots: Vec<AtomicU64> = (0..window).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            slots: slots.into_boxed_slice(),
+            head: AtomicUsize::new(0),
+        }
+    }
+
+    /// A histogram with the [`DEFAULT_WINDOW`].
+    pub fn new() -> Histogram {
+        Histogram::with_window(DEFAULT_WINDOW)
+    }
+
+    /// The configured window size.
+    pub fn window(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed) % self.slots.len();
+        self.slots[i].store(v, Ordering::Relaxed);
+    }
+
+    /// Total samples ever recorded (may exceed the window).
+    pub fn count(&self) -> u64 {
+        self.head.load(Ordering::Relaxed) as u64
+    }
+
+    /// Copy out the currently retained samples (unsorted, at most
+    /// `window()` of them).
+    pub fn samples(&self) -> Vec<u64> {
+        let head = self.head.load(Ordering::Relaxed);
+        let n = head.min(self.slots.len());
+        self.slots[..n]
+            .iter()
+            .map(|s| s.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Nearest-rank quantile over the retained window: for `n` sorted
+    /// samples, `quantile(q)` returns the sample at index
+    /// `round(q * (n - 1))`. Returns `None` when empty. `q` is clamped to
+    /// `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        let mut v = self.samples();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_unstable();
+        Some(v[Self::rank(q, v.len())])
+    }
+
+    /// The nearest-rank index used by [`Histogram::quantile`] (exposed so
+    /// tests can oracle-check against a plain sorted vector).
+    pub fn rank(q: f64, n: usize) -> usize {
+        debug_assert!(n > 0);
+        let q = q.clamp(0.0, 1.0);
+        ((q * (n - 1) as f64).round() as usize).min(n - 1)
+    }
+
+    /// One consistent reporting view: count, min, max, p50, p95, p99 over
+    /// the retained window (all `None`-free only when non-empty).
+    pub fn stats(&self) -> HistogramStats {
+        let mut v = self.samples();
+        v.sort_unstable();
+        if v.is_empty() {
+            return HistogramStats {
+                count: self.count(),
+                ..HistogramStats::default()
+            };
+        }
+        let n = v.len();
+        HistogramStats {
+            count: self.count(),
+            min: v[0],
+            max: v[n - 1],
+            p50: v[Self::rank(0.50, n)],
+            p95: v[Self::rank(0.95, n)],
+            p99: v[Self::rank(0.99, n)],
+        }
+    }
+
+    /// Forget all samples.
+    pub fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+        for s in self.slots.iter() {
+            s.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Point-in-time summary of a [`Histogram`] window.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct HistogramStats {
+    pub count: u64,
+    pub min: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p95: u64,
+    pub p99: u64,
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+/// A per-stage timer: total busy nanoseconds, invocation count, and a
+/// latency histogram of recent invocations.
+#[derive(Debug)]
+pub struct Timer {
+    count: Counter,
+    total_ns: Counter,
+    latency_ns: Histogram,
+}
+
+impl Timer {
+    /// A timer with the default latency window.
+    pub fn new() -> Timer {
+        Timer {
+            count: Counter::new(),
+            total_ns: Counter::new(),
+            latency_ns: Histogram::new(),
+        }
+    }
+
+    /// Start timing a span; the span is recorded when the guard drops.
+    #[inline]
+    pub fn start(&self) -> TimerGuard<'_> {
+        TimerGuard {
+            timer: self,
+            start: Instant::now(),
+        }
+    }
+
+    /// Record an explicit duration.
+    #[inline]
+    pub fn observe(&self, d: Duration) {
+        self.observe_ns(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    /// Record an explicit span in nanoseconds.
+    #[inline]
+    pub fn observe_ns(&self, ns: u64) {
+        self.count.inc();
+        self.total_ns.add(ns);
+        self.latency_ns.record(ns);
+    }
+
+    /// Number of recorded spans.
+    pub fn count(&self) -> u64 {
+        self.count.get()
+    }
+
+    /// Total recorded busy time in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.total_ns.get()
+    }
+
+    /// Summary of the recent-latency window.
+    pub fn latency_stats(&self) -> HistogramStats {
+        self.latency_ns.stats()
+    }
+
+    /// Reset count, total, and the latency window.
+    pub fn reset(&self) {
+        self.count.reset();
+        self.total_ns.reset();
+        self.latency_ns.reset();
+    }
+}
+
+impl Default for Timer {
+    fn default() -> Self {
+        Timer::new()
+    }
+}
+
+/// RAII span guard returned by [`Timer::start`].
+#[derive(Debug)]
+pub struct TimerGuard<'a> {
+    timer: &'a Timer,
+    start: Instant,
+}
+
+impl TimerGuard<'_> {
+    /// Stop early and record (equivalent to dropping the guard).
+    pub fn stop(self) {}
+}
+
+impl Drop for TimerGuard<'_> {
+    fn drop(&mut self) {
+        self.timer.observe(self.start.elapsed());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_counts() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        c.reset();
+        assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn gauge_levels_and_high_water() {
+        let g = Gauge::new();
+        g.set(3);
+        g.add(2);
+        g.dec();
+        assert_eq!(g.get(), 4);
+        g.record_max(10);
+        assert_eq!(g.get(), 10);
+        g.record_max(7); // lower: no effect
+        assert_eq!(g.get(), 10);
+    }
+
+    #[test]
+    fn histogram_exact_below_window() {
+        let h = Histogram::with_window(16);
+        for v in [5u64, 1, 9, 3, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.quantile(0.0), Some(1));
+        assert_eq!(h.quantile(1.0), Some(9));
+        assert_eq!(h.quantile(0.5), Some(5));
+        let s = h.stats();
+        assert_eq!((s.min, s.max, s.p50), (1, 9, 5));
+    }
+
+    #[test]
+    fn histogram_window_retains_most_recent() {
+        let h = Histogram::with_window(4);
+        for v in 1..=10u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 10);
+        let mut got = h.samples();
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        assert_eq!(h.stats().count, 0);
+    }
+
+    #[test]
+    fn timer_records_spans() {
+        let t = Timer::new();
+        t.observe(Duration::from_nanos(100));
+        t.observe_ns(300);
+        {
+            let _g = t.start();
+        }
+        assert_eq!(t.count(), 3);
+        assert!(t.total_ns() >= 400);
+        assert!(t.latency_stats().max >= 300);
+    }
+}

@@ -1,0 +1,388 @@
+//! The metric registry and its deterministic snapshots.
+
+use crate::json_escape;
+use crate::metrics::{Counter, Gauge, Histogram, HistogramStats, Timer};
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+
+/// One registered metric (shared: hot paths hold the `Arc`, the registry
+/// holds another for snapshotting).
+#[derive(Clone, Debug)]
+pub enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+    Timer(Arc<Timer>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+            Metric::Timer(_) => "timer",
+        }
+    }
+}
+
+/// A name → metric map.
+///
+/// Registration is idempotent: asking for `counter("x")` twice returns the
+/// same `Arc`. Asking for a name that is already registered *as a
+/// different kind* panics — that is always an instrumentation bug, and
+/// silently returning a fresh metric would fork the data.
+///
+/// The registry itself is only locked during registration and snapshots;
+/// metric updates never touch it.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<String, Metric>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry (tests, scoped experiments).
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// The process-wide registry all built-in instrumentation uses.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::new)
+    }
+
+    fn get_or_insert<T>(
+        &self,
+        name: &str,
+        make: impl FnOnce() -> Metric,
+        unwrap: impl Fn(&Metric) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let mut entries = self.entries.lock();
+        let metric = entries.entry(name.to_string()).or_insert_with(make).clone();
+        unwrap(&metric).unwrap_or_else(|| {
+            panic!(
+                "obs: metric {name:?} already registered as a {}",
+                metric.kind()
+            )
+        })
+    }
+
+    /// Register (or fetch) a counter.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        self.get_or_insert(
+            name,
+            || Metric::Counter(Arc::new(Counter::new())),
+            |m| match m {
+                Metric::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) a gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        self.get_or_insert(
+            name,
+            || Metric::Gauge(Arc::new(Gauge::new())),
+            |m| match m {
+                Metric::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) a histogram with the default window.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        self.get_or_insert(
+            name,
+            || Metric::Histogram(Arc::new(Histogram::new())),
+            |m| match m {
+                Metric::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Register (or fetch) a timer.
+    pub fn timer(&self, name: &str) -> Arc<Timer> {
+        self.get_or_insert(
+            name,
+            || Metric::Timer(Arc::new(Timer::new())),
+            |m| match m {
+                Metric::Timer(t) => Some(Arc::clone(t)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.entries.lock().len()
+    }
+
+    /// True iff nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.lock().is_empty()
+    }
+
+    /// Reset every registered metric to its zero state (names stay
+    /// registered) — used to baseline between benchmark phases.
+    pub fn reset(&self) {
+        for metric in self.entries.lock().values() {
+            match metric {
+                Metric::Counter(c) => c.reset(),
+                Metric::Gauge(g) => g.reset(),
+                Metric::Histogram(h) => h.reset(),
+                Metric::Timer(t) => t.reset(),
+            }
+        }
+    }
+
+    /// Capture a point-in-time snapshot of every metric, sorted by name.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self.entries.lock();
+        let rows = entries
+            .iter()
+            .map(|(name, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => SnapshotValue::Counter(c.get()),
+                    Metric::Gauge(g) => SnapshotValue::Gauge(g.get()),
+                    Metric::Histogram(h) => SnapshotValue::Histogram(h.stats()),
+                    Metric::Timer(t) => SnapshotValue::Timer {
+                        count: t.count(),
+                        total_ns: t.total_ns(),
+                        latency: t.latency_stats(),
+                    },
+                };
+                SnapshotRow {
+                    name: name.clone(),
+                    value,
+                }
+            })
+            .collect();
+        Snapshot { rows }
+    }
+}
+
+/// A captured metric value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SnapshotValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramStats),
+    Timer {
+        count: u64,
+        total_ns: u64,
+        latency: HistogramStats,
+    },
+}
+
+/// One `name = value` row of a snapshot.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SnapshotRow {
+    pub name: String,
+    pub value: SnapshotValue,
+}
+
+/// A deterministic point-in-time view of a [`Registry`]: rows sorted by
+/// name, rendered identically on every call for identical state.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Snapshot {
+    rows: Vec<SnapshotRow>,
+}
+
+impl Snapshot {
+    /// The captured rows, sorted by metric name.
+    pub fn rows(&self) -> &[SnapshotRow] {
+        &self.rows
+    }
+
+    /// Look up a row by exact name.
+    pub fn get(&self, name: &str) -> Option<&SnapshotValue> {
+        self.rows
+            .binary_search_by(|r| r.name.as_str().cmp(name))
+            .ok()
+            .map(|i| &self.rows[i].value)
+    }
+
+    /// A counter's value, if `name` is a counter in this snapshot.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            SnapshotValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A gauge's value, if `name` is a gauge in this snapshot.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        match self.get(name)? {
+            SnapshotValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// A timer's `(count, total_ns)`, if `name` is a timer here.
+    pub fn timer(&self, name: &str) -> Option<(u64, u64)> {
+        match self.get(name)? {
+            SnapshotValue::Timer {
+                count, total_ns, ..
+            } => Some((*count, *total_ns)),
+            _ => None,
+        }
+    }
+
+    /// Render the snapshot as aligned, human-readable text. Deterministic:
+    /// two renders of the same state are byte-identical.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let width = self.rows.iter().map(|r| r.name.len()).max().unwrap_or(0);
+        for row in &self.rows {
+            match &row.value {
+                SnapshotValue::Counter(v) => {
+                    let _ = writeln!(out, "counter    {:width$}  {v}", row.name);
+                }
+                SnapshotValue::Gauge(v) => {
+                    let _ = writeln!(out, "gauge      {:width$}  {v}", row.name);
+                }
+                SnapshotValue::Histogram(s) => {
+                    let _ = writeln!(
+                        out,
+                        "histogram  {:width$}  count={} min={} max={} p50={} p95={} p99={}",
+                        row.name, s.count, s.min, s.max, s.p50, s.p95, s.p99
+                    );
+                }
+                SnapshotValue::Timer {
+                    count,
+                    total_ns,
+                    latency,
+                } => {
+                    let _ = writeln!(
+                        out,
+                        "timer      {:width$}  count={count} total_ns={total_ns} p50_ns={} p95_ns={} p99_ns={}",
+                        row.name, latency.p50, latency.p95, latency.p99
+                    );
+                }
+            }
+        }
+        out
+    }
+
+    /// Render the snapshot as a JSON object keyed by metric name
+    /// (hand-rolled; the workspace has no serde). Deterministic for
+    /// identical state.
+    pub fn render_json(&self) -> String {
+        let mut items: Vec<String> = Vec::with_capacity(self.rows.len());
+        for row in &self.rows {
+            let value = match &row.value {
+                SnapshotValue::Counter(v) => {
+                    format!("{{\"kind\": \"counter\", \"value\": {v}}}")
+                }
+                SnapshotValue::Gauge(v) => {
+                    format!("{{\"kind\": \"gauge\", \"value\": {v}}}")
+                }
+                SnapshotValue::Histogram(s) => format!(
+                    "{{\"kind\": \"histogram\", \"count\": {}, \"min\": {}, \"max\": {}, \"p50\": {}, \"p95\": {}, \"p99\": {}}}",
+                    s.count, s.min, s.max, s.p50, s.p95, s.p99
+                ),
+                SnapshotValue::Timer { count, total_ns, latency } => format!(
+                    "{{\"kind\": \"timer\", \"count\": {count}, \"total_ns\": {total_ns}, \"p50_ns\": {}, \"p95_ns\": {}, \"p99_ns\": {}}}",
+                    latency.p50, latency.p95, latency.p99
+                ),
+            };
+            items.push(format!("    \"{}\": {}", json_escape(&row.name), value));
+        }
+        if items.is_empty() {
+            "{}".to_string()
+        } else {
+            format!("{{\n{}\n  }}", items.join(",\n"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_shared() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_regardless_of_registration_order() {
+        let r1 = Registry::new();
+        r1.counter("b");
+        r1.counter("a");
+        let r2 = Registry::new();
+        r2.counter("a");
+        r2.counter("b");
+        assert_eq!(r1.snapshot().render_text(), r2.snapshot().render_text());
+        assert_eq!(r1.snapshot().render_json(), r2.snapshot().render_json());
+        let snap = r1.snapshot();
+        let got: Vec<String> = snap.rows().iter().map(|r| r.name.clone()).collect();
+        assert_eq!(got, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn snapshot_accessors() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.gauge("g").set(-2);
+        r.timer("t").observe_ns(100);
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(5));
+        assert_eq!(s.gauge("g"), Some(-2));
+        assert_eq!(s.timer("t"), Some((1, 100)));
+        assert_eq!(s.counter("missing"), None);
+        assert_eq!(s.counter("g"), None); // wrong kind
+    }
+
+    #[test]
+    fn reset_zeroes_but_keeps_names() {
+        let r = Registry::new();
+        r.counter("c").add(5);
+        r.histogram("h").record(9);
+        r.reset();
+        let s = r.snapshot();
+        assert_eq!(s.counter("c"), Some(0));
+        assert_eq!(s.rows().len(), 2);
+    }
+
+    #[test]
+    fn json_is_wellformed_ish() {
+        let r = Registry::new();
+        r.counter("a.b").inc();
+        r.histogram("h").record(3);
+        let j = r.snapshot().render_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"a.b\": {\"kind\": \"counter\", \"value\": 1}"));
+        assert!(j.contains("\"p99\": 3"));
+        // Balanced braces (hand-rolled writer sanity).
+        let opens = j.matches('{').count();
+        let closes = j.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn empty_registry_renders_empty() {
+        let r = Registry::new();
+        assert_eq!(r.snapshot().render_text(), "");
+        assert_eq!(r.snapshot().render_json(), "{}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Integration tests for the observability crate (ISSUE 2 satellites):
+//!
+//! 1. `Counter` loses no increments under real thread contention —
+//!    both as a tinyprop property over (threads, per-thread counts) and
+//!    as a fixed heavy stress case.
+//! 2. `Histogram` quantiles match a sorted-`Vec` nearest-rank oracle on
+//!    arbitrary sample streams (within the retained window).
+//! 3. `Snapshot` rendering is deterministic: two renders of the same
+//!    registry state are byte-identical, in both text and JSON.
+
+use obs::{Counter, Gauge, Histogram, Registry, DEFAULT_WINDOW};
+use std::sync::Arc;
+use tinyprop::prelude::*;
+
+// ---------------------------------------------------------------------
+// 1. Counter accuracy under contention
+// ---------------------------------------------------------------------
+
+/// Spawn `threads` threads, each incrementing `per_thread` times; the
+/// final value must be exactly the product. Relaxed ordering is enough
+/// for a monotone counter: `fetch_add` is still a single atomic RMW.
+fn hammer_counter(threads: usize, per_thread: u64) -> u64 {
+    let counter = Arc::new(Counter::new());
+    let handles: Vec<_> = (0..threads)
+        .map(|_| {
+            let c = Arc::clone(&counter);
+            std::thread::spawn(move || {
+                for _ in 0..per_thread {
+                    c.inc();
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    counter.get()
+}
+
+proptest! {
+    #[test]
+    fn counter_exact_under_contention(
+        threads in 1usize..8,
+        per_thread in 0u64..2_000,
+    ) {
+        prop_assert_eq!(
+            hammer_counter(threads, per_thread),
+            threads as u64 * per_thread
+        );
+    }
+
+    /// `add` and `inc` mix without losing updates either.
+    #[test]
+    fn counter_mixed_add_inc(
+        threads in 1usize..6,
+        per_thread in 0u64..1_000,
+        bump in 1u64..5,
+    ) {
+        let counter = Arc::new(Counter::new());
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let c = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        if i % 2 == 0 { c.inc() } else { c.add(bump) }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let evens = per_thread.div_ceil(2); // i % 2 == 0 count
+        let odds = per_thread - evens;
+        prop_assert_eq!(counter.get(), threads as u64 * (evens + odds * bump));
+    }
+}
+
+/// A fixed heavy case beyond the property sizes: 16 threads x 100k.
+#[test]
+fn counter_stress_16x100k() {
+    assert_eq!(hammer_counter(16, 100_000), 1_600_000);
+}
+
+/// `Gauge::record_max` converges to the true maximum under contention.
+#[test]
+fn gauge_record_max_stress() {
+    let gauge = Arc::new(Gauge::new());
+    let handles: Vec<_> = (0..8)
+        .map(|t| {
+            let g = Arc::clone(&gauge);
+            std::thread::spawn(move || {
+                for i in 0..50_000i64 {
+                    g.record_max((i * 8 + t) % 99_991);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    // Max over all (i*8 + t) % 99991 for i in 0..50k, t in 0..8 is 99990.
+    assert_eq!(gauge.get(), 99_990);
+}
+
+// ---------------------------------------------------------------------
+// 2. Histogram quantiles vs a sorted-vec oracle
+// ---------------------------------------------------------------------
+
+/// Nearest-rank oracle: sort the retained window and index at
+/// `Histogram::rank(q, n)` — the same definition the crate documents.
+fn oracle_quantile(window: &[u64], q: f64) -> Option<u64> {
+    if window.is_empty() {
+        return None;
+    }
+    let mut sorted = window.to_vec();
+    sorted.sort_unstable();
+    Some(sorted[Histogram::rank(q, sorted.len())])
+}
+
+proptest! {
+    #[test]
+    fn histogram_matches_sorted_vec_oracle(
+        samples in prop::collection::vec(any::<u64>(), 0..200),
+        window in 1usize..64,
+        q_millis in 0u64..=1_000,
+    ) {
+        let q = q_millis as f64 / 1_000.0;
+        let hist = Histogram::with_window(window);
+        for &s in &samples {
+            hist.record(s);
+        }
+        // The histogram retains the most recent `window` samples.
+        let start = samples.len().saturating_sub(window);
+        let retained = &samples[start..];
+        prop_assert_eq!(hist.quantile(q), oracle_quantile(retained, q));
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+    }
+
+    /// The stats bundle agrees with the oracle at its three quantiles.
+    #[test]
+    fn histogram_stats_matches_oracle(
+        samples in prop::collection::vec(0u64..10_000, 1..150),
+    ) {
+        let hist = Histogram::new();
+        for &s in &samples {
+            hist.record(s);
+        }
+        let start = samples.len().saturating_sub(DEFAULT_WINDOW);
+        let retained = &samples[start..];
+        let stats = hist.stats();
+        prop_assert_eq!(Some(stats.p50), oracle_quantile(retained, 0.50));
+        prop_assert_eq!(Some(stats.p95), oracle_quantile(retained, 0.95));
+        prop_assert_eq!(Some(stats.p99), oracle_quantile(retained, 0.99));
+        prop_assert_eq!(Some(stats.min), retained.iter().copied().min());
+        prop_assert_eq!(Some(stats.max), retained.iter().copied().max());
+    }
+}
+
+/// Concurrent recording never loses counts and every retained sample is
+/// one that was actually recorded.
+#[test]
+fn histogram_concurrent_record() {
+    let hist = Arc::new(Histogram::with_window(256));
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let h = Arc::clone(&hist);
+            std::thread::spawn(move || {
+                for i in 0..10_000u64 {
+                    h.record(t * 100_000 + i);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert_eq!(hist.count(), 40_000);
+    for s in hist.samples() {
+        let t = s / 100_000;
+        let i = s % 100_000;
+        assert!(t < 4 && i < 10_000, "sample {s} was never recorded");
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Snapshot determinism
+// ---------------------------------------------------------------------
+
+/// Build a private registry (not the global one — other tests run in
+/// this process), populate every metric kind, and require two renders to
+/// be byte-identical in both formats.
+#[test]
+fn snapshot_renders_are_deterministic() {
+    let reg = Registry::new();
+    reg.counter("z.counter").add(41);
+    reg.counter("a.counter").inc();
+    reg.gauge("m.gauge").set(-7);
+    let h = reg.histogram("h.hist");
+    for v in [5u64, 1, 9, 2, 2, 8] {
+        h.record(v);
+    }
+    let t = reg.timer("t.timer");
+    t.observe_ns(1_500);
+    t.observe_ns(2_500);
+
+    let snap1 = reg.snapshot();
+    let snap2 = reg.snapshot();
+    assert_eq!(snap1.render_text(), snap2.render_text());
+    assert_eq!(snap1.render_json(), snap2.render_json());
+    // Rendering the SAME snapshot twice is also stable.
+    assert_eq!(snap1.render_text(), snap1.render_text());
+    assert_eq!(snap1.render_json(), snap1.render_json());
+
+    // Names come out sorted regardless of registration order.
+    let names: Vec<&str> = snap1.rows().iter().map(|r| r.name.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted);
+    assert_eq!(
+        names,
+        vec!["a.counter", "h.hist", "m.gauge", "t.timer", "z.counter"]
+    );
+}
+
+/// JSON output parses structurally: balanced braces, no trailing commas,
+/// every registered name quoted exactly once as a key.
+#[test]
+fn snapshot_json_shape() {
+    let reg = Registry::new();
+    reg.counter("only.one").add(3);
+    let json = reg.snapshot().render_json();
+    assert!(json.trim_start().starts_with('{') && json.trim_end().ends_with('}'));
+    assert_eq!(json.matches("\"only.one\"").count(), 1);
+    assert!(!json.contains(",\n}"), "trailing comma in: {json}");
+    assert_eq!(
+        json.matches('{').count(),
+        json.matches('}').count(),
+        "unbalanced braces in: {json}"
+    );
+}

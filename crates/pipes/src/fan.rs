@@ -12,18 +12,19 @@
 //!   alternately activating co-expressions with `@`.
 
 use blockingq::BlockingQueue;
-use gde::{BoxGen, Gen, Step, Value};
 #[cfg(test)]
 use gde::GenExt;
+use gde::{BoxGen, Gen, Step, Value};
 
 /// Merge several generator factories into one generator, each running on
 /// its own producer thread, values in arrival order. The stream ends when
 /// every producer has failed.
-pub fn merge(
-    sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>,
-    capacity: usize,
-) -> Merge {
-    Merge { sources, capacity, state: None }
+pub fn merge(sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>, capacity: usize) -> Merge {
+    Merge {
+        sources,
+        capacity,
+        state: None,
+    }
 }
 
 pub struct Merge {
@@ -43,9 +44,8 @@ impl Merge {
     fn start(&mut self) -> &MergeState {
         if self.state.is_none() {
             let queue = BlockingQueue::bounded(self.capacity.max(1));
-            let remaining = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(
-                self.sources.len(),
-            ));
+            let remaining =
+                std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(self.sources.len()));
             if self.sources.is_empty() {
                 queue.close();
             }
@@ -53,26 +53,48 @@ impl Merge {
                 let mut g = src();
                 let q = queue.clone();
                 let remaining = remaining.clone();
+                obs_on!(crate::stats::fan().merge_sources.inc(););
                 std::thread::Builder::new()
                     .name("fan-merge-producer".into())
                     .spawn(move || {
                         // Last producer out closes the queue, even on panic.
-                        struct Depart(
-                            std::sync::Arc<std::sync::atomic::AtomicUsize>,
-                            BlockingQueue<Value>,
-                        );
+                        // With obs on, each departing producer records its
+                        // forwarded-item count (the fairness distribution).
+                        struct Depart {
+                            remaining: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+                            queue: BlockingQueue<Value>,
+                            #[cfg(feature = "obs")]
+                            forwarded: u64,
+                        }
                         impl Drop for Depart {
                             fn drop(&mut self) {
-                                if self.0.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
-                                    self.1.close();
+                                obs_on!(crate::stats::fan()
+                                    .items_per_source
+                                    .record(self.forwarded););
+                                if self
+                                    .remaining
+                                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel)
+                                    == 1
+                                {
+                                    self.queue.close();
                                 }
                             }
                         }
-                        let guard = Depart(remaining, q);
+                        #[allow(unused_mut)]
+                        let mut guard = Depart {
+                            remaining,
+                            queue: q,
+                            #[cfg(feature = "obs")]
+                            forwarded: 0,
+                        };
                         while let Step::Suspend(v) = g.resume() {
-                            if guard.1.put(v.deep_copy()).is_err() {
+                            if guard.queue.put(v.deep_copy()).is_err() {
                                 return;
                             }
+                            obs_on!({
+                                guard.forwarded += 1;
+                                crate::stats::fan().merge_items.inc();
+                            });
                         }
                     })
                     .expect("spawn merge producer");
@@ -111,7 +133,11 @@ impl Drop for Merge {
 /// *this* thread (compose with [`crate::Pipe`] per source for parallelism).
 pub fn round_robin(sources: Vec<BoxGen>) -> RoundRobin {
     let len = sources.len();
-    RoundRobin { sources, alive: vec![true; len], next: 0 }
+    RoundRobin {
+        sources,
+        alive: vec![true; len],
+        next: 0,
+    }
 }
 
 pub struct RoundRobin {
@@ -130,10 +156,14 @@ impl Gen for RoundRobin {
             let i = self.next;
             self.next = (self.next + 1) % n;
             if !self.alive[i] {
+                obs_on!(crate::stats::fan().rr_skips.inc(););
                 continue;
             }
             match self.sources[i].resume() {
-                Step::Suspend(v) => return Step::Suspend(v),
+                Step::Suspend(v) => {
+                    obs_on!(crate::stats::fan().rr_items.inc(););
+                    return Step::Suspend(v);
+                }
                 Step::Fail => self.alive[i] = false,
             }
         }
@@ -205,10 +235,7 @@ mod tests {
 
     #[test]
     fn merge_restart_reruns_producers() {
-        let mut m = merge(
-            vec![Box::new(|| Box::new(to_range(1, 5, 1)) as BoxGen)],
-            4,
-        );
+        let mut m = merge(vec![Box::new(|| Box::new(to_range(1, 5, 1)) as BoxGen)], 4);
         assert_eq!(m.count(), 5);
         m.restart();
         assert_eq!(m.count(), 5);
@@ -256,9 +283,8 @@ mod tests {
         let m = merge(
             (0..4)
                 .map(|k: i64| {
-                    Box::new(move || {
-                        Box::new(to_range(k * 100 + 1, k * 100 + 25, 1)) as BoxGen
-                    }) as Box<dyn Fn() -> BoxGen + Send + Sync>
+                    Box::new(move || Box::new(to_range(k * 100 + 1, k * 100 + 25, 1)) as BoxGen)
+                        as Box<dyn Fn() -> BoxGen + Send + Sync>
                 })
                 .collect(),
             16,

@@ -21,8 +21,22 @@
 //! buffer size can also be used to throttle a threaded co-expression" — via
 //! [`Pipe::with_capacity`].
 
+/// Expands its body only when the `obs` feature is on (see the identical
+/// shim in `blockingq`): instrumentation sites vanish entirely when
+/// observability is disabled.
+#[cfg(feature = "obs")]
+macro_rules! obs_on {
+    ($($body:tt)*) => { $($body)* };
+}
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_on {
+    ($($body:tt)*) => {};
+}
+
 mod fan;
 mod pipe;
+#[cfg(feature = "obs")]
+mod stats;
 
 pub use fan::{merge, round_robin, Merge, RoundRobin};
 pub use pipe::{drain, pipe, pipe_coexpr, pipe_value, spawn_future, Pipe, DEFAULT_CAPACITY};

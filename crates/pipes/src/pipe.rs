@@ -47,7 +47,13 @@ impl Pipe {
     ) -> Pipe {
         let factory: GenFactory = Arc::new(make);
         let queue = spawn_producer(Arc::clone(&factory), capacity);
-        Pipe { factory, capacity, queue, done: false, produced: 0 }
+        Pipe {
+            factory,
+            capacity,
+            queue,
+            done: false,
+            produced: 0,
+        }
     }
 
     /// The output blocking queue, exposed for further manipulation
@@ -65,25 +71,51 @@ impl Pipe {
 fn spawn_producer(factory: GenFactory, capacity: usize) -> BlockingQueue<Value> {
     let queue = BlockingQueue::bounded(capacity);
     let out = queue.clone();
+    obs_on!(crate::stats::pipe().spawned.inc(););
     std::thread::Builder::new()
         .name("pipe-producer".into())
         .spawn(move || {
             // Close the queue even if the generator panics: a consumer
             // blocked in take() must observe end-of-stream, never hang.
-            struct CloseOnExit(BlockingQueue<Value>);
+            // With obs on, the same guard records the producer's lifetime
+            // and forwarded-item count as it exits.
+            struct CloseOnExit {
+                queue: BlockingQueue<Value>,
+                #[cfg(feature = "obs")]
+                forwarded: u64,
+                #[cfg(feature = "obs")]
+                started: std::time::Instant,
+            }
             impl Drop for CloseOnExit {
                 fn drop(&mut self) {
-                    self.0.close();
+                    self.queue.close();
+                    obs_on!({
+                        let stats = crate::stats::pipe();
+                        stats.producer_wall.observe(self.started.elapsed());
+                        stats.items_per_producer.record(self.forwarded);
+                    });
                 }
             }
-            let guard = CloseOnExit(out);
+            // (mut is only exercised by the obs-feature item accounting)
+            #[allow(unused_mut)]
+            let mut guard = CloseOnExit {
+                queue: out,
+                #[cfg(feature = "obs")]
+                forwarded: 0,
+                #[cfg(feature = "obs")]
+                started: std::time::Instant::now(),
+            };
             let mut g = factory();
             while let Step::Suspend(v) = g.resume() {
                 // Deep-copy at the thread boundary; a failed put means the
                 // consumer restarted or dropped the pipe — stop producing.
-                if guard.0.put(v.deep_copy()).is_err() {
+                if guard.queue.put(v.deep_copy()).is_err() {
                     return;
                 }
+                obs_on!({
+                    guard.forwarded += 1;
+                    crate::stats::pipe().items.inc();
+                });
             }
         })
         .expect("failed to spawn pipe producer");
@@ -147,10 +179,7 @@ impl gde::Coroutine for Pipe {
 
 /// `|>e` as a first-class [`Value`]: spawns the producer thread and wraps
 /// the proxy as a co-expression value.
-pub fn pipe_value(
-    make: impl Fn() -> BoxGen + Send + Sync + 'static,
-    capacity: usize,
-) -> Value {
+pub fn pipe_value(make: impl Fn() -> BoxGen + Send + Sync + 'static, capacity: usize) -> Value {
     Value::Co(std::sync::Arc::new(parking_lot::Mutex::new(
         Pipe::with_capacity(make, capacity),
     )))
@@ -257,7 +286,10 @@ mod tests {
         std::thread::sleep(Duration::from_millis(50));
         // Producer is unbounded but must stall within capacity + 1.
         let ahead = progress.get().as_int().unwrap();
-        assert!(ahead <= 5, "producer ran ahead of the bounded queue: {ahead}");
+        assert!(
+            ahead <= 5,
+            "producer ran ahead of the bounded queue: {ahead}"
+        );
         drop(p); // close unblocks the producer thread
     }
 
@@ -267,9 +299,7 @@ mod tests {
         let stage1 = || Box::new(to_range(1, 10, 1)) as BoxGen;
         let p2 = pipe(move || {
             let inner = pipe(stage1);
-            Box::new(gde::comb::filter_map(inner, |v| {
-                gde::ops::mul(v, v)
-            }))
+            Box::new(gde::comb::filter_map(inner, |v| gde::ops::mul(v, v)))
         });
         assert_eq!(
             ints(&drain(p2)),
@@ -330,9 +360,7 @@ mod tests {
     fn dropping_unconsumed_pipe_does_not_hang() {
         // An infinite producer must be reaped when the pipe is dropped.
         let p = Pipe::with_capacity(
-            || {
-                Box::new(gde::comb::repeat_alt(thunk(|| Some(Value::from(1)))))
-            },
+            || Box::new(gde::comb::repeat_alt(thunk(|| Some(Value::from(1))))),
             2,
         );
         std::thread::sleep(Duration::from_millis(20));

@@ -1,0 +1,57 @@
+//! Instrumentation points for pipes and fan-ins (`obs` feature only).
+//!
+//! Shared process-wide metric families in the global [`obs::Registry`];
+//! see `blockingq::stats` for the design rationale. The per-producer
+//! histograms are what make *merge fairness* visible: if one fan-in
+//! source starves, `pipes.fan.items_per_source` shows a wide min/max
+//! spread.
+
+use std::sync::{Arc, OnceLock};
+
+/// Metrics for [`crate::Pipe`].
+pub(crate) struct PipeStats {
+    /// Producer threads spawned (including restarts and refreshes).
+    pub spawned: Arc<obs::Counter>,
+    /// Values forwarded across the thread boundary (successful puts).
+    pub items: Arc<obs::Counter>,
+    /// Wall-clock lifetime of each producer thread, from spawn to exit —
+    /// items / time is per-pipe throughput.
+    pub producer_wall: Arc<obs::Timer>,
+    /// Items forwarded per finished producer (distribution).
+    pub items_per_producer: Arc<obs::Histogram>,
+}
+
+pub(crate) fn pipe() -> &'static PipeStats {
+    static STATS: OnceLock<PipeStats> = OnceLock::new();
+    STATS.get_or_init(|| PipeStats {
+        spawned: obs::counter("pipes.pipe.spawned"),
+        items: obs::counter("pipes.pipe.items"),
+        producer_wall: obs::timer("pipes.pipe.producer_wall"),
+        items_per_producer: obs::histogram("pipes.pipe.items_per_producer"),
+    })
+}
+
+/// Metrics for [`crate::Merge`] / [`crate::RoundRobin`].
+pub(crate) struct FanStats {
+    /// Merge sources spawned.
+    pub merge_sources: Arc<obs::Counter>,
+    /// Values forwarded through merge queues (arrival order).
+    pub merge_items: Arc<obs::Counter>,
+    /// Items forwarded per merge source (fairness distribution).
+    pub items_per_source: Arc<obs::Histogram>,
+    /// Values yielded by round-robin fan-ins.
+    pub rr_items: Arc<obs::Counter>,
+    /// Round-robin visits to already-exhausted sources (skips).
+    pub rr_skips: Arc<obs::Counter>,
+}
+
+pub(crate) fn fan() -> &'static FanStats {
+    static STATS: OnceLock<FanStats> = OnceLock::new();
+    STATS.get_or_init(|| FanStats {
+        merge_sources: obs::counter("pipes.fan.merge_sources"),
+        merge_items: obs::counter("pipes.fan.merge_items"),
+        items_per_source: obs::histogram("pipes.fan.items_per_source"),
+        rr_items: obs::counter("pipes.fan.rr_items"),
+        rr_skips: obs::counter("pipes.fan.rr_skips"),
+    })
+}

@@ -102,7 +102,10 @@ fn round_robin_single_exhausted_source_restarts_fresh() {
 fn merge_capacity_1_conserves_all_values() {
     // A 1-slot queue forces every producer to hand values over one at a
     // time; nothing may be lost or duplicated under that throttling.
-    let mut m = merge(vec![range_src(1, 50), range_src(51, 100), range_src(101, 150)], 1);
+    let mut m = merge(
+        vec![range_src(1, 50), range_src(51, 100), range_src(101, 150)],
+        1,
+    );
     let mut got = drain_ints(&mut m);
     got.sort_unstable();
     assert_eq!(got, (1..=150).collect::<Vec<_>>());

@@ -43,12 +43,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// `function_name/parameter`.
     pub fn new(function_name: impl fmt::Display, parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: format!("{function_name}/{parameter}") }
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
     }
 
     /// Just the parameter (for single-function sweeps).
     pub fn from_parameter(parameter: impl fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 
@@ -79,7 +83,10 @@ struct BenchConfig {
 impl Default for BenchConfig {
     fn default() -> Self {
         let env_ms = |k: &str, default: u64| {
-            std::env::var(k).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+            std::env::var(k)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
         };
         BenchConfig {
             sample_size: std::env::var("TINYBENCH_SAMPLES")
@@ -126,9 +133,8 @@ impl Bencher<'_> {
                 break;
             }
             // Aim straight at the target with a 2x safety margin.
-            let scale = (self.config.sample_target.as_secs_f64()
-                / elapsed.as_secs_f64().max(1e-9))
-            .ceil() as u64;
+            let scale = (self.config.sample_target.as_secs_f64() / elapsed.as_secs_f64().max(1e-9))
+                .ceil() as u64;
             iters = (iters * scale.clamp(2, 1024)).min(1 << 20);
         }
 
@@ -205,14 +211,22 @@ fn fmt_duration(d: Duration) -> String {
     }
 }
 
-fn run_bench(full_id: &str, filter: Option<&str>, config: BenchConfig, f: impl FnOnce(&mut Bencher)) {
+fn run_bench(
+    full_id: &str,
+    filter: Option<&str>,
+    config: BenchConfig,
+    f: impl FnOnce(&mut Bencher),
+) {
     if let Some(pat) = filter {
         if !full_id.contains(pat) {
             return;
         }
     }
     let mut result = None;
-    let mut b = Bencher { config, result: &mut result };
+    let mut b = Bencher {
+        config,
+        result: &mut result,
+    };
     f(&mut b);
     match result {
         Some(s) => println!(
@@ -250,7 +264,10 @@ impl Default for Criterion {
                 s => filter = Some(s.to_string()),
             }
         }
-        Criterion { config: BenchConfig::default(), filter }
+        Criterion {
+            config: BenchConfig::default(),
+            filter,
+        }
     }
 }
 
@@ -399,7 +416,10 @@ mod tests {
             sample_target: Duration::from_micros(200),
         };
         let mut result = None;
-        let mut b = Bencher { config, result: &mut result };
+        let mut b = Bencher {
+            config,
+            result: &mut result,
+        };
         b.iter(|| {
             let mut s = 0u64;
             for i in 0..100 {

@@ -42,12 +42,16 @@ pub struct MutexGuard<'a, T: ?Sized> {
 impl<T> Mutex<T> {
     /// Create a new mutex holding `value`.
     pub fn new(value: T) -> Self {
-        Mutex { inner: sync::Mutex::new(value) }
+        Mutex {
+            inner: sync::Mutex::new(value),
+        }
     }
 
     /// Consume the mutex, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -57,7 +61,11 @@ impl<T: ?Sized> Mutex<T> {
     /// parking_lot where locks cannot poison.
     pub fn lock(&self) -> MutexGuard<'_, T> {
         MutexGuard {
-            inner: Some(self.inner.lock().unwrap_or_else(sync::PoisonError::into_inner)),
+            inner: Some(
+                self.inner
+                    .lock()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+            ),
         }
     }
 
@@ -65,9 +73,9 @@ impl<T: ?Sized> Mutex<T> {
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
         match self.inner.try_lock() {
             Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(sync::TryLockError::Poisoned(p)) => {
-                Some(MutexGuard { inner: Some(p.into_inner()) })
-            }
+            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                inner: Some(p.into_inner()),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -75,7 +83,9 @@ impl<T: ?Sized> Mutex<T> {
     /// Mutably borrow the underlying data (no locking needed: `&mut self`
     /// proves unique access).
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -97,13 +107,17 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
 impl<T: ?Sized> Deref for MutexGuard<'_, T> {
     type Target = T;
     fn deref(&self) -> &T {
-        self.inner.as_ref().expect("guard present outside Condvar::wait")
+        self.inner
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
 impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
-        self.inner.as_mut().expect("guard present outside Condvar::wait")
+        self.inner
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
     }
 }
 
@@ -140,15 +154,20 @@ pub struct Condvar {
 impl Condvar {
     /// Create a new condition variable.
     pub fn new() -> Self {
-        Condvar { inner: sync::Condvar::new() }
+        Condvar {
+            inner: sync::Condvar::new(),
+        }
     }
 
     /// Atomically release the guarded mutex and block until notified;
     /// re-acquires the lock before returning. Spurious wakeups possible.
     pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
         let inner = guard.inner.take().expect("guard not already waiting");
-        guard.inner =
-            Some(self.inner.wait(inner).unwrap_or_else(sync::PoisonError::into_inner));
+        guard.inner = Some(
+            self.inner
+                .wait(inner)
+                .unwrap_or_else(sync::PoisonError::into_inner),
+        );
     }
 
     /// [`Condvar::wait`] with an absolute deadline.
@@ -173,7 +192,9 @@ impl Condvar {
             .wait_timeout(inner, timeout)
             .unwrap_or_else(sync::PoisonError::into_inner);
         guard.inner = Some(g);
-        WaitTimeoutResult { timed_out: res.timed_out() }
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
     }
 
     /// Wake one waiting thread.
@@ -216,12 +237,16 @@ pub struct RwLockWriteGuard<'a, T: ?Sized> {
 impl<T> RwLock<T> {
     /// Create a new reader-writer lock holding `value`.
     pub fn new(value: T) -> Self {
-        RwLock { inner: sync::RwLock::new(value) }
+        RwLock {
+            inner: sync::RwLock::new(value),
+        }
     }
 
     /// Consume the lock, returning the protected value.
     pub fn into_inner(self) -> T {
-        self.inner.into_inner().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 
@@ -229,14 +254,20 @@ impl<T: ?Sized> RwLock<T> {
     /// Acquire shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
         RwLockReadGuard {
-            inner: self.inner.read().unwrap_or_else(sync::PoisonError::into_inner),
+            inner: self
+                .inner
+                .read()
+                .unwrap_or_else(sync::PoisonError::into_inner),
         }
     }
 
     /// Acquire exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         RwLockWriteGuard {
-            inner: self.inner.write().unwrap_or_else(sync::PoisonError::into_inner),
+            inner: self
+                .inner
+                .write()
+                .unwrap_or_else(sync::PoisonError::into_inner),
         }
     }
 
@@ -244,9 +275,9 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
         match self.inner.try_read() {
             Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => {
-                Some(RwLockReadGuard { inner: p.into_inner() })
-            }
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                inner: p.into_inner(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
@@ -255,16 +286,18 @@ impl<T: ?Sized> RwLock<T> {
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
         match self.inner.try_write() {
             Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => {
-                Some(RwLockWriteGuard { inner: p.into_inner() })
-            }
+            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                inner: p.into_inner(),
+            }),
             Err(sync::TryLockError::WouldBlock) => None,
         }
     }
 
     /// Mutably borrow the underlying data without locking.
     pub fn get_mut(&mut self) -> &mut T {
-        self.inner.get_mut().unwrap_or_else(sync::PoisonError::into_inner)
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
     }
 }
 

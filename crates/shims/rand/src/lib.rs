@@ -245,7 +245,9 @@ pub mod rngs {
                 // xoshiro's one illegal state; nudge deterministically.
                 s[0] = 0x9E37_79B9_7F4A_7C15;
             }
-            StdRng { core: Xoshiro256StarStar { s } }
+            StdRng {
+                core: Xoshiro256StarStar { s },
+            }
         }
 
         fn seed_from_u64(state: u64) -> Self {
@@ -256,7 +258,9 @@ pub mod rngs {
                 splitmix64(&mut sm),
                 splitmix64(&mut sm),
             ];
-            StdRng { core: Xoshiro256StarStar { s } }
+            StdRng {
+                core: Xoshiro256StarStar { s },
+            }
         }
     }
 
@@ -355,7 +359,10 @@ mod tests {
         for _ in 0..1_000 {
             seen[r.random_range(0..6usize)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "uniform sampler misses values: {seen:?}");
+        assert!(
+            seen.iter().all(|&s| s),
+            "uniform sampler misses values: {seen:?}"
+        );
     }
 
     #[test]

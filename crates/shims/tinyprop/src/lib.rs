@@ -100,14 +100,21 @@ impl Default for ProptestConfig {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(256);
-        ProptestConfig { cases, max_global_rejects: 4096, max_shrink_iters: 4096 }
+        ProptestConfig {
+            cases,
+            max_global_rejects: 4096,
+            max_shrink_iters: 4096,
+        }
     }
 }
 
 impl ProptestConfig {
     /// A config that runs exactly `cases` successful cases.
     pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases, ..ProptestConfig::default() }
+        ProptestConfig {
+            cases,
+            ..ProptestConfig::default()
+        }
     }
 }
 
@@ -193,7 +200,7 @@ pub fn run_prop<S: Strategy>(
     let base_seed = std::env::var("TINYPROP_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
-        .unwrap_or(0x1CE_D0_C0DE)
+        .unwrap_or(0x0001_CED0_C0DE)
         ^ fnv1a(name);
 
     let mut passed = 0u32;
@@ -354,7 +361,8 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         if *l == *r {
             return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
-                "assertion failed: `{:?} != {:?}`", l, r
+                "assertion failed: `{:?} != {:?}`",
+                l, r
             )));
         }
     }};
@@ -365,9 +373,10 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !$cond {
-            return ::core::result::Result::Err($crate::TestCaseError::reject(
-                concat!("assumption failed: ", stringify!($cond)),
-            ));
+            return ::core::result::Result::Err($crate::TestCaseError::reject(concat!(
+                "assumption failed: ",
+                stringify!($cond)
+            )));
         }
     };
 }
@@ -441,7 +450,10 @@ mod tests {
             Ok(()) => panic!("property unexpectedly passed"),
             Err(p) => *p.downcast::<String>().expect("string panic payload"),
         };
-        assert!(msg.contains("minimal:  (100,)"), "did not shrink to 100: {msg}");
+        assert!(
+            msg.contains("minimal:  (100,)"),
+            "did not shrink to 100: {msg}"
+        );
     }
 
     #[test]
@@ -463,7 +475,10 @@ mod tests {
             Ok(()) => panic!("property unexpectedly passed"),
             Err(p) => *p.downcast::<String>().expect("string panic payload"),
         };
-        assert!(msg.contains("minimal:  ([50],)"), "did not shrink to [50]: {msg}");
+        assert!(
+            msg.contains("minimal:  ([50],)"),
+            "did not shrink to [50]: {msg}"
+        );
     }
 
     #[test]
@@ -500,7 +515,10 @@ mod tests {
             Ok(()) => panic!("property unexpectedly passed"),
             Err(p) => *p.downcast::<String>().expect("string panic payload"),
         };
-        assert!(msg.contains("minimal:  (10,)"), "did not shrink panic to 10: {msg}");
+        assert!(
+            msg.contains("minimal:  (10,)"),
+            "did not shrink panic to 10: {msg}"
+        );
     }
 
     proptest! {

@@ -48,7 +48,10 @@ pub trait Strategy: 'static {
         U: Clone + fmt::Debug + 'static,
         F: Fn(Self::Value) -> U + 'static,
     {
-        Map { inner: self, f: Rc::new(f) }
+        Map {
+            inner: self,
+            f: Rc::new(f),
+        }
     }
 
     /// Keep only values satisfying `pred`; `whence` labels the filter in
@@ -58,7 +61,11 @@ pub trait Strategy: 'static {
         Self: Sized,
         F: Fn(&Self::Value) -> bool + 'static,
     {
-        Filter { inner: self, whence, pred: Rc::new(pred) }
+        Filter {
+            inner: self,
+            whence,
+            pred: Rc::new(pred),
+        }
     }
 
     /// Build a recursive strategy: `self` generates leaves, and `branch`
@@ -194,7 +201,12 @@ struct IntTree<T> {
 
 impl<T> IntTree<T> {
     fn new(value: i128, origin: i128) -> Self {
-        IntTree { curr: value, lo: origin, hi: value, _t: PhantomData }
+        IntTree {
+            curr: value,
+            lo: origin,
+            hi: value,
+            _t: PhantomData,
+        }
     }
 }
 
@@ -323,7 +335,10 @@ impl ValueTree for BoolTree {
 
 impl Arbitrary for bool {
     fn arbitrary_tree(rng: &mut TestRng) -> Box<dyn ValueTree<Value = bool>> {
-        Box::new(BoolTree { curr: rng.next_u64() & 1 == 1, exhausted: false })
+        Box::new(BoolTree {
+            curr: rng.next_u64() & 1 == 1,
+            exhausted: false,
+        })
     }
 }
 
@@ -345,13 +360,14 @@ struct MapTree<V, U> {
 impl<S: Strategy, U: Clone + fmt::Debug + 'static> Strategy for Map<S, U> {
     type Value = U;
     fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = U>> {
-        Box::new(MapTree { inner: self.inner.new_tree(rng), f: Rc::clone(&self.f) })
+        Box::new(MapTree {
+            inner: self.inner.new_tree(rng),
+            f: Rc::clone(&self.f),
+        })
     }
 }
 
-impl<V: Clone + fmt::Debug + 'static, U: Clone + fmt::Debug + 'static> ValueTree
-    for MapTree<V, U>
-{
+impl<V: Clone + fmt::Debug + 'static, U: Clone + fmt::Debug + 'static> ValueTree for MapTree<V, U> {
     type Value = U;
     fn current(&self) -> U {
         (self.f)(self.inner.current())
@@ -368,16 +384,19 @@ impl<V: Clone + fmt::Debug + 'static, U: Clone + fmt::Debug + 'static> ValueTree
 // Filter
 // ---------------------------------------------------------------------------
 
+/// Shared filter predicate over generated values.
+type FilterPred<V> = Rc<dyn Fn(&V) -> bool>;
+
 /// Strategy adaptor for [`Strategy::prop_filter`].
 pub struct Filter<S: Strategy> {
     inner: S,
     whence: &'static str,
-    pred: Rc<dyn Fn(&S::Value) -> bool>,
+    pred: FilterPred<S::Value>,
 }
 
 struct FilterTree<V> {
     inner: Box<dyn ValueTree<Value = V>>,
-    pred: Rc<dyn Fn(&V) -> bool>,
+    pred: FilterPred<V>,
     /// Set once a shrink step violates the predicate: further shrinking
     /// of this subtree stops (correct, merely less minimal).
     dead: bool,
@@ -389,7 +408,11 @@ impl<S: Strategy> Strategy for Filter<S> {
         for _ in 0..256 {
             let tree = self.inner.new_tree(rng);
             if (self.pred)(&tree.current()) {
-                return Box::new(FilterTree { inner: tree, pred: Rc::clone(&self.pred), dead: false });
+                return Box::new(FilterTree {
+                    inner: tree,
+                    pred: Rc::clone(&self.pred),
+                    dead: false,
+                });
             }
         }
         panic!(
@@ -447,7 +470,10 @@ impl<T> Union<T> {
     /// anything in particular but must not all be zero.
     pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
         assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
-        assert!(arms.iter().any(|(w, _)| *w > 0), "prop_oneof! weights are all zero");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! weights are all zero"
+        );
         Union { arms }
     }
 }
@@ -547,14 +573,20 @@ pub struct SizeRange {
 impl From<Range<usize>> for SizeRange {
     fn from(r: Range<usize>) -> Self {
         assert!(r.start < r.end, "empty size range");
-        SizeRange { min: r.start, max: r.end - 1 }
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(r: RangeInclusive<usize>) -> Self {
         assert!(r.start() <= r.end(), "empty size range");
-        SizeRange { min: *r.start(), max: *r.end() }
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
     }
 }
 
@@ -570,7 +602,10 @@ pub mod collection {
 
     /// `Vec<V>` of a size drawn from `size`, elements from `elem`.
     pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-        VecStrategy { elem, size: size.into() }
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
     }
 
     /// Strategy returned by [`vec`].
@@ -652,15 +687,15 @@ impl<V: Clone + fmt::Debug + 'static> ValueTree for VecTree<V> {
                 self.phase = VecPhase::Remove { idx: idx + 1 };
                 true
             }
-            Some(VecUndo::Element(idx)) => {
-                if idx < self.elems.len() && self.elems[idx].complicate() {
+            Some(VecUndo::Element(idx)) if idx < self.elems.len() => {
+                if self.elems[idx].complicate() {
                     self.undo = Some(VecUndo::Element(idx));
                     true
                 } else {
                     false
                 }
             }
-            None => false,
+            Some(VecUndo::Element(_)) | None => false,
         }
     }
 }
@@ -687,10 +722,7 @@ pub mod option {
 
     impl<S: Strategy> Strategy for OptionStrategy<S> {
         type Value = Option<S::Value>;
-        fn new_tree(
-            &self,
-            rng: &mut TestRng,
-        ) -> Box<dyn ValueTree<Value = Option<S::Value>>> {
+        fn new_tree(&self, rng: &mut TestRng) -> Box<dyn ValueTree<Value = Option<S::Value>>> {
             let some = rng.below(4) != 0;
             Box::new(OptionTree {
                 inner: some.then(|| self.inner.new_tree(rng)),
@@ -762,7 +794,11 @@ struct Atom {
 
 impl Atom {
     fn sample(&self, rng: &mut TestRng) -> char {
-        let total: u64 = self.class.iter().map(|(a, b)| (*b as u64) - (*a as u64) + 1).sum();
+        let total: u64 = self
+            .class
+            .iter()
+            .map(|(a, b)| (*b as u64) - (*a as u64) + 1)
+            .sum();
         let mut pick = rng.below(total);
         for (a, b) in &self.class {
             let span = (*b as u64) - (*a as u64) + 1;
@@ -799,9 +835,9 @@ fn parse_pattern(pattern: &str) -> Vec<Atom> {
                     }
                     if chars.peek() == Some(&'-') {
                         chars.next();
-                        let hi = chars.next().unwrap_or_else(|| {
-                            panic!("dangling - in pattern {pattern:?}")
-                        });
+                        let hi = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling - in pattern {pattern:?}"));
                         if hi == ']' {
                             members.push((m, m));
                             members.push(('-', '-'));
@@ -828,8 +864,10 @@ fn parse_pattern(pattern: &str) -> Vec<Atom> {
                 let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
                 match body.split_once(',') {
                     Some((m, n)) => (
-                        m.parse().unwrap_or_else(|_| panic!("bad {{m,n}} in {pattern:?}")),
-                        n.parse().unwrap_or_else(|_| panic!("bad {{m,n}} in {pattern:?}")),
+                        m.parse()
+                            .unwrap_or_else(|_| panic!("bad {{m,n}} in {pattern:?}")),
+                        n.parse()
+                            .unwrap_or_else(|_| panic!("bad {{m,n}} in {pattern:?}")),
                     ),
                     None => {
                         let n = body
@@ -871,7 +909,12 @@ impl Strategy for &'static str {
             })
             .collect();
         let frozen = vec![false; atoms.len()];
-        Box::new(StrTree { atoms, chars, frozen, undo: None })
+        Box::new(StrTree {
+            atoms,
+            chars,
+            frozen,
+            undo: None,
+        })
     }
 }
 
@@ -987,10 +1030,7 @@ mod tests {
     #[test]
     fn union_respects_arms() {
         let mut r = rng();
-        let s = Union::new(vec![
-            (1, (0i64..10).boxed()),
-            (1, (100i64..110).boxed()),
-        ]);
+        let s = Union::new(vec![(1, (0i64..10).boxed()), (1, (100i64..110).boxed())]);
         let mut low = false;
         let mut high = false;
         for _ in 0..200 {
@@ -1028,7 +1068,10 @@ mod tests {
         for _ in 0..100 {
             let s = "[a-z ]{0,8}".new_tree(&mut r).current();
             assert!(s.chars().count() <= 8);
-            assert!(s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()), "{s:?}");
+            assert!(
+                s.chars().all(|c| c == ' ' || c.is_ascii_lowercase()),
+                "{s:?}"
+            );
         }
     }
 
@@ -1083,9 +1126,11 @@ mod tests {
                 T::Node(v) => 1 + v.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let s = (0i64..10).prop_map(T::Leaf).prop_recursive(3, 16, 3, |inner| {
-            collection::vec(inner, 0..3).prop_map(T::Node)
-        });
+        let s = (0i64..10)
+            .prop_map(T::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                collection::vec(inner, 0..3).prop_map(T::Node)
+            });
         let mut r = rng();
         for _ in 0..100 {
             let v = s.new_tree(&mut r).current();

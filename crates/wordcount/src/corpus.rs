@@ -50,7 +50,10 @@ impl Corpus {
 
     /// Total number of words.
     pub fn word_count(&self) -> usize {
-        self.lines.iter().map(|l| l.split_whitespace().count()).sum()
+        self.lines
+            .iter()
+            .map(|l| l.split_whitespace().count())
+            .sum()
     }
 
     /// The lines as a shared dynamic list (for the embedded suite and the

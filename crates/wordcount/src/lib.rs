@@ -21,6 +21,18 @@
 //! hash inflates the per-word work "by a factor of roughly 80, achieved
 //! using trigonometry and prime number functions" ([`hash`]).
 
+/// Expands its body only when the `obs` feature is on (see the identical
+/// shim in `blockingq`): instrumentation sites vanish entirely when
+/// observability is disabled.
+#[cfg(feature = "obs")]
+macro_rules! obs_on {
+    ($($body:tt)*) => { $($body)* };
+}
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_on {
+    ($($body:tt)*) => {};
+}
+
 pub mod corpus;
 pub mod embedded;
 pub mod hash;
@@ -91,10 +103,17 @@ fn adaptive_chunk(total_items: usize) -> usize {
 /// (see [`native::map_reduce_on`] / [`embedded::map_reduce_sized`] to pin
 /// it explicitly).
 pub fn run_cell(suite: Suite, variant: Variant, corpus: &Corpus, weight: Weight) -> f64 {
+    // Per-phase wall time: one timer per (suite, variant) cell, e.g.
+    // `wordcount.Junicon.Pipeline.wall`, plus a run counter — this is
+    // what the figure6 JSON embeds next to the timings.
+    obs_on!(
+        obs::counter("wordcount.cells").inc();
+        let cell_started = std::time::Instant::now();
+    );
     let line_chunk = adaptive_chunk(corpus.lines().len());
     let word_chunk = adaptive_chunk(corpus.word_count());
     let pool = exec::global();
-    match (suite, variant) {
+    let result = match (suite, variant) {
         (Suite::Native, Variant::Sequential) => native::sequential(corpus.lines(), weight),
         (Suite::Native, Variant::Pipeline) => native::pipeline(corpus.lines(), weight),
         (Suite::Native, Variant::MapReduce) => {
@@ -111,7 +130,12 @@ pub fn run_cell(suite: Suite, variant: Variant, corpus: &Corpus, weight: Weight)
         (Suite::Embedded, Variant::DataParallel) => {
             embedded::data_parallel_sized(corpus, weight, word_chunk)
         }
-    }
+    };
+    obs_on!({
+        let name = format!("wordcount.{}.{}.wall", suite.name(), variant.name());
+        obs::timer(&name).observe(cell_started.elapsed());
+    });
+    result
 }
 
 #[cfg(test)]

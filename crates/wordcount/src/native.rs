@@ -180,7 +180,10 @@ mod tests {
     fn pipeline_tiny_capacity_still_correct() {
         let c = Corpus::generate(20, 6, 12);
         let seq = sequential(c.lines(), Weight::Light);
-        assert!(close(seq, pipeline_with_capacity(c.lines(), Weight::Light, 1)));
+        assert!(close(
+            seq,
+            pipeline_with_capacity(c.lines(), Weight::Light, 1)
+        ));
     }
 
     #[test]
@@ -217,6 +220,9 @@ mod tests {
         let c = Corpus::generate(3, 3, 15);
         let pool = ThreadPool::new(2);
         let seq = sequential(c.lines(), Weight::Light);
-        assert!(close(seq, map_reduce_on(c.lines(), Weight::Light, 10_000, &pool)));
+        assert!(close(
+            seq,
+            map_reduce_on(c.lines(), Weight::Light, 10_000, &pool)
+        ));
     }
 }

@@ -45,7 +45,8 @@ fn main() {
             break;
         }
         // Declarations load; expressions evaluate and print all results.
-        if line.starts_with("def ") || line.starts_with("procedure ") || line.starts_with("class ") {
+        if line.starts_with("def ") || line.starts_with("procedure ") || line.starts_with("class ")
+        {
             match interp.load(line) {
                 Ok(()) => println!("loaded."),
                 Err(e) => println!("error: {e}"),
@@ -55,8 +56,7 @@ fn main() {
         match interp.eval(line) {
             Ok(results) if results.is_empty() => println!("(fail)"),
             Ok(results) => {
-                let rendered: Vec<String> =
-                    results.iter().map(|v| v.to_string()).collect();
+                let rendered: Vec<String> = results.iter().map(|v| v.to_string()).collect();
                 println!("{}", rendered.join(" | "));
             }
             Err(e) => println!("error: {e}"),

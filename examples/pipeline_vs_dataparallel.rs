@@ -33,7 +33,9 @@ fn main() {
 
     println!("embedded concurrent generators:");
     let seq = timed("sequential  f(s)", || embedded::sequential(&corpus, weight));
-    let pipe = timed("pipeline    f(! |> s)", || embedded::pipeline(&corpus, weight));
+    let pipe = timed("pipeline    f(! |> s)", || {
+        embedded::pipeline(&corpus, weight)
+    });
     let dp = timed("data-par    every (c=chunk(s)) |> f(!c)", || {
         embedded::data_parallel(&corpus, weight)
     });
@@ -51,7 +53,11 @@ fn main() {
     });
 
     // Every structure computes the same total.
-    for (label, v) in [("pipeline", pipe), ("data-parallel", dp), ("map-reduce", mr)] {
+    for (label, v) in [
+        ("pipeline", pipe),
+        ("data-parallel", dp),
+        ("map-reduce", mr),
+    ] {
         assert!(
             (v - seq).abs() < seq.abs() * 1e-9,
             "{label} diverged: {v} vs {seq}"

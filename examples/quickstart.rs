@@ -55,7 +55,9 @@ fn main() {
     // Goal-directed comparisons: `<` succeeds producing its right
     // operand, or fails — so comparisons filter inside generators.
     // ---------------------------------------------------------------
-    let evens = interp.eval("every x := 1 to 10 do write(x % 2 = 0)").unwrap();
+    let evens = interp
+        .eval("every x := 1 to 10 do write(x % 2 = 0)")
+        .unwrap();
     drop(evens);
     println!(
         "writes of x%2=0 over 1..10  =  {:?}  (only even x succeed)",

@@ -1,0 +1,89 @@
+#!/usr/bin/env bash
+# The full offline CI pipeline (ISSUE 2). Runs, in order:
+#
+#   1. scripts/verify.sh        — tier-1: hermetic guard + build + test;
+#   2. cargo fmt --check        — formatting is load-bearing;
+#   3. cargo clippy -D warnings — lints are errors (loud skip if the
+#                                 component is not installed);
+#   4. obs feature matrix       — every instrumented crate must compile
+#                                 BOTH with `--features obs` and, in
+#                                 isolation, without it (feature
+#                                 unification hides the latter in
+#                                 workspace-wide builds);
+#   5. scripts/examples_smoke.sh — every example runs, fail-fast;
+#   6. bench smoke              — a fast figure6 run + criterion smoke
+#                                 via the TINYBENCH_* knobs, emitting
+#                                 BENCH_ci.json (uploaded as a CI
+#                                 artifact; compare against the
+#                                 committed BENCH_baseline.json).
+#
+# Everything is `--offline`: CI must pass on a machine that has never
+# reached a registry. No step downloads anything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { echo; echo "==== ci: $*"; }
+
+step "[1/6] tier-1 verify (hermetic guard + build + test)"
+scripts/verify.sh
+
+step "[2/6] cargo fmt --check"
+if command -v rustfmt > /dev/null 2>&1; then
+    cargo fmt --all -- --check
+    echo "   ok: formatting clean"
+else
+    echo "   !!! SKIPPED: rustfmt is not installed (rustup component add rustfmt)"
+fi
+
+step "[3/6] cargo clippy --workspace --all-targets -- -D warnings"
+if cargo clippy --version > /dev/null 2>&1; then
+    cargo clippy --workspace --all-targets --offline -- -D warnings
+    echo "   ok: clippy clean"
+else
+    echo "   !!! SKIPPED: clippy is not installed (rustup component add clippy)"
+fi
+
+step "[4/6] obs feature matrix (on + isolated off)"
+# With the feature: the whole workspace, all targets (bench + root
+# already default it on, but be explicit for the instrumented crates).
+OBS_CRATES=(blockingq exec pipes mapreduce wordcount)
+for crate in "${OBS_CRATES[@]}"; do
+    cargo build --offline -q -p "$crate" --features obs
+done
+echo "   ok: instrumented builds"
+# Without it: each crate in isolation, so feature unification from the
+# root crate/bench cannot quietly re-enable obs. This is the zero-cost
+# compile gate — the obs_on! macro must expand to nothing and the crates
+# must carry no obs code at all.
+for crate in "${OBS_CRATES[@]}" gde coexpr junicon bigint obs; do
+    cargo build --offline -q -p "$crate"
+    cargo test --offline -q -p "$crate" > /dev/null
+done
+echo "   ok: uninstrumented builds + tests (obs off)"
+
+step "[5/6] examples smoke"
+scripts/examples_smoke.sh
+
+step "[6/6] bench smoke -> BENCH_ci.json"
+# Small corpus + few iterations: this is a wiring check (does the
+# harness run, does the JSON parse, are obs metrics non-zero), not a
+# measurement. BENCH_baseline.json is the committed full-size run.
+cargo run --offline -q -p bench --release --bin figure6 -- \
+    --lines 200 --heavy-lines 40 --iters 3 --warmup 1 --json BENCH_ci.json
+# Criterion smoke through the shim's env knobs: tiny sample budget.
+# Print the hot-path numbers with instrumentation ON and OFF side by
+# side (the zero-cost claim, measured).
+echo "   -- obs-overhead (instrumentation ON):"
+TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
+    cargo bench --offline -q -p bench --bench obs_overhead \
+    | grep -E "put_take" | sed 's/^/      /'
+echo "   -- obs-overhead (instrumentation OFF):"
+TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
+    cargo bench --offline -q -p bench --no-default-features --bench obs_overhead \
+    | grep -E "put_take" | sed 's/^/      /'
+grep -q '"schema": "figure6-v2"' BENCH_ci.json
+grep -q '"obs": {' BENCH_ci.json
+echo "   ok: BENCH_ci.json written (schema figure6-v2, obs snapshot embedded)"
+
+echo
+echo "ci: OK"

@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
-# Smoke-run every example in examples/ (ISSUE 1 satellite).
+# Smoke-run every example in examples/ (ISSUE 1 satellite; hardened in
+# ISSUE 2 to fail fast).
 #
 # Each example must exit 0 within the timeout. The interactive
 # `junicon_repl` is driven with a scripted session on stdin (it exits
 # cleanly on `:quit` / EOF). Everything runs `--offline`: the workspace is
 # hermetic and must never need the registry (see DESIGN.md § "Hermetic
 # build").
+#
+# The script stops at the FIRST failing example and names it, so CI logs
+# point straight at the culprit instead of burying it in a summary.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,7 +27,6 @@ run() {
         > /dev/null
 }
 
-fail=0
 for src in examples/*.rs; do
     name="$(basename "$src" .rs)"
     case "$name" in
@@ -31,16 +34,12 @@ for src in examples/*.rs; do
             echo "== example: junicon_repl (scripted session)"
             printf 'write(1 to 3)\nevery i := 1 to 3 do write(i * i)\n:quit\n' \
                 | timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" --quiet --example junicon_repl \
-                > /dev/null || { echo "FAILED: junicon_repl"; fail=1; }
+                > /dev/null || { echo "examples smoke: FAILED at example 'junicon_repl'"; exit 1; }
             ;;
         *)
-            run "$name" || { echo "FAILED: $name"; fail=1; }
+            run "$name" || { echo "examples smoke: FAILED at example '$name'"; exit 1; }
             ;;
     esac
 done
 
-if [ "$fail" -ne 0 ]; then
-    echo "examples smoke: FAILURES"
-    exit 1
-fi
 echo "examples smoke: all examples ran cleanly"

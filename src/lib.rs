@@ -54,5 +54,6 @@ pub use exec;
 pub use gde;
 pub use junicon;
 pub use mapreduce;
+pub use obs;
 pub use pipes;
 pub use wordcount;

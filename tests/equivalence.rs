@@ -5,9 +5,7 @@
 //! alternatives is preserved under refinement" presupposes the *results*
 //! are preserved, which is what this file pins down.
 
-use concurrent_generators::gde::comb::{
-    alt, filter_map, limit, product_map, to_range,
-};
+use concurrent_generators::gde::comb::{alt, filter_map, limit, product_map, to_range};
 use concurrent_generators::gde::{GenExt, Value};
 use concurrent_generators::junicon::Interp;
 
@@ -174,6 +172,12 @@ fn wordcount_embedded_vs_native_vs_interpreted() {
         c += v.as_real().unwrap_or(0.0);
     }
 
-    assert!((a - b).abs() < a.abs() * 1e-9, "native vs embedded: {a} vs {b}");
-    assert!((a - c).abs() < a.abs() * 1e-9, "native vs interpreted: {a} vs {c}");
+    assert!(
+        (a - b).abs() < a.abs() * 1e-9,
+        "native vs embedded: {a} vs {b}"
+    );
+    assert!(
+        (a - c).abs() < a.abs() * 1e-9,
+        "native vs interpreted: {a} vs {c}"
+    );
 }
