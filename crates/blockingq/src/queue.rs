@@ -1,4 +1,5 @@
-//! A bounded MPMC blocking queue with close semantics.
+//! A bounded MPMC blocking queue with close semantics and batch
+//! operations that amortize the per-element lock/condvar cost.
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
@@ -174,6 +175,109 @@ impl<T> BlockingQueue<T> {
         Ok(())
     }
 
+    /// Enqueue a whole batch, blocking for space as needed, in one (or as
+    /// few as possible) mutex acquisitions. FIFO order within the batch is
+    /// preserved, and elements of a batch are never interleaved with a
+    /// *concurrent* `put_all` from another producer unless this call had
+    /// to block for space part-way through.
+    ///
+    /// A batch larger than the remaining capacity *straddles the bound*:
+    /// the fitting prefix is enqueued (and consumers are woken) before the
+    /// producer blocks for space for the rest. If the queue is — or
+    /// becomes, while waiting — closed, the **unaccepted suffix** is
+    /// refunded via `Err(PutError(suffix))`; everything before it was
+    /// enqueued and will be seen by consumers. An empty batch succeeds
+    /// trivially (even on a closed queue).
+    pub fn put_all(&self, items: Vec<T>) -> Result<(), PutError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        obs_on!(let total = items.len(); let mut accepted = 0usize;);
+        let mut iter = items.into_iter().peekable();
+        let mut st = self.shared.state.lock();
+        obs_on!(let mut waited = false;);
+        loop {
+            if st.closed {
+                drop(st);
+                let rest: Vec<T> = iter.collect();
+                obs_on!({
+                    accepted = total - rest.len();
+                    record_batch_put(accepted, 0);
+                });
+                return Err(PutError(rest));
+            }
+            let mut moved = false;
+            while iter.peek().is_some() && st.buf.len() < self.shared.capacity {
+                st.buf.push_back(iter.next().expect("peeked"));
+                moved = true;
+            }
+            if iter.peek().is_none() {
+                obs_on!(let depth = st.buf.len(););
+                drop(st);
+                self.shared.not_empty.notify_all();
+                obs_on!({
+                    let _ = accepted;
+                    record_batch_put(total, depth);
+                });
+                return Ok(());
+            }
+            // Partial fill: make the accepted prefix visible to consumers
+            // before sleeping, or a full queue with a blocked consumer
+            // elsewhere could deadlock on a never-sent wakeup.
+            if moved {
+                self.shared.not_empty.notify_all();
+            }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::queue().blocked_puts.inc();
+            });
+            self.shared.not_full.wait(&mut st);
+        }
+    }
+
+    /// Enqueue as much of a batch as fits, without blocking.
+    ///
+    /// * `Ok(())` — every element was enqueued.
+    /// * `Err(TryPutError::Closed(items))` — the queue is closed; nothing
+    ///   was enqueued, the whole batch is refunded.
+    /// * `Err(TryPutError::Full(suffix))` — the fitting prefix **was
+    ///   enqueued**; `suffix` is the refunded remainder (non-empty). The
+    ///   accepted count is the original length minus `suffix.len()`.
+    ///
+    /// An empty batch succeeds trivially.
+    pub fn try_put_all(&self, items: Vec<T>) -> Result<(), TryPutError<Vec<T>>> {
+        if items.is_empty() {
+            return Ok(());
+        }
+        let mut st = self.shared.state.lock();
+        if st.closed {
+            return Err(TryPutError::Closed(items));
+        }
+        let room = self.shared.capacity - st.buf.len();
+        if room == 0 {
+            return Err(TryPutError::Full(items));
+        }
+        if items.len() <= room {
+            obs_on!(let n = items.len(););
+            st.buf.extend(items);
+            obs_on!(let depth = st.buf.len(););
+            drop(st);
+            self.shared.not_empty.notify_all();
+            obs_on!(record_batch_put(n, depth););
+            Ok(())
+        } else {
+            let mut iter = items.into_iter();
+            for _ in 0..room {
+                st.buf.push_back(iter.next().expect("room < len"));
+            }
+            obs_on!(let depth = st.buf.len(););
+            drop(st);
+            self.shared.not_empty.notify_all();
+            obs_on!(record_batch_put(room, depth););
+            Err(TryPutError::Full(iter.collect()))
+        }
+    }
+
     /// Block until an element is available and dequeue it.
     ///
     /// Returns `None` once the queue is closed *and* drained.
@@ -212,6 +316,112 @@ impl<T> BlockingQueue<T> {
         } else {
             Err(TryTakeError::Empty)
         }
+    }
+
+    /// Block until at least one element is available, then dequeue up to
+    /// `max` elements in a single mutex acquisition, preserving FIFO
+    /// order. Returns `None` once the queue is closed *and* drained.
+    ///
+    /// `max == 0` yields an empty batch immediately, without blocking or
+    /// consulting the queue (the degenerate no-op batch).
+    pub fn take_batch(&self, max: usize) -> Option<Vec<T>> {
+        if max == 0 {
+            return Some(Vec::new());
+        }
+        let mut st = self.shared.state.lock();
+        obs_on!(let mut waited = false;);
+        loop {
+            if !st.buf.is_empty() {
+                let n = st.buf.len().min(max);
+                let out: Vec<T> = st.buf.drain(..n).collect();
+                drop(st);
+                self.shared.not_full.notify_all();
+                obs_on!(record_batch_take(n););
+                return Some(out);
+            }
+            if st.closed {
+                return None;
+            }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::queue().blocked_takes.inc();
+            });
+            self.shared.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Dequeue up to `max` elements without blocking.
+    ///
+    /// `Ok(batch)` is non-empty unless `max == 0` (which returns an empty
+    /// batch immediately); an empty open queue is `Err(TryTakeError::Empty)`
+    /// and a closed drained one is `Err(TryTakeError::Closed)`.
+    pub fn try_take_batch(&self, max: usize) -> Result<Vec<T>, TryTakeError> {
+        if max == 0 {
+            return Ok(Vec::new());
+        }
+        let mut st = self.shared.state.lock();
+        if st.buf.is_empty() {
+            return if st.closed {
+                Err(TryTakeError::Closed)
+            } else {
+                Err(TryTakeError::Empty)
+            };
+        }
+        let n = st.buf.len().min(max);
+        let out: Vec<T> = st.buf.drain(..n).collect();
+        drop(st);
+        self.shared.not_full.notify_all();
+        obs_on!(record_batch_take(n););
+        Ok(out)
+    }
+
+    /// Block until at least one element is available, then move the
+    /// *entire* buffered contents into `out` (appending, FIFO order) in a
+    /// single mutex acquisition. Returns the number of elements moved;
+    /// `0` means the queue is closed and drained (end-of-stream).
+    pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
+        let mut st = self.shared.state.lock();
+        obs_on!(let mut waited = false;);
+        loop {
+            if !st.buf.is_empty() {
+                let n = st.buf.len();
+                out.reserve(n);
+                out.extend(st.buf.drain(..));
+                drop(st);
+                self.shared.not_full.notify_all();
+                obs_on!(record_batch_take(n););
+                return n;
+            }
+            if st.closed {
+                return 0;
+            }
+            obs_on!(if !waited {
+                waited = true;
+                crate::stats::queue().blocked_takes.inc();
+            });
+            self.shared.not_empty.wait(&mut st);
+        }
+    }
+
+    /// Non-blocking [`BlockingQueue::drain_into`]: moves the entire
+    /// buffered contents into `out` and returns `Ok(moved)` (≥ 1), or the
+    /// reason nothing could be moved.
+    pub fn try_drain_into(&self, out: &mut Vec<T>) -> Result<usize, TryTakeError> {
+        let mut st = self.shared.state.lock();
+        if st.buf.is_empty() {
+            return if st.closed {
+                Err(TryTakeError::Closed)
+            } else {
+                Err(TryTakeError::Empty)
+            };
+        }
+        let n = st.buf.len();
+        out.reserve(n);
+        out.extend(st.buf.drain(..));
+        drop(st);
+        self.shared.not_full.notify_all();
+        obs_on!(record_batch_take(n););
+        Ok(n)
     }
 
     /// Like [`BlockingQueue::take`] but gives up after `timeout`,
@@ -262,6 +472,37 @@ impl<T> BlockingQueue<T> {
     pub fn iter(&self) -> Drain<'_, T> {
         Drain { queue: self }
     }
+}
+
+/// Record one batch-put transaction of `n` elements (obs only): items
+/// count toward `puts` (throughput is measured in *items*, whatever the
+/// transport granularity), the transaction toward `batch_puts`, and the
+/// fill toward the `batch_fill` histogram. No-op for an empty batch.
+#[cfg(feature = "obs")]
+fn record_batch_put(n: usize, depth: usize) {
+    if n == 0 {
+        return;
+    }
+    let stats = crate::stats::queue();
+    stats.puts.add(n as u64);
+    stats.batch_puts.inc();
+    stats.batch_fill.record(n as u64);
+    if depth > 0 {
+        stats.depth_highwater.record_max(depth as i64);
+    }
+}
+
+/// Record one batch-take transaction of `n` elements (obs only); see
+/// [`record_batch_put`].
+#[cfg(feature = "obs")]
+fn record_batch_take(n: usize) {
+    if n == 0 {
+        return;
+    }
+    let stats = crate::stats::queue();
+    stats.takes.add(n as u64);
+    stats.batch_takes.inc();
+    stats.batch_fill.record(n as u64);
 }
 
 impl<T> fmt::Debug for BlockingQueue<T> {
@@ -439,6 +680,151 @@ mod tests {
         q.close();
         let got: Vec<i32> = q.iter().collect();
         assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn put_all_take_batch_roundtrip_fifo() {
+        let q = BlockingQueue::bounded(16);
+        q.put_all((0..5).collect()).unwrap();
+        q.put(5).unwrap();
+        q.put_all(vec![6, 7]).unwrap();
+        assert_eq!(q.take_batch(3), Some(vec![0, 1, 2]));
+        assert_eq!(q.take(), Some(3));
+        assert_eq!(q.take_batch(100), Some(vec![4, 5, 6, 7]));
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_even_when_closed() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(2);
+        q.close();
+        assert_eq!(q.put_all(vec![]), Ok(()));
+        assert_eq!(q.try_put_all(vec![]), Ok(()));
+        assert_eq!(q.take_batch(0), Some(vec![]));
+        assert_eq!(q.try_take_batch(0), Ok(vec![]));
+    }
+
+    #[test]
+    fn put_all_on_closed_refunds_everything() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(4);
+        q.close();
+        assert_eq!(q.put_all(vec![1, 2, 3]), Err(PutError(vec![1, 2, 3])));
+    }
+
+    #[test]
+    fn put_all_straddles_capacity_then_blocks() {
+        // Batch of 6 into capacity 2: the prefix lands immediately, the
+        // producer blocks, and the consumer receives everything in order.
+        let q = BlockingQueue::bounded(2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.put_all((0..6).collect()));
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 2, "prefix visible before producer unblocks");
+        let mut got = Vec::new();
+        while got.len() < 6 {
+            got.extend(q.take_batch(4).expect("open"));
+        }
+        h.join().unwrap().unwrap();
+        assert_eq!(got, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn put_all_close_mid_straddle_refunds_suffix() {
+        let q = BlockingQueue::bounded(2);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.put_all((0..6).collect()));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        let refund = h.join().unwrap().expect_err("closed mid-batch").0;
+        // Accepted prefix drains; refund is exactly the untaken suffix.
+        let drained: Vec<i32> = q.iter().collect();
+        let mut all = drained;
+        all.extend(refund);
+        assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn try_put_all_partial_accept_reports_suffix() {
+        let q = BlockingQueue::bounded(3);
+        q.put(0).unwrap();
+        match q.try_put_all(vec![1, 2, 3, 4]) {
+            Err(TryPutError::Full(rest)) => assert_eq!(rest, vec![3, 4]),
+            other => panic!("expected Full suffix, got {other:?}"),
+        }
+        assert_eq!(q.take_batch(10), Some(vec![0, 1, 2]));
+        // At capacity: nothing accepted, whole batch refunded.
+        q.put_all(vec![9, 9, 9]).unwrap();
+        assert_eq!(q.try_put_all(vec![5]), Err(TryPutError::Full(vec![5])));
+        q.close();
+        assert_eq!(
+            q.try_put_all(vec![6, 7]),
+            Err(TryPutError::Closed(vec![6, 7]))
+        );
+    }
+
+    #[test]
+    fn take_batch_blocks_until_data_or_close() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(4);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.take_batch(8));
+        thread::sleep(Duration::from_millis(20));
+        q.put_all(vec![1, 2]).unwrap();
+        assert_eq!(h.join().unwrap(), Some(vec![1, 2]));
+        let q3 = q.clone();
+        let h = thread::spawn(move || q3.take_batch(8));
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(h.join().unwrap(), None);
+    }
+
+    #[test]
+    fn try_take_batch_empty_and_closed() {
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(4);
+        assert_eq!(q.try_take_batch(3), Err(TryTakeError::Empty));
+        q.put_all(vec![1, 2, 3]).unwrap();
+        assert_eq!(q.try_take_batch(2), Ok(vec![1, 2]));
+        q.close();
+        assert_eq!(q.try_take_batch(2), Ok(vec![3]));
+        assert_eq!(q.try_take_batch(2), Err(TryTakeError::Closed));
+    }
+
+    #[test]
+    fn drain_into_appends_and_signals_eos() {
+        let q = BlockingQueue::bounded(8);
+        q.put_all(vec![1, 2, 3]).unwrap();
+        let mut out = vec![0];
+        assert_eq!(q.drain_into(&mut out), 3);
+        assert_eq!(out, vec![0, 1, 2, 3]);
+        assert_eq!(q.try_drain_into(&mut out), Err(TryTakeError::Empty));
+        q.put(4).unwrap();
+        assert_eq!(q.try_drain_into(&mut out), Ok(1));
+        q.close();
+        assert_eq!(q.drain_into(&mut out), 0, "end-of-stream");
+        assert_eq!(q.try_drain_into(&mut out), Err(TryTakeError::Closed));
+        assert_eq!(out, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn batch_take_wakes_multiple_blocked_producers() {
+        // Draining a full queue in one batch must wake every producer
+        // blocked on space, not just one.
+        let q = BlockingQueue::bounded(2);
+        q.put_all(vec![0, 1]).unwrap();
+        let producers: Vec<_> = (0..3)
+            .map(|i| {
+                let q = q.clone();
+                thread::spawn(move || q.put(10 + i))
+            })
+            .collect();
+        thread::sleep(Duration::from_millis(20));
+        let mut got = q.take_batch(16).expect("open");
+        while got.len() < 5 {
+            got.extend(q.take_batch(16).expect("open"));
+        }
+        for p in producers {
+            p.join().unwrap().unwrap();
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 1, 10, 11, 12]);
     }
 
     #[test]

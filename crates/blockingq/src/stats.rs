@@ -23,6 +23,16 @@ pub(crate) struct QueueStats {
     pub closes: Arc<obs::Counter>,
     /// High-water buffered depth across all queues.
     pub depth_highwater: Arc<obs::Gauge>,
+    /// Batch-put transactions (`put_all` / `try_put_all` moving ≥ 1
+    /// element under one lock acquisition). Items still count in `puts`.
+    pub batch_puts: Arc<obs::Counter>,
+    /// Batch-take transactions (`take_batch` / `try_take_batch` /
+    /// `drain_into` moving ≥ 1 element). Items still count in `takes`.
+    pub batch_takes: Arc<obs::Counter>,
+    /// Elements moved per batch transaction (both directions) — the
+    /// amortization factor. `p50 ≈ batch size` means the chunked
+    /// transport is actually filling its chunks.
+    pub batch_fill: Arc<obs::Histogram>,
 }
 
 pub(crate) fn queue() -> &'static QueueStats {
@@ -34,6 +44,9 @@ pub(crate) fn queue() -> &'static QueueStats {
         blocked_takes: obs::counter("blockingq.queue.blocked_takes"),
         closes: obs::counter("blockingq.queue.closes"),
         depth_highwater: obs::gauge("blockingq.queue.depth_highwater"),
+        batch_puts: obs::counter("blockingq.queue.batch_puts"),
+        batch_takes: obs::counter("blockingq.queue.batch_takes"),
+        batch_fill: obs::histogram("blockingq.queue.batch_fill"),
     })
 }
 

@@ -1,0 +1,214 @@
+//! Property tests for the batch queue APIs (`put_all` / `take_batch` /
+//! `drain_into` and their `try_` variants).
+//!
+//! The single-threaded suite checks random operation sequences — with
+//! batch sizes deliberately spanning 0, 1, and well past the capacity —
+//! against a plain `VecDeque` + closed-flag oracle, so any divergence
+//! shrinks to a minimal op sequence. The concurrent suite exercises the
+//! *blocking* straddle path (`put_all` larger than the queue bound parks
+//! and resumes as space frees) and the refund accounting under mid-stream
+//! close: `taken ++ refunded == original`, always.
+
+use blockingq::{BlockingQueue, PutError, TryPutError, TryTakeError};
+use std::collections::VecDeque;
+use tinyprop::prelude::*;
+
+/// One batch-flavored operation in a generated scenario.
+#[derive(Clone, Debug)]
+enum Op {
+    TryPutAll(Vec<i64>),
+    TryTakeBatch(usize),
+    TryDrainInto,
+    TryPut(i64),
+    TryTake,
+    Close,
+    Len,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        // Batch sizes 0..=12 against capacities 1..8: empty batches and
+        // batches larger than the whole queue are both routine.
+        4 => prop::collection::vec(any::<i64>(), 0..13).prop_map(Op::TryPutAll),
+        3 => (0usize..13).prop_map(Op::TryTakeBatch),
+        2 => Just(Op::TryDrainInto),
+        2 => any::<i64>().prop_map(Op::TryPut),
+        2 => Just(Op::TryTake),
+        1 => Just(Op::Close),
+        1 => Just(Op::Len),
+    ]
+}
+
+proptest! {
+    /// The batch APIs behave exactly like a capacity-bounded `VecDeque`
+    /// with a closed flag: `try_put_all` accepts the fitting prefix and
+    /// refunds the remainder, `try_take_batch` drains up to `max` in FIFO
+    /// order, `try_drain_into` empties the buffer — under any interleaved
+    /// sequence of batch and single-element operations.
+    #[test]
+    fn batch_ops_match_reference_model(
+        capacity in 1usize..8,
+        ops in prop::collection::vec(arb_op(), 0..60),
+    ) {
+        let q: BlockingQueue<i64> = BlockingQueue::bounded(capacity);
+        let mut model: VecDeque<i64> = VecDeque::new();
+        let mut closed = false;
+
+        for op in ops {
+            match op {
+                Op::TryPutAll(items) => {
+                    let got = q.try_put_all(items.clone());
+                    if items.is_empty() {
+                        // The degenerate batch is a no-op even when closed.
+                        prop_assert_eq!(got, Ok(()));
+                    } else if closed {
+                        prop_assert_eq!(got, Err(TryPutError::Closed(items)));
+                    } else {
+                        let room = capacity - model.len();
+                        if room == 0 {
+                            prop_assert_eq!(got, Err(TryPutError::Full(items)));
+                        } else if items.len() <= room {
+                            prop_assert_eq!(got, Ok(()));
+                            model.extend(items);
+                        } else {
+                            // Fitting prefix accepted, suffix refunded.
+                            let suffix: Vec<i64> = items[room..].to_vec();
+                            prop_assert_eq!(got, Err(TryPutError::Full(suffix)));
+                            model.extend(items[..room].iter().copied());
+                        }
+                    }
+                }
+                Op::TryTakeBatch(max) => {
+                    let got = q.try_take_batch(max);
+                    if max == 0 {
+                        prop_assert_eq!(got, Ok(Vec::new()));
+                    } else if model.is_empty() {
+                        let want = if closed { TryTakeError::Closed } else { TryTakeError::Empty };
+                        prop_assert_eq!(got, Err(want));
+                    } else {
+                        let n = model.len().min(max);
+                        let want: Vec<i64> = model.drain(..n).collect();
+                        prop_assert_eq!(got, Ok(want));
+                    }
+                }
+                Op::TryDrainInto => {
+                    let mut out = vec![-1, -2]; // pre-existing content must survive
+                    let got = q.try_drain_into(&mut out);
+                    if model.is_empty() {
+                        let want = if closed { TryTakeError::Closed } else { TryTakeError::Empty };
+                        prop_assert_eq!(got, Err(want));
+                        prop_assert_eq!(out, vec![-1, -2]);
+                    } else {
+                        let n = model.len();
+                        let mut want = vec![-1, -2];
+                        want.extend(model.drain(..));
+                        prop_assert_eq!(got, Ok(n));
+                        prop_assert_eq!(out, want);
+                    }
+                }
+                Op::TryPut(v) => {
+                    let got = q.try_put(v);
+                    if closed {
+                        prop_assert_eq!(got, Err(TryPutError::Closed(v)));
+                    } else if model.len() >= capacity {
+                        prop_assert_eq!(got, Err(TryPutError::Full(v)));
+                    } else {
+                        prop_assert_eq!(got, Ok(()));
+                        model.push_back(v);
+                    }
+                }
+                Op::TryTake => {
+                    let got = q.try_take();
+                    match model.pop_front() {
+                        Some(v) => prop_assert_eq!(got, Ok(v)),
+                        None if closed => prop_assert_eq!(got, Err(TryTakeError::Closed)),
+                        None => prop_assert_eq!(got, Err(TryTakeError::Empty)),
+                    }
+                }
+                Op::Close => {
+                    q.close();
+                    closed = true;
+                }
+                Op::Len => {
+                    prop_assert_eq!(q.len(), model.len());
+                    prop_assert_eq!(q.is_empty(), model.is_empty());
+                    prop_assert_eq!(q.is_closed(), closed);
+                }
+            }
+        }
+        // Post-sequence drain: exactly the model's remainder, in order.
+        q.close();
+        let drained: Vec<i64> = q.iter().collect();
+        let expected: Vec<i64> = model.into_iter().collect();
+        prop_assert_eq!(drained, expected);
+    }
+
+    /// Blocking straddle roundtrip: a single `put_all` far larger than the
+    /// queue bound must park, resume as the consumer frees space, and land
+    /// every element in order — whatever the consumer's batch maximum is.
+    #[test]
+    fn straddling_put_all_delivers_everything_in_order(
+        capacity in 1usize..6,
+        len in 0usize..300,
+        max in 1usize..9,
+    ) {
+        let q: BlockingQueue<usize> = BlockingQueue::bounded(capacity);
+        let items: Vec<usize> = (0..len).collect();
+        let producer = {
+            let q = q.clone();
+            let items = items.clone();
+            std::thread::spawn(move || {
+                q.put_all(items).expect("queue open for the whole batch");
+                q.close();
+            })
+        };
+        let mut taken: Vec<usize> = Vec::new();
+        while let Some(chunk) = q.take_batch(max) {
+            prop_assert!(!chunk.is_empty(), "blocking take_batch yielded an empty chunk");
+            prop_assert!(chunk.len() <= max, "chunk exceeded max");
+            taken.extend(chunk);
+        }
+        producer.join().expect("producer ok");
+        prop_assert_eq!(taken, items);
+    }
+
+    /// Refund accounting under mid-stream close: whatever instant the
+    /// close lands — before, during, or after the straddling `put_all` —
+    /// the elements the consumer took plus the refunded suffix reassemble
+    /// the original sequence exactly. Nothing is lost, duplicated, or
+    /// reordered.
+    #[test]
+    fn taken_plus_refund_reassembles_the_batch(
+        capacity in 1usize..6,
+        len in 1usize..200,
+        take_before_close in 0usize..64,
+    ) {
+        let q: BlockingQueue<usize> = BlockingQueue::bounded(capacity);
+        let items: Vec<usize> = (0..len).collect();
+        let producer = {
+            let q = q.clone();
+            let items = items.clone();
+            std::thread::spawn(move || match q.put_all(items) {
+                Ok(()) => Vec::new(),
+                Err(PutError(refund)) => refund,
+            })
+        };
+        // Take a bounded number of elements, then slam the queue shut
+        // under the producer (who may be parked mid-straddle).
+        let mut taken: Vec<usize> = Vec::new();
+        for _ in 0..take_before_close {
+            match q.take_timeout(std::time::Duration::from_millis(50)) {
+                Ok(Some(v)) => taken.push(v),
+                _ => break,
+            }
+        }
+        q.close();
+        let refunded = producer.join().expect("producer ok");
+        // Anything accepted before the close is still in the buffer.
+        let mut buf = Vec::new();
+        let _ = q.try_drain_into(&mut buf);
+        taken.extend(buf);
+        taken.extend(refunded);
+        prop_assert_eq!(taken, items, "taken ++ drained ++ refund != original");
+    }
+}

@@ -31,6 +31,7 @@ type SourceFactory = Arc<dyn Fn() -> BoxGen + Send + Sync>;
 pub struct Pipeline {
     source: SourceFactory,
     capacity: usize,
+    batch: usize,
     stages: usize,
 }
 
@@ -41,6 +42,7 @@ impl Pipeline {
         Pipeline {
             source: Arc::new(source),
             capacity: pipes::DEFAULT_CAPACITY,
+            batch: pipes::DEFAULT_BATCH,
             stages: 0,
         }
     }
@@ -51,22 +53,33 @@ impl Pipeline {
         self
     }
 
+    /// Set the transport batch used by subsequently added stages: each
+    /// inter-stage hop moves up to this many values per queue transaction
+    /// (clamped to the stage capacity by the pipe; `1` = item-at-a-time).
+    pub fn with_batch(mut self, batch: usize) -> Pipeline {
+        self.batch = batch.max(1);
+        self
+    }
+
     /// Append a stage `f(! |> s)`: everything built so far runs on its own
     /// thread; `f` maps (with goal-directed failure filtering) over the
-    /// piped results.
+    /// piped results, which cross the stage boundary in chunks of up to
+    /// the configured batch.
     pub fn stage(self, f: impl Fn(&Value) -> Option<Value> + Send + Sync + 'static) -> Pipeline {
         let upstream = Arc::clone(&self.source);
         let capacity = self.capacity;
+        let batch = self.batch;
         let f = Arc::new(f);
         obs_on!(crate::stats::mr().pipeline_stages.inc(););
         Pipeline {
             source: Arc::new(move || {
                 let upstream = Arc::clone(&upstream);
-                let pipe = Pipe::with_capacity(move || upstream(), capacity);
+                let pipe = Pipe::batched(move || upstream(), capacity, batch);
                 let f = Arc::clone(&f);
                 Box::new(filter_map(pipe, move |v| f(v)))
             }),
             capacity,
+            batch,
             stages: self.stages + 1,
         }
     }
@@ -147,6 +160,22 @@ mod tests {
             .stage(|v| Some(v.clone()))
             .stage(|v| Some(v.clone()));
         assert_eq!(p.stages(), 2);
+    }
+
+    #[test]
+    fn batch_sizes_do_not_change_results() {
+        for batch in [1, 2, 7, 64] {
+            let mut g = Pipeline::from(|| Box::new(to_range(1, 40, 1)) as BoxGen)
+                .with_batch(batch)
+                .stage(|v| ops::mul(v, v))
+                .stage(|v| ops::add(v, &Value::from(1)))
+                .build();
+            assert_eq!(
+                ints(g.collect_values()),
+                (1..=40).map(|i| i * i + 1).collect::<Vec<_>>(),
+                "batch {batch} changed the pipeline output"
+            );
+        }
     }
 
     #[test]

@@ -16,13 +16,25 @@ use blockingq::BlockingQueue;
 use gde::GenExt;
 use gde::{BoxGen, Gen, Step, Value};
 
+/// Fairness cap on the per-source transport batch in [`merge`]: however
+/// large a batch is requested, no single source may move more than this
+/// many values per queue transaction, so one fast producer cannot
+/// monopolize arbitrarily long runs of the arrival-order stream while the
+/// others are starved of queue space.
+pub const MERGE_BATCH_FAIRNESS_CAP: usize = 8;
+
 /// Merge several generator factories into one generator, each running on
 /// its own producer thread, values in arrival order. The stream ends when
 /// every producer has failed.
+///
+/// The default transport is item-at-a-time (`batch == 1`), preserving the
+/// finest arrival-order interleaving; [`Merge::with_batch`] enables
+/// chunked transport (capped by [`MERGE_BATCH_FAIRNESS_CAP`] per source).
 pub fn merge(sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>, capacity: usize) -> Merge {
     Merge {
         sources,
         capacity,
+        batch: 1,
         state: None,
     }
 }
@@ -30,6 +42,7 @@ pub fn merge(sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>, capacity: usiz
 pub struct Merge {
     sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>,
     capacity: usize,
+    batch: usize,
     state: Option<MergeState>,
 }
 
@@ -41,6 +54,25 @@ struct MergeState {
 }
 
 impl Merge {
+    /// Builder-style transport batch: each source producer accumulates up
+    /// to `batch` values (clamped to `[1, MERGE_BATCH_FAIRNESS_CAP]` and
+    /// to the shared queue capacity) and moves them in one `put_all`.
+    /// Chunks from different sources never interleave *within* a chunk,
+    /// so per-source FIFO order is preserved; the cap keeps round-robin-ish
+    /// arrival fairness honest. Takes effect on (re)start — call before
+    /// the first `resume`.
+    pub fn with_batch(mut self, batch: usize) -> Merge {
+        self.batch = batch
+            .clamp(1, MERGE_BATCH_FAIRNESS_CAP)
+            .min(self.capacity.max(1));
+        self
+    }
+
+    /// The per-source transport batch in effect (post-clamping).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
     fn start(&mut self) -> &MergeState {
         if self.state.is_none() {
             let queue = BlockingQueue::bounded(self.capacity.max(1));
@@ -49,6 +81,7 @@ impl Merge {
             if self.sources.is_empty() {
                 queue.close();
             }
+            let batch = self.batch.min(self.capacity.max(1)).max(1);
             for src in &self.sources {
                 let mut g = src();
                 let q = queue.clone();
@@ -87,13 +120,32 @@ impl Merge {
                             #[cfg(feature = "obs")]
                             forwarded: 0,
                         };
+                        // Chunked transport, fairness-capped: at most
+                        // `batch` values per queue transaction per source.
+                        let mut chunk: Vec<Value> = Vec::with_capacity(batch);
                         while let Step::Suspend(v) = g.resume() {
-                            if guard.queue.put(v.deep_copy()).is_err() {
+                            chunk.push(v.deep_copy());
+                            if chunk.len() >= batch {
+                                obs_on!(let n = chunk.len(););
+                                if guard.queue.put_all(std::mem::take(&mut chunk)).is_err() {
+                                    return;
+                                }
+                                obs_on!({
+                                    guard.forwarded += n as u64;
+                                    crate::stats::fan().merge_items.add(n as u64);
+                                    crate::stats::fan().merge_flushes.inc();
+                                });
+                            }
+                        }
+                        if !chunk.is_empty() {
+                            obs_on!(let n = chunk.len(););
+                            if guard.queue.put_all(chunk).is_err() {
                                 return;
                             }
                             obs_on!({
-                                guard.forwarded += 1;
-                                crate::stats::fan().merge_items.inc();
+                                guard.forwarded += n as u64;
+                                crate::stats::fan().merge_items.add(n as u64);
+                                crate::stats::fan().merge_flushes.inc();
                             });
                         }
                     })
@@ -275,6 +327,87 @@ mod tests {
         assert_eq!(rr.count(), 2);
         rr.restart();
         assert_eq!(rr.count(), 2);
+    }
+
+    #[test]
+    fn merge_batched_delivers_everything_once() {
+        for batch in [1, 2, 7, 64] {
+            let m = merge(
+                vec![
+                    Box::new(|| Box::new(to_range(1, 10, 1)) as BoxGen),
+                    Box::new(|| Box::new(to_range(11, 20, 1)) as BoxGen),
+                    Box::new(|| Box::new(to_range(21, 30, 1)) as BoxGen),
+                ],
+                8,
+            )
+            .with_batch(batch);
+            assert_eq!(
+                drain_sorted(m),
+                (1..=30).collect::<Vec<_>>(),
+                "batch {batch} lost or duplicated values"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_batch_clamps_to_fairness_cap_and_capacity() {
+        let sources = || {
+            vec![Box::new(|| Box::new(to_range(1, 3, 1)) as BoxGen)
+                as Box<dyn Fn() -> BoxGen + Send + Sync>]
+        };
+        let m = merge(sources(), 64).with_batch(1000);
+        assert_eq!(m.batch(), super::MERGE_BATCH_FAIRNESS_CAP);
+        let m = merge(sources(), 2).with_batch(1000);
+        assert_eq!(m.batch(), 2, "capacity bounds the per-source grab");
+        let m = merge(sources(), 64).with_batch(0);
+        assert_eq!(m.batch(), 1, "batch 0 normalizes to 1");
+    }
+
+    #[test]
+    fn merge_batched_preserves_per_source_order() {
+        // Arrival order across sources is nondeterministic, but each
+        // source's own values must stay in sequence even when moved in
+        // chunks.
+        let m = merge(
+            (0..3)
+                .map(|k: i64| {
+                    Box::new(move || Box::new(to_range(k * 100, k * 100 + 49, 1)) as BoxGen)
+                        as Box<dyn Fn() -> BoxGen + Send + Sync>
+                })
+                .collect(),
+            4,
+        )
+        .with_batch(7);
+        let mut m = m;
+        let mut last = [i64::MIN; 3];
+        while let Step::Suspend(v) = m.resume() {
+            let n = v.as_int().expect("int");
+            let src = (n / 100) as usize;
+            assert!(last[src] < n, "source {src} out of order: {n}");
+            last[src] = n;
+        }
+        assert_eq!(last, [49, 149, 249]);
+    }
+
+    #[test]
+    fn round_robin_over_batched_pipes_stays_deterministic() {
+        // rr fairness is consumer-side and must survive chunked pipe
+        // transport: one value from each live source per round.
+        let mk = |lo: i64, hi: i64| {
+            Box::new(crate::Pipe::batched(
+                move || Box::new(to_range(lo, hi, 1)) as BoxGen,
+                16,
+                5,
+            )) as BoxGen
+        };
+        let mut rr = round_robin(vec![mk(1, 3), mk(10, 50)]);
+        let got: Vec<i64> = rr
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(&got[..6], &[1, 10, 2, 11, 3, 12]);
+        assert_eq!(got.len(), 3 + 41);
     }
 
     #[test]

@@ -38,5 +38,7 @@ mod pipe;
 #[cfg(feature = "obs")]
 mod stats;
 
-pub use fan::{merge, round_robin, Merge, RoundRobin};
-pub use pipe::{drain, pipe, pipe_coexpr, pipe_value, spawn_future, Pipe, DEFAULT_CAPACITY};
+pub use fan::{merge, round_robin, Merge, RoundRobin, MERGE_BATCH_FAIRNESS_CAP};
+pub use pipe::{
+    drain, pipe, pipe_coexpr, pipe_value, spawn_future, Pipe, DEFAULT_BATCH, DEFAULT_CAPACITY,
+};

@@ -19,6 +19,9 @@ pub(crate) struct PipeStats {
     pub producer_wall: Arc<obs::Timer>,
     /// Items forwarded per finished producer (distribution).
     pub items_per_producer: Arc<obs::Histogram>,
+    /// Producer-side chunk flushes (one `put_all` transaction each);
+    /// `items / flushes` is the realized transport amortization.
+    pub flushes: Arc<obs::Counter>,
 }
 
 pub(crate) fn pipe() -> &'static PipeStats {
@@ -28,6 +31,7 @@ pub(crate) fn pipe() -> &'static PipeStats {
         items: obs::counter("pipes.pipe.items"),
         producer_wall: obs::timer("pipes.pipe.producer_wall"),
         items_per_producer: obs::histogram("pipes.pipe.items_per_producer"),
+        flushes: obs::counter("pipes.pipe.batch_flushes"),
     })
 }
 
@@ -39,6 +43,10 @@ pub(crate) struct FanStats {
     pub merge_items: Arc<obs::Counter>,
     /// Items forwarded per merge source (fairness distribution).
     pub items_per_source: Arc<obs::Histogram>,
+    /// Per-source chunk flushes through merge queues (one `put_all`
+    /// each); `merge_items / merge_flushes` is the realized amortization,
+    /// capped by [`crate::MERGE_BATCH_FAIRNESS_CAP`].
+    pub merge_flushes: Arc<obs::Counter>,
     /// Values yielded by round-robin fan-ins.
     pub rr_items: Arc<obs::Counter>,
     /// Round-robin visits to already-exhausted sources (skips).
@@ -51,6 +59,7 @@ pub(crate) fn fan() -> &'static FanStats {
         merge_sources: obs::counter("pipes.fan.merge_sources"),
         merge_items: obs::counter("pipes.fan.merge_items"),
         items_per_source: obs::histogram("pipes.fan.items_per_source"),
+        merge_flushes: obs::counter("pipes.fan.merge_batch_flushes"),
         rr_items: obs::counter("pipes.fan.rr_items"),
         rr_skips: obs::counter("pipes.fan.rr_skips"),
     })

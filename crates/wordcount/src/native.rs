@@ -20,6 +20,11 @@ pub const CHUNK_SIZE: usize = 1000;
 /// Queue capacity for the pipelined variant.
 pub const PIPE_CAPACITY: usize = 1024;
 
+/// Transport batch for the pipelined variant: parsed numbers cross the
+/// inter-stage queue in chunks of this many per lock acquisition
+/// (mirrors `pipes::DEFAULT_BATCH`).
+pub const PIPE_BATCH: usize = 128;
+
 /// Sequential word-count: split, parse, hash, sum — one thread.
 pub fn sequential(lines: &[String], weight: Weight) -> f64 {
     lines
@@ -40,28 +45,118 @@ pub fn pipeline(lines: &[String], weight: Weight) -> f64 {
 
 /// [`pipeline`] with an explicit queue bound (for the throttling ablation).
 pub fn pipeline_with_capacity(lines: &[String], weight: Weight, capacity: usize) -> f64 {
+    pipeline_batched(lines, weight, capacity, PIPE_BATCH)
+}
+
+/// [`pipeline`] with explicit queue bound *and* transport batch: the
+/// producer accumulates up to `batch` parsed numbers before a single
+/// `put_all`, and the consumer empties the queue with `drain_into`
+/// (whole-buffer grabs) — the batched-transport analogue of the paper's
+/// two-thread BlockingQueue pipeline. `batch` is clamped to
+/// `[1, capacity]`; `batch == 1` reproduces the item-at-a-time transport.
+pub fn pipeline_batched(lines: &[String], weight: Weight, capacity: usize, batch: usize) -> f64 {
+    let batch = batch.clamp(1, capacity.max(1));
     let queue: BlockingQueue<BigUint> = BlockingQueue::bounded(capacity);
     let q2 = queue.clone();
-    // Stage 1 thread: readLines -> splitWords -> wordToNumber.
+    // Stage 1 thread: readLines -> splitWords -> wordToNumber, moved
+    // downstream one chunk per queue transaction.
     let lines: Vec<String> = lines.to_vec();
     let producer = std::thread::spawn(move || {
+        let mut chunk: Vec<BigUint> = Vec::with_capacity(batch);
         for line in &lines {
             for word in split_words(line) {
                 if let Some(n) = word_to_number(word, weight) {
-                    if q2.put(n).is_err() {
+                    chunk.push(n);
+                    if chunk.len() >= batch && q2.put_all(std::mem::take(&mut chunk)).is_err() {
                         return;
                     }
                 }
             }
         }
+        let _ = q2.put_all(chunk);
         q2.close();
     });
-    // Stage 2 (this thread): hashNumber + sum.
+    // Stage 2 (this thread): hashNumber + sum, one queue transaction per
+    // buffered burst.
     let mut total = 0.0;
-    while let Some(n) = queue.take() {
-        total = sum_hash(total, hash_number(&n, weight));
+    let mut buf: Vec<BigUint> = Vec::new();
+    while queue.drain_into(&mut buf) > 0 {
+        for n in buf.drain(..) {
+            total = sum_hash(total, hash_number(&n, weight));
+        }
     }
     producer.join().expect("pipeline producer panicked");
+    total
+}
+
+/// Fan-in word-count: the corpus is split into `sources` contiguous
+/// slices, each parsed *and hashed* on its own producer thread; per-word
+/// hashes arrive tagged with their source index through one shared
+/// batched queue, are re-bucketed per source, and reduced in source order
+/// — so the fold association is **identical to [`sequential`]** (the sum
+/// is byte-for-byte equal) while every hop uses the batched transport.
+pub fn fan_in(
+    lines: &[String],
+    weight: Weight,
+    sources: usize,
+    capacity: usize,
+    batch: usize,
+) -> f64 {
+    let sources = sources.max(1);
+    let capacity = capacity.max(1);
+    let batch = batch.clamp(1, capacity);
+    let queue: BlockingQueue<(usize, f64)> = BlockingQueue::bounded(capacity);
+    let slice_len = lines.len().div_ceil(sources);
+    let remaining = Arc::new(std::sync::atomic::AtomicUsize::new(sources));
+    let mut producers = Vec::new();
+    for k in 0..sources {
+        let q = queue.clone();
+        let remaining = Arc::clone(&remaining);
+        let slice: Vec<String> = lines
+            .iter()
+            .skip(k * slice_len)
+            .take(slice_len)
+            .cloned()
+            .collect();
+        producers.push(std::thread::spawn(move || {
+            let mut chunk: Vec<(usize, f64)> = Vec::with_capacity(batch);
+            'produce: for line in &slice {
+                for word in split_words(line) {
+                    if let Some(n) = word_to_number(word, weight) {
+                        chunk.push((k, hash_number(&n, weight)));
+                        if chunk.len() >= batch && q.put_all(std::mem::take(&mut chunk)).is_err() {
+                            break 'produce;
+                        }
+                    }
+                }
+            }
+            let _ = q.put_all(chunk);
+            // Last producer out closes the shared queue.
+            if remaining.fetch_sub(1, std::sync::atomic::Ordering::AcqRel) == 1 {
+                q.close();
+            }
+        }));
+    }
+    // Consumer: bucket arrivals per source (per-producer FIFO keeps each
+    // bucket in slice order), then reduce buckets in source order — the
+    // same hash sequence, and therefore the same float association, as
+    // the sequential fold.
+    let mut buckets: Vec<Vec<f64>> = vec![Vec::new(); sources];
+    let mut buf: Vec<(usize, f64)> = Vec::new();
+    while queue.drain_into(&mut buf) > 0 {
+        for (k, h) in buf.drain(..) {
+            buckets[k].push(h);
+        }
+    }
+    for p in producers {
+        p.join().expect("fan-in producer panicked");
+    }
+    let mut total = 0.0;
+    for bucket in buckets {
+        for h in bucket {
+            total = sum_hash(total, h);
+        }
+    }
     total
 }
 
@@ -184,6 +279,39 @@ mod tests {
             seq,
             pipeline_with_capacity(c.lines(), Weight::Light, 1)
         ));
+    }
+
+    #[test]
+    fn pipeline_batched_across_batches() {
+        let c = Corpus::generate(40, 8, 16);
+        let seq = sequential(c.lines(), Weight::Light);
+        for batch in [1, 2, 7, 64] {
+            let got = pipeline_batched(c.lines(), Weight::Light, 16, batch);
+            // Pipeline preserves element order and reduces downstream with
+            // the sequential association: equality is exact.
+            assert_eq!(seq, got, "batch {batch} changed the pipeline sum");
+        }
+    }
+
+    #[test]
+    fn fan_in_is_bitwise_sequential() {
+        let c = Corpus::generate(40, 8, 17);
+        let seq = sequential(c.lines(), Weight::Light);
+        for sources in [1, 3, 4] {
+            for batch in [1, 2, 7, 64] {
+                let got = fan_in(c.lines(), Weight::Light, sources, 16, batch);
+                assert_eq!(seq, got, "sources {sources} batch {batch} diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn fan_in_empty_and_oversubscribed() {
+        let lines: Vec<String> = Vec::new();
+        assert_eq!(fan_in(&lines, Weight::Light, 4, 8, 2), 0.0);
+        let c = Corpus::generate(2, 4, 18);
+        let seq = sequential(c.lines(), Weight::Light);
+        assert_eq!(seq, fan_in(c.lines(), Weight::Light, 8, 8, 3));
     }
 
     #[test]

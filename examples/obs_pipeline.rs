@@ -46,12 +46,18 @@ fn main() {
         println!("  {line}");
     }
 
-    // The counters must reflect the work that just happened.
+    // The results must be right in either build; the counters only exist
+    // when instrumentation is compiled in (the root `obs` feature).
     assert_eq!(piped.len(), 64);
     assert_eq!(merged.len(), 60);
-    assert!(snap.counter("pipes.pipe.items").unwrap_or(0) >= 64 * 2);
-    assert_eq!(snap.counter("pipes.fan.merge_sources"), Some(3));
-    assert_eq!(snap.counter("pipes.fan.merge_items"), Some(60));
-    assert!(snap.counter("blockingq.queue.puts").unwrap_or(0) > 0);
-    println!("\nok: counters match the work performed");
+    if cfg!(feature = "obs") {
+        assert!(snap.counter("pipes.pipe.items").unwrap_or(0) >= 64 * 2);
+        assert_eq!(snap.counter("pipes.fan.merge_sources"), Some(3));
+        assert_eq!(snap.counter("pipes.fan.merge_items"), Some(60));
+        assert!(snap.counter("blockingq.queue.puts").unwrap_or(0) > 0);
+        println!("\nok: counters match the work performed");
+    } else {
+        assert!(snap.rows().is_empty(), "uninstrumented build metered work");
+        println!("\nok: results verified (instrumentation compiled out)");
+    }
 }

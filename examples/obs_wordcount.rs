@@ -52,9 +52,16 @@ fn main() {
     }
 
     // Six cells ran; the parallel ones exercised the pool and the queues.
-    assert_eq!(snap.counter("wordcount.cells"), Some(6));
-    assert!(snap.counter("mapreduce.chunks").unwrap_or(0) > 0);
-    assert!(snap.counter("exec.pool.tasks_run").unwrap_or(0) > 0);
-    assert!(snap.counter("blockingq.queue.takes").unwrap_or(0) > 0);
-    println!("\nok: all six cells agree and the runtime was metered");
+    // The counters only exist when instrumentation is compiled in (the
+    // root `obs` feature); the cell agreement above holds either way.
+    if cfg!(feature = "obs") {
+        assert_eq!(snap.counter("wordcount.cells"), Some(6));
+        assert!(snap.counter("mapreduce.chunks").unwrap_or(0) > 0);
+        assert!(snap.counter("exec.pool.tasks_run").unwrap_or(0) > 0);
+        assert!(snap.counter("blockingq.queue.takes").unwrap_or(0) > 0);
+        println!("\nok: all six cells agree and the runtime was metered");
+    } else {
+        assert!(snap.rows().is_empty(), "uninstrumented build metered work");
+        println!("\nok: all six cells agree (instrumentation compiled out)");
+    }
 }

@@ -85,5 +85,30 @@ grep -q '"schema": "figure6-v2"' BENCH_ci.json
 grep -q '"obs": {' BENCH_ci.json
 echo "   ok: BENCH_ci.json written (schema figure6-v2, obs snapshot embedded)"
 
+# Queue-contention regression gate. Batched transport (this repo's pipe
+# default) amortizes the take side: consumers pull whole chunks per lock
+# acquisition instead of parking once per item. The pre-batching seed
+# baseline measured blocked_takes/takes = 28262/378288 ~= 0.0747; if the
+# ratio in this run climbs back above that, per-item transport has crept
+# back onto the hot path — fail loudly. (The absolute takes count varies
+# with corpus size, so the gate is on the *ratio*, which is scale-free.)
+MAX_BLOCKED_TAKE_RATIO="0.0747"
+blocked_takes="$(grep -o '"blockingq.queue.blocked_takes": {"kind": "counter", "value": [0-9]*' BENCH_ci.json | grep -o '[0-9]*$' || true)"
+takes="$(grep -o '"blockingq.queue.takes": {"kind": "counter", "value": [0-9]*' BENCH_ci.json | grep -o '[0-9]*$' || true)"
+if grep -q '"obs": null' BENCH_ci.json || [ -z "${blocked_takes}" ] || [ -z "${takes}" ] || [ "${takes}" = "0" ]; then
+    echo "   !!! SKIPPED: contention gate needs the obs snapshot in BENCH_ci.json"
+    echo "   !!!          (bench built without the obs feature, or no takes recorded)"
+else
+    if awk -v b="$blocked_takes" -v t="$takes" -v cap="$MAX_BLOCKED_TAKE_RATIO" \
+        'BEGIN { exit !(b / t <= cap) }'; then
+        echo "   ok: contention gate — blocked_takes/takes = ${blocked_takes}/${takes} <= ${MAX_BLOCKED_TAKE_RATIO}"
+    else
+        echo "   FAIL: blocked_takes/takes = ${blocked_takes}/${takes} exceeds the"
+        echo "         pre-batching baseline ratio ${MAX_BLOCKED_TAKE_RATIO} — the batched"
+        echo "         transport regression gate tripped (see DESIGN.md § Batched transport)."
+        exit 1
+    fi
+fi
+
 echo
 echo "ci: OK"

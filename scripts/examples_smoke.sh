@@ -1,12 +1,23 @@
 #!/usr/bin/env bash
 # Smoke-run every example in examples/ (ISSUE 1 satellite; hardened in
-# ISSUE 2 to fail fast).
+# ISSUE 2 to fail fast; ISSUE 3 runs the suite in BOTH observability
+# modes and pins the batch-transport metrics).
 #
 # Each example must exit 0 within the timeout. The interactive
 # `junicon_repl` is driven with a scripted session on stdin (it exits
 # cleanly on `:quit` / EOF). Everything runs `--offline`: the workspace is
 # hermetic and must never need the registry (see DESIGN.md § "Hermetic
 # build").
+#
+# Observability matrix: the full example sweep runs once with
+# `--features obs` (instrumented — the root crate's default, spelled out
+# explicitly so the intent survives a default change) and once with
+# `--no-default-features` (zero instrumentation compiled in). Then the
+# deterministic `obs_batching` choreography is run twice and its outputs
+# diffed byte-for-byte: the `blockingq.queue.batch_fill` histogram and the
+# batch_puts/batch_takes split are exact functions of the choreography, so
+# ANY divergence (between runs, or from the pinned accounting below) means
+# the batch instrumentation drifted.
 #
 # The script stops at the FIRST failing example and names it, so CI logs
 # point straight at the culprit instead of burying it in a summary.
@@ -16,30 +27,58 @@ cd "$(dirname "$0")/.."
 TIMEOUT="${EXAMPLES_SMOKE_TIMEOUT:-120}"
 PROFILE_FLAG="${EXAMPLES_SMOKE_PROFILE:---release}"
 
-echo "== building examples ($PROFILE_FLAG, offline)"
-cargo build --offline "$PROFILE_FLAG" --examples
-
 run() {
-    local name="$1"
-    shift
-    echo "== example: $name"
-    timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" --quiet --example "$name" -- "$@" \
+    local features_flag="$1" name="$2"
+    shift 2
+    echo "== example: $name ($features_flag)"
+    timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" $features_flag --quiet --example "$name" -- "$@" \
         > /dev/null
 }
 
-for src in examples/*.rs; do
-    name="$(basename "$src" .rs)"
-    case "$name" in
-        junicon_repl)
-            echo "== example: junicon_repl (scripted session)"
-            printf 'write(1 to 3)\nevery i := 1 to 3 do write(i * i)\n:quit\n' \
-                | timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" --quiet --example junicon_repl \
-                > /dev/null || { echo "examples smoke: FAILED at example 'junicon_repl'"; exit 1; }
-            ;;
-        *)
-            run "$name" || { echo "examples smoke: FAILED at example '$name'"; exit 1; }
-            ;;
-    esac
-done
+sweep() {
+    local features_flag="$1"
+    echo "== building examples ($PROFILE_FLAG, offline, $features_flag)"
+    cargo build --offline "$PROFILE_FLAG" $features_flag --examples
+    for src in examples/*.rs; do
+        local name
+        name="$(basename "$src" .rs)"
+        case "$name" in
+            junicon_repl)
+                echo "== example: junicon_repl (scripted session, $features_flag)"
+                printf 'write(1 to 3)\nevery i := 1 to 3 do write(i * i)\n:quit\n' \
+                    | timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" $features_flag --quiet --example junicon_repl \
+                    > /dev/null || { echo "examples smoke: FAILED at example 'junicon_repl' ($features_flag)"; exit 1; }
+                ;;
+            *)
+                run "$features_flag" "$name" || { echo "examples smoke: FAILED at example '$name' ($features_flag)"; exit 1; }
+                ;;
+        esac
+    done
+}
 
-echo "examples smoke: all examples ran cleanly"
+# Instrumented sweep (explicit), then the uninstrumented sweep.
+sweep "--features obs"
+sweep "--no-default-features"
+
+echo "== obs determinism: obs_batching twice, byte-identical"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" --features obs --quiet --example obs_batching \
+    > "$tmpdir/run1.txt"
+timeout "$TIMEOUT" cargo run --offline "$PROFILE_FLAG" --features obs --quiet --example obs_batching \
+    > "$tmpdir/run2.txt"
+if ! diff -u "$tmpdir/run1.txt" "$tmpdir/run2.txt"; then
+    echo "examples smoke: FAILED — obs_batching snapshot is nondeterministic"
+    exit 1
+fi
+# Pin the batch accounting itself: the choreography puts 16 elements in 3
+# batch transactions and takes 16 in 4, with chunk fills in [3, 8].
+grep -q 'batch_fill *count=7 min=3 max=8' "$tmpdir/run1.txt" \
+    || { echo "examples smoke: FAILED — batch_fill accounting drifted"; cat "$tmpdir/run1.txt"; exit 1; }
+grep -q 'batch_puts *3$' "$tmpdir/run1.txt" \
+    || { echo "examples smoke: FAILED — batch_puts accounting drifted"; cat "$tmpdir/run1.txt"; exit 1; }
+grep -q 'batch_takes *4$' "$tmpdir/run1.txt" \
+    || { echo "examples smoke: FAILED — batch_takes accounting drifted"; cat "$tmpdir/run1.txt"; exit 1; }
+echo "obs determinism: snapshot stable and batch accounting pinned"
+
+echo "examples smoke: all examples ran cleanly in both obs modes"

@@ -181,3 +181,86 @@ fn wordcount_embedded_vs_native_vs_interpreted() {
         "native vs interpreted: {a} vs {c}"
     );
 }
+
+/// The transport batch is a pure performance knob: for every batch size —
+/// including the item-at-a-time degenerate case and batches wider than
+/// the queue — the pipelined word-count must produce a sum *byte-identical*
+/// to the sequential fold of the same suite. Checked for both the Junicon
+/// (embedded) and the native suite, at both corpus weights.
+#[test]
+fn batched_pipelines_are_bitwise_sequential_across_batch_sizes() {
+    use concurrent_generators::wordcount::{embedded, native, Corpus, Weight};
+    let corpora = [
+        (Corpus::generate(60, 8, 2016), Weight::Light),
+        (Corpus::generate(12, 6, 2017), Weight::Heavy),
+    ];
+    for (corpus, weight) in &corpora {
+        let native_seq = native::sequential(corpus.lines(), *weight);
+        let embedded_seq = embedded::sequential(corpus, *weight);
+        for batch in [1, 2, 7, 64] {
+            let n = native::pipeline_batched(corpus.lines(), *weight, 16, batch);
+            assert_eq!(
+                native_seq.to_bits(),
+                n.to_bits(),
+                "native pipeline diverged at batch {batch} ({weight:?})"
+            );
+            let e = embedded::pipeline_batched(corpus, *weight, 16, batch);
+            assert_eq!(
+                embedded_seq.to_bits(),
+                e.to_bits(),
+                "embedded pipeline diverged at batch {batch} ({weight:?})"
+            );
+        }
+    }
+}
+
+/// Same sweep for the fan-in variants: source-order re-bucketing restores
+/// the sequential reduction association, so the sum is byte-identical to
+/// Sequential no matter how many sources raced or how wide the transport
+/// batches were.
+#[test]
+fn fan_in_is_bitwise_sequential_across_batch_sizes() {
+    use concurrent_generators::wordcount::{embedded, native, Corpus, Weight};
+    let corpus = Corpus::generate(60, 8, 2018);
+    let native_seq = native::sequential(corpus.lines(), Weight::Light);
+    let embedded_seq = embedded::sequential(&corpus, Weight::Light);
+    for sources in [1, 3] {
+        for batch in [1, 2, 7, 64] {
+            let n = native::fan_in(corpus.lines(), Weight::Light, sources, 16, batch);
+            assert_eq!(
+                native_seq.to_bits(),
+                n.to_bits(),
+                "native fan-in diverged at sources {sources} batch {batch}"
+            );
+            let e = embedded::fan_in(&corpus, Weight::Light, sources, 16, batch);
+            assert_eq!(
+                embedded_seq.to_bits(),
+                e.to_bits(),
+                "embedded fan-in diverged at sources {sources} batch {batch}"
+            );
+        }
+    }
+}
+
+/// The generic `mapreduce::Pipeline` builder must likewise be
+/// batch-invariant: identical value sequences at every transport batch.
+#[test]
+fn generic_pipeline_stage_is_batch_invariant() {
+    use concurrent_generators::gde::comb::to_range;
+    use concurrent_generators::gde::{ops, BoxGen};
+    use concurrent_generators::mapreduce::Pipeline;
+    let expect: Vec<i64> = (1..=50).map(|i| i * i + 1).collect();
+    for batch in [1, 2, 7, 64] {
+        let mut g = Pipeline::from(|| Box::new(to_range(1, 50, 1)) as BoxGen)
+            .with_batch(batch)
+            .stage(|v| ops::mul(v, v))
+            .stage(|v| ops::add(v, &Value::from(1)))
+            .build();
+        let got: Vec<i64> = g
+            .collect_values()
+            .iter()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(got, expect, "generic pipeline diverged at batch {batch}");
+    }
+}
