@@ -1,0 +1,121 @@
+//! Microbench for the environment hot path behind the slot-resolution
+//! work: what does one variable access cost under each addressing mode,
+//! and what does interning buy a string-keyed table?
+//!
+//! Three groups:
+//!
+//! * `env_hot/slot_*` — the resolved fast path: `Env::slot(depth, idx)`
+//!   (two pointer hops, no hashing, no frame lock), at depth 0 and
+//!   through a parent hop, get and set;
+//! * `env_hot/name_*` — the same accesses through the by-name fallback
+//!   (`Env::lookup`): hash + frame walk + overlay lock, what every
+//!   access cost before the resolve pass existed;
+//! * `env_hot/table_key_*` — `Value::Str` table insertion with interned
+//!   keys (equality = pointer compare after the first pass) vs fresh
+//!   allocations per key (full string compare + per-key allocation).
+//!
+//! Wired into `scripts/ci.sh` bench-smoke so the slot/name gap is
+//! re-measured (cheaply) on every CI run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gde::{Env, FrameLayout, Symbol, Value};
+use std::hint::black_box;
+
+/// Build the benchmark frame: a parent with one layout slot (`g`) and a
+/// child frame with three (`a`, `b`, `acc`) — the shape of a resolved
+/// procedure activation under a global frame.
+fn frames() -> (Env, Env) {
+    let root = Env::root();
+    let parent = root.child_with_layout(FrameLayout::of(["g"].map(Symbol::new)));
+    parent.slot_local(0).set(Value::from(7i64));
+    let child = parent.child_with_layout(FrameLayout::of(["a", "b", "acc"].map(Symbol::new)));
+    child.slot_local(0).set(Value::from(1i64));
+    child.slot_local(1).set(Value::from(2i64));
+    child.slot_local(2).set(Value::from(0i64));
+    (parent, child)
+}
+
+fn bench_env(c: &mut Criterion) {
+    let (_parent, child) = frames();
+
+    let mut group = c.benchmark_group("env_hot");
+
+    // -- resolved: slot addressing --------------------------------------
+    group.bench_function("slot_get_local", |b| {
+        b.iter(|| black_box(child.slot(0, 2).get()))
+    });
+    group.bench_function("slot_get_parent", |b| {
+        b.iter(|| black_box(child.slot(1, 0).get()))
+    });
+    group.bench_function("slot_set_local", |b| {
+        let cell = child.slot(0, 2);
+        let mut i = 0i64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cell.set(Value::from(i));
+        })
+    });
+
+    // -- unresolved: by-name fallback -----------------------------------
+    group.bench_function("name_get_local", |b| {
+        b.iter(|| black_box(child.lookup("acc").expect("bound").get()))
+    });
+    group.bench_function("name_get_parent", |b| {
+        b.iter(|| black_box(child.lookup("g").expect("bound").get()))
+    });
+    group.bench_function("name_set_local", |b| {
+        let mut i = 0i64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            child.set("acc", Value::from(i));
+        })
+    });
+
+    group.finish();
+}
+
+/// The wordcount table-key shape: insert/overwrite `n` distinct words
+/// into a dynamic table, repeatedly — with interned vs fresh keys.
+fn bench_table_keys(c: &mut Criterion) {
+    let words: Vec<String> = (0..256).map(|i| format!("w{i:03x}word")).collect();
+
+    let mut group = c.benchmark_group("env_hot");
+
+    group.bench_function("table_key_interned", |b| {
+        // Interned: after the first pass every key is the canonical
+        // Arc<str>; hashing reuses the shared bytes and no per-pass
+        // allocation happens.
+        let keys: Vec<Value> = words.iter().map(|w| Value::interned(w)).collect();
+        b.iter(|| {
+            let t = Value::table();
+            for k in &keys {
+                let n = gde::ops::index(&t, k).and_then(|v| v.as_int()).unwrap_or(0) + 1;
+                gde::ops::index_assign(&t, k, Value::from(n));
+            }
+            black_box(t.size())
+        })
+    });
+
+    group.bench_function("table_key_fresh", |b| {
+        // Fresh: a new Arc<str> per key per pass — the pre-interner
+        // behavior; every pass re-allocates the entire vocabulary before
+        // the table ever sees it.
+        b.iter(|| {
+            let t = Value::table();
+            for w in &words {
+                let k = Value::str(w);
+                let n = gde::ops::index(&t, &k)
+                    .and_then(|v| v.as_int())
+                    .unwrap_or(0)
+                    + 1;
+                gde::ops::index_assign(&t, &k, Value::from(n));
+            }
+            black_box(t.size())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_env, bench_table_keys);
+criterion_main!(benches);

@@ -74,6 +74,11 @@ fn main() {
 
     #[cfg(feature = "obs")]
     {
+        // Register the environment counters even if nothing bumped them:
+        // the fast-path claim is "zero by-name fallbacks", and the
+        // snapshot should say `gde.env.name_fallbacks = 0` explicitly
+        // rather than omit the metric.
+        gde::obs_register();
         println!("Runtime observability snapshot (obs):");
         for line in obs::snapshot().render_text().lines() {
             println!("  {line}");
@@ -107,8 +112,17 @@ fn to_json(cfg: &Figure6Config, m: &[bench::Measurement]) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"schema\": \"figure6-v2\",\n");
     out.push_str(&format!(
-        "  \"config\": {{\"light_lines\": {}, \"heavy_lines\": {}, \"words_per_line\": {}, \"iterations\": {}, \"warmup\": {}, \"seed\": {}}},\n",
-        cfg.light_lines, cfg.heavy_lines, cfg.words_per_line, cfg.iterations, cfg.warmup, cfg.seed
+        "  \"config\": {{\"light_lines\": {}, \"heavy_lines\": {}, \"words_per_line\": {}, \"iterations\": {}, \"warmup\": {}, \"seed\": {}, \"exec_threads\": {}}},\n",
+        cfg.light_lines,
+        cfg.heavy_lines,
+        cfg.words_per_line,
+        cfg.iterations,
+        cfg.warmup,
+        cfg.seed,
+        // The effective pool width (EXEC_THREADS override or core count):
+        // scaling runs are meaningless without it recorded next to the
+        // timings.
+        exec::global_threads()
     ));
     out.push_str(&format!(
         "  \"measurements\": [\n{}\n  ],\n",

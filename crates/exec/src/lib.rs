@@ -22,4 +22,4 @@ mod pool;
 #[cfg(feature = "obs")]
 mod stats;
 
-pub use pool::{global, Task, ThreadPool};
+pub use pool::{global, global_threads, Task, ThreadPool};

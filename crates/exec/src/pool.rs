@@ -114,18 +114,36 @@ impl<T> Task<T> {
     }
 }
 
-/// The process-wide default pool, sized to the number of available cores.
+/// The worker count the global pool will use (or already uses): the
+/// `EXEC_THREADS` environment variable when set to a positive integer,
+/// otherwise the number of available cores.
+///
+/// Exposed so harnesses (the figure 6 runner) can record the effective
+/// size in their output without forcing the pool into existence.
+pub fn global_threads() -> usize {
+    if let Ok(raw) = std::env::var("EXEC_THREADS") {
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            _ => eprintln!("exec: ignoring invalid EXEC_THREADS={raw:?} (want a positive integer)"),
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(4)
+}
+
+/// The process-wide default pool, sized by [`global_threads`]: the
+/// `EXEC_THREADS` environment variable when set, else the number of
+/// available cores.
 ///
 /// This mirrors the common-pool role of Java's `ForkJoinPool.commonPool()`
-/// that backs parallel streams in the paper's baseline suite.
+/// that backs parallel streams in the paper's baseline suite (and
+/// `EXEC_THREADS` plays the role of
+/// `java.util.concurrent.ForkJoinPool.common.parallelism`: scaling
+/// experiments pin the pool width without recompiling).
 pub fn global() -> &'static ThreadPool {
     static GLOBAL: OnceLock<ThreadPool> = OnceLock::new();
-    GLOBAL.get_or_init(|| {
-        let n = std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(4);
-        ThreadPool::new(n)
-    })
+    GLOBAL.get_or_init(|| ThreadPool::new(global_threads()))
 }
 
 #[cfg(test)]
@@ -211,6 +229,25 @@ mod tests {
         assert_eq!(a, b);
         assert!(global().threads() >= 1);
         assert_eq!(global().submit(|| "ok").join(), "ok");
+    }
+
+    #[test]
+    fn exec_threads_env_overrides_width() {
+        // Runs in its own process-state bubble: no other test in this
+        // binary reads EXEC_THREADS outside `global()`, which is forced
+        // *without* the variable first so the OnceLock is already settled.
+        let _ = global().threads();
+        std::env::set_var("EXEC_THREADS", "3");
+        assert_eq!(global_threads(), 3);
+        std::env::set_var("EXEC_THREADS", "  7 ");
+        assert_eq!(global_threads(), 7);
+        std::env::set_var("EXEC_THREADS", "0");
+        let fallback = global_threads(); // invalid: falls back to cores
+        assert!(fallback >= 1);
+        std::env::set_var("EXEC_THREADS", "lots");
+        assert!(global_threads() >= 1);
+        std::env::remove_var("EXEC_THREADS");
+        assert!(global_threads() >= 1);
     }
 
     #[test]

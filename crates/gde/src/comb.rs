@@ -331,6 +331,54 @@ impl Gen for ProductMap {
     }
 }
 
+/// Stage concatenation: for each value of `left`, instantiate a generator
+/// with `right_factory` and yield its values *directly*.
+///
+/// This is [`product_map`] specialised to an identity pair-function — the
+/// shape every Fig. 3 stage composition (`splitWords(readLines())`)
+/// lowers to. Having a dedicated combinator matters on hot paths: the
+/// generic form must route every inner value through a boxed closure and
+/// clone it (the pair-function takes borrows), while `flat` moves each
+/// suspended value straight through — zero clones, zero closure calls per
+/// element.
+pub fn flat(
+    left: impl Gen + 'static,
+    right_factory: impl Fn(&Value) -> BoxGen + Send + 'static,
+) -> Flat {
+    Flat {
+        left: Box::new(left),
+        right_factory: Box::new(right_factory),
+        cur: None,
+    }
+}
+
+pub struct Flat {
+    left: BoxGen,
+    right_factory: RightFactory,
+    cur: Option<BoxGen>,
+}
+
+impl Gen for Flat {
+    fn resume(&mut self) -> Step {
+        loop {
+            if self.cur.is_none() {
+                match self.left.resume() {
+                    Step::Suspend(lv) => self.cur = Some((self.right_factory)(&lv)),
+                    Step::Fail => return Step::Fail,
+                }
+            }
+            match self.cur.as_mut().expect("just set").resume() {
+                Step::Suspend(rv) => return Step::Suspend(rv),
+                Step::Fail => self.cur = None,
+            }
+        }
+    }
+    fn restart(&mut self) {
+        self.left.restart();
+        self.cur = None;
+    }
+}
+
 /// Bound iteration `(x in e)` — `IconIn`.
 ///
 /// Yields `e`'s results, assigning each to `var` as a side effect. This is

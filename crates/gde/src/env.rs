@@ -8,16 +8,107 @@
 //! variable gets a fresh cell with the current value) while continuing to
 //! share outer frames, matching the paper's textual "scoping up for
 //! referenced locals".
+//!
+//! # Slot-resolved frames
+//!
+//! A frame stores its variables in two tiers:
+//!
+//! * **Slots** — a fixed `Box<[Var]>` array laid out by a shared
+//!   [`FrameLayout`]. The resolve pass (junicon's `resolve` module)
+//!   assigns every statically-declared variable a `(depth, slot)`
+//!   coordinate; [`Env::slot`] then reaches the cell in two pointer hops
+//!   with no hashing and no lock (the `Var` itself carries the interior
+//!   mutability). This is the fast path every resolved variable reference
+//!   takes.
+//! * **Overlay** — a mutexed `HashMap` for names that spring into
+//!   existence dynamically (Icon's implicit locals via by-name `declare`/
+//!   `set`, string invocation, the REPL/global frame). By-name lookup
+//!   checks the overlay first, then the layout's slots, then the parent —
+//!   so a dynamic re-declaration correctly shadows a slot, and unresolved
+//!   code keeps the exact pre-slot semantics.
+//!
+//! With the `obs` feature on, `gde.env.slot_hits` counts fast-path slot
+//! accesses and `gde.env.name_fallbacks` counts by-name lookups, so a
+//! benchmark snapshot shows when code is falling off the fast path.
 
+use crate::sym::Symbol;
 use crate::value::Value;
 use crate::var::Var;
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+
+/// The static shape of a frame: slot-index → name, plus a name → *latest*
+/// slot index map for the by-name fallback path.
+///
+/// A layout is built once (by the resolve pass, per procedure / class
+/// body) and shared by every activation frame via `Arc`. The same name
+/// may own several slots — each re-declaration gets a fresh slot, exactly
+/// as a re-`declare` used to create a fresh cell — and the index maps the
+/// name to the last one, which is the cell by-name code must see.
+pub struct FrameLayout {
+    names: Box<[Symbol]>,
+    index: HashMap<Arc<str>, usize>,
+}
+
+impl FrameLayout {
+    /// Build a layout from slot names in slot order. Duplicate names are
+    /// allowed; the by-name index keeps the *last* occurrence.
+    pub fn of(names: impl IntoIterator<Item = Symbol>) -> Arc<FrameLayout> {
+        let names: Box<[Symbol]> = names.into_iter().collect();
+        let mut index = HashMap::with_capacity(names.len());
+        for (i, sym) in names.iter().enumerate() {
+            index.insert(sym.arc(), i); // later slots overwrite: latest wins
+        }
+        Arc::new(FrameLayout { names, index })
+    }
+
+    /// The canonical empty layout (shared by all layout-less frames).
+    pub fn empty() -> Arc<FrameLayout> {
+        static EMPTY: OnceLock<Arc<FrameLayout>> = OnceLock::new();
+        EMPTY.get_or_init(|| FrameLayout::of([])).clone()
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True iff the layout has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The latest slot index owned by `name`, if any.
+    pub fn slot_of(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The name occupying slot `idx`.
+    pub fn name(&self, idx: usize) -> &Symbol {
+        &self.names[idx]
+    }
+}
 
 struct Frame {
-    vars: Mutex<HashMap<String, Var>>,
+    /// Slot cells, allocated null at frame birth, addressed by `layout`.
+    slots: Box<[Var]>,
+    layout: Arc<FrameLayout>,
+    /// Dynamically-declared names; checked *before* the slots so a
+    /// by-name re-declaration shadows a slot.
+    overlay: Mutex<HashMap<String, Var>>,
     parent: Option<Env>,
+}
+
+impl Frame {
+    fn with(layout: Arc<FrameLayout>, parent: Option<Env>) -> Frame {
+        Frame {
+            slots: (0..layout.len()).map(|_| Var::null()).collect(),
+            layout,
+            overlay: Mutex::new(HashMap::new()),
+            parent,
+        }
+    }
 }
 
 /// A scope: a frame of named [`Var`]s with an optional parent.
@@ -36,41 +127,91 @@ impl Env {
     /// A fresh root scope.
     pub fn root() -> Env {
         Env {
-            frame: Arc::new(Frame {
-                vars: Mutex::new(HashMap::new()),
-                parent: None,
-            }),
+            frame: Arc::new(Frame::with(FrameLayout::empty(), None)),
         }
     }
 
     /// A child scope whose lookups fall through to `self`.
     pub fn child(&self) -> Env {
         Env {
-            frame: Arc::new(Frame {
-                vars: Mutex::new(HashMap::new()),
-                parent: Some(self.clone()),
-            }),
+            frame: Arc::new(Frame::with(FrameLayout::empty(), Some(self.clone()))),
         }
+    }
+
+    /// A child scope with pre-allocated slot cells shaped by `layout` —
+    /// the activation frame of a resolved procedure. Every slot starts
+    /// null (the resolved program initializes parameters and `local`
+    /// initializers itself).
+    pub fn child_with_layout(&self, layout: Arc<FrameLayout>) -> Env {
+        Env {
+            frame: Arc::new(Frame::with(layout, Some(self.clone()))),
+        }
+    }
+
+    /// The fast path: the cell at `(depth, idx)` — walk `depth` parents,
+    /// index the slot array. No hashing, no frame lock. Panics if the
+    /// coordinate is outside the frame's layout (that is a resolver bug,
+    /// never a program error).
+    pub fn slot(&self, depth: usize, idx: usize) -> Var {
+        let mut frame = &self.frame;
+        for _ in 0..depth {
+            frame = &frame
+                .parent
+                .as_ref()
+                .expect("gde::Env::slot: depth exceeds scope chain")
+                .frame;
+        }
+        obs_on!(crate::obs_hot::slot_hits().inc());
+        frame.slots[idx].clone()
+    }
+
+    /// The cell at slot `idx` of *this* frame (depth 0).
+    pub fn slot_local(&self, idx: usize) -> Var {
+        obs_on!(crate::obs_hot::slot_hits().inc());
+        self.frame.slots[idx].clone()
+    }
+
+    /// This frame's layout (shared with all sibling activations).
+    pub fn layout(&self) -> &Arc<FrameLayout> {
+        &self.frame.layout
     }
 
     /// Declare (or re-declare) a local in this frame, returning its cell.
+    /// Dynamic declarations always create a *fresh* cell in the overlay;
+    /// because the overlay is consulted before the slots, this correctly
+    /// shadows any slot the name may also own.
     pub fn declare(&self, name: &str, v: Value) -> Var {
         let var = Var::new(v);
-        self.frame.vars.lock().insert(name.to_string(), var.clone());
+        self.frame
+            .overlay
+            .lock()
+            .insert(name.to_string(), var.clone());
         var
     }
 
-    /// Find a variable's cell in this frame only (no parent search).
+    /// Find a variable's cell in this frame only (no parent search):
+    /// overlay first, then the layout's slots.
     pub fn lookup_local(&self, name: &str) -> Option<Var> {
-        self.frame.vars.lock().get(name).cloned()
-    }
-
-    /// Find a variable's cell, searching up the scope chain.
-    pub fn lookup(&self, name: &str) -> Option<Var> {
-        if let Some(v) = self.frame.vars.lock().get(name) {
+        if let Some(v) = self.frame.overlay.lock().get(name) {
             return Some(v.clone());
         }
-        self.frame.parent.as_ref().and_then(|p| p.lookup(name))
+        self.frame
+            .layout
+            .slot_of(name)
+            .map(|i| self.frame.slots[i].clone())
+    }
+
+    /// Find a variable's cell, searching up the scope chain. This is the
+    /// by-name slow path; resolved references use [`Env::slot`] instead.
+    pub fn lookup(&self, name: &str) -> Option<Var> {
+        obs_on!(crate::obs_hot::name_fallbacks().inc());
+        let mut env = self;
+        loop {
+            if let Some(v) = env.lookup_local(name) {
+                return Some(v);
+            }
+            env = env.frame.parent.as_ref()?;
+        }
     }
 
     /// Find or create: undeclared names spring into existence as null
@@ -92,27 +233,47 @@ impl Env {
 
     /// The co-expression copy: a new frame containing *fresh cells* holding
     /// clones of this frame's current values, sharing the parent chain.
+    /// Slot cells keep their coordinates (the layout is shared), so
+    /// resolved code that runs against the shadow sees the copied cells at
+    /// the same `(depth, slot)` addresses.
+    ///
+    /// The overlay entries are snapshotted (cheap `Var` handle clones)
+    /// *before* any cell is copied, so the frame lock is never held while
+    /// a cell lock is taken — a writer assigning through an alias of one
+    /// of these cells can never deadlock or stall a concurrent shadow.
     pub fn shadow(&self) -> Env {
-        let copied: HashMap<String, Var> = self
-            .frame
-            .vars
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.fresh_copy()))
+        let entries: Vec<(String, Var)> = {
+            let overlay = self.frame.overlay.lock();
+            overlay
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect()
+        };
+        // Frame lock released; now copy values cell by cell.
+        let copied: HashMap<String, Var> = entries
+            .into_iter()
+            .map(|(k, v)| (k, v.fresh_copy()))
             .collect();
+        let slots: Box<[Var]> = self.frame.slots.iter().map(Var::fresh_copy).collect();
         Env {
             frame: Arc::new(Frame {
-                vars: Mutex::new(copied),
+                slots,
+                layout: self.frame.layout.clone(),
+                overlay: Mutex::new(copied),
                 parent: self.frame.parent.clone(),
             }),
         }
     }
 
-    /// Names declared in this frame (not the parents), sorted.
+    /// Names declared in this frame (not the parents), sorted: overlay
+    /// names plus the layout's slot names, deduplicated.
     pub fn local_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.frame.vars.lock().keys().cloned().collect();
-        names.sort();
-        names
+        let mut names: std::collections::BTreeSet<String> =
+            self.frame.overlay.lock().keys().cloned().collect();
+        for i in 0..self.frame.layout.len() {
+            names.insert(self.frame.layout.name(i).as_str().to_string());
+        }
+        names.into_iter().collect()
     }
 }
 
@@ -185,5 +346,150 @@ mod tests {
         env.declare("b", Value::Null);
         env.declare("a", Value::Null);
         assert_eq!(env.local_names(), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    // ---- slot-frame semantics -------------------------------------------
+
+    fn layout(names: &[&str]) -> Arc<FrameLayout> {
+        FrameLayout::of(names.iter().map(|n| Symbol::new(n)))
+    }
+
+    #[test]
+    fn slots_start_null_and_are_addressable() {
+        let root = Env::root();
+        let env = root.child_with_layout(layout(&["a", "b"]));
+        assert!(env.slot(0, 0).get().is_null());
+        env.slot_local(1).set(Value::from(9));
+        assert_eq!(env.slot(0, 1).get().as_int(), Some(9));
+    }
+
+    #[test]
+    fn slot_depth_walks_the_chain() {
+        let root = Env::root();
+        let outer = root.child_with_layout(layout(&["x"]));
+        outer.slot_local(0).set(Value::from(1));
+        let inner = outer.child_with_layout(layout(&["y"]));
+        assert_eq!(inner.slot(1, 0).get().as_int(), Some(1));
+        inner.slot(1, 0).set(Value::from(2));
+        assert_eq!(outer.slot_local(0).get().as_int(), Some(2));
+    }
+
+    #[test]
+    fn by_name_lookup_sees_slots() {
+        let root = Env::root();
+        let env = root.child_with_layout(layout(&["x"]));
+        env.slot_local(0).set(Value::from(5));
+        // The by-name fallback resolves to the same cell.
+        assert_eq!(env.get("x").as_int(), Some(5));
+        assert!(env.lookup("x").unwrap().same_cell(&env.slot_local(0)));
+        assert!(env.lookup_local("x").unwrap().same_cell(&env.slot_local(0)));
+    }
+
+    #[test]
+    fn overlay_declare_shadows_slot() {
+        let root = Env::root();
+        let env = root.child_with_layout(layout(&["x"]));
+        env.slot_local(0).set(Value::from(1));
+        // A dynamic re-declaration must hide the slot for by-name code...
+        env.declare("x", Value::from(2));
+        assert_eq!(env.get("x").as_int(), Some(2));
+        // ...while slot-addressed references keep their own cell.
+        assert_eq!(env.slot_local(0).get().as_int(), Some(1));
+    }
+
+    #[test]
+    fn duplicate_slot_names_index_latest() {
+        // Two slots for "x" (a re-declaration): by-name sees the latest.
+        let root = Env::root();
+        let env = root.child_with_layout(layout(&["x", "x"]));
+        env.slot_local(0).set(Value::from(1));
+        env.slot_local(1).set(Value::from(2));
+        assert_eq!(env.get("x").as_int(), Some(2));
+        assert_eq!(env.layout().slot_of("x"), Some(1));
+    }
+
+    #[test]
+    fn shadow_copies_slots_with_same_coordinates() {
+        let root = Env::root();
+        root.declare("outer", Value::from(10));
+        let env = root.child_with_layout(layout(&["n"]));
+        env.slot_local(0).set(Value::from(7));
+
+        let shadowed = env.shadow();
+        // Same coordinate, fresh cell, snapshotted value.
+        assert_eq!(shadowed.slot_local(0).get().as_int(), Some(7));
+        assert!(!shadowed.slot_local(0).same_cell(&env.slot_local(0)));
+        shadowed.slot_local(0).set(Value::from(42));
+        assert_eq!(env.slot_local(0).get().as_int(), Some(7));
+        // Parent chain still shared.
+        shadowed.set("outer", Value::from(20));
+        assert_eq!(root.get("outer").as_int(), Some(20));
+    }
+
+    #[test]
+    fn local_names_merges_overlay_and_slots() {
+        let root = Env::root();
+        let env = root.child_with_layout(layout(&["b", "a"]));
+        env.declare("c", Value::Null);
+        env.declare("a", Value::Null); // overlay shadowing a slot: one name
+        assert_eq!(
+            env.local_names(),
+            vec!["a".to_string(), "b".to_string(), "c".to_string()]
+        );
+    }
+
+    #[test]
+    fn shadow_races_with_writers() {
+        // Regression test for the old shadow() holding the frame lock
+        // while locking every cell: hammer shadow() from one set of
+        // threads while writers mutate the same frame's cells and declare
+        // new names. Must neither deadlock nor tear a snapshot (each
+        // shadowed cell holds *some* value the writer actually wrote).
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let stop = Arc::new(AtomicBool::new(false));
+        let env = Env::root().child_with_layout(layout(&["n"]));
+        env.slot_local(0).set(Value::from(0));
+        for i in 0..8 {
+            env.declare(&format!("d{i}"), Value::from(0));
+        }
+
+        let mut handles = Vec::new();
+        for w in 0..4 {
+            let env = env.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut i: i64 = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    env.slot_local(0).set(Value::from(i));
+                    env.set(&format!("d{}", i.rem_euclid(8)), Value::from(i));
+                    env.declare(&format!("w{w}-{}", i % 16), Value::from(i));
+                    i += 1;
+                }
+            }));
+        }
+        for _ in 0..4 {
+            let env = env.clone();
+            let stop = stop.clone();
+            handles.push(std::thread::spawn(move || {
+                let mut count = 0;
+                while !stop.load(Ordering::Relaxed) {
+                    let s = env.shadow();
+                    // Snapshot is self-consistent: every value readable.
+                    assert!(s.slot_local(0).get().as_int().is_some());
+                    for name in s.local_names() {
+                        let _ = s.get(&name);
+                    }
+                    count += 1;
+                    if count > 500 {
+                        break;
+                    }
+                }
+            }));
+        }
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        stop.store(true, Ordering::Relaxed);
+        for h in handles {
+            h.join().unwrap();
+        }
     }
 }

@@ -38,15 +38,66 @@
 //! re-evaluates in the *current* environment. This is what makes the
 //! backtracking product work: `e & e'` restarts `e'` for every value of `e`.
 
+/// Expands its body only when the `obs` feature is on (the same shim as
+/// in `blockingq`/`wordcount`): instrumentation sites vanish entirely
+/// when observability is disabled.
+#[cfg(feature = "obs")]
+macro_rules! obs_on {
+    ($($body:tt)*) => { $($body)* };
+}
+#[cfg(not(feature = "obs"))]
+macro_rules! obs_on {
+    ($($body:tt)*) => {};
+}
+
+/// Cached handles to this crate's hot-path counters. `obs::counter(name)`
+/// takes the registry lock on every call; these sites run per variable
+/// reference / per interned word, so each counter's `Arc` is resolved once
+/// and parked in a `OnceLock`.
+#[cfg(feature = "obs")]
+pub(crate) mod obs_hot {
+    use std::sync::{Arc, OnceLock};
+
+    macro_rules! cached_counter {
+        ($fn_name:ident, $metric:literal) => {
+            pub(crate) fn $fn_name() -> &'static Arc<obs::Counter> {
+                static C: OnceLock<Arc<obs::Counter>> = OnceLock::new();
+                C.get_or_init(|| obs::counter($metric))
+            }
+        };
+    }
+
+    cached_counter!(slot_hits, "gde.env.slot_hits");
+    cached_counter!(name_fallbacks, "gde.env.name_fallbacks");
+    cached_counter!(interned, "gde.sym.interned");
+}
+
+/// Force-register this crate's hot-path counters with the obs registry
+/// (at zero) without bumping any of them.
+///
+/// Snapshot readers use this so the *absence* of environment activity is
+/// stated explicitly: a figure-6 report that claims "no by-name
+/// fallbacks on the embedded hot path" should show
+/// `gde.env.name_fallbacks = 0`, not silently omit the metric.
+#[cfg(feature = "obs")]
+pub fn obs_register() {
+    let _ = obs_hot::slot_hits();
+    let _ = obs_hot::name_fallbacks();
+    let _ = obs_hot::interned();
+}
+
 pub mod comb;
 pub mod env;
 pub mod func;
 mod gen;
 pub mod ops;
+pub mod sym;
 mod value;
 mod var;
 
+pub use env::{Env, FrameLayout};
 pub use func::ProcValue;
 pub use gen::{BoxGen, Gen, GenExt, GenIter, Step};
+pub use sym::Symbol;
 pub use value::{CoRef, Coroutine, Key, ObjData, ObjRef, Value};
 pub use var::Var;

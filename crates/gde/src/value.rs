@@ -121,6 +121,13 @@ impl Value {
         Value::Str(Arc::from(s.as_ref()))
     }
 
+    /// Build a string value through the process-wide interner
+    /// ([`crate::sym`]): repeated texts share one allocation, so table
+    /// keys and comparisons on hot paths hit interned pointers.
+    pub fn interned(s: &str) -> Value {
+        Value::Str(crate::sym::intern(s))
+    }
+
     /// Build a list value from elements.
     pub fn list(items: Vec<Value>) -> Value {
         Value::List(Arc::new(Mutex::new(items)))
@@ -238,7 +245,10 @@ impl Value {
                 b.to_i64() == Some(*a)
             }
             (Value::Real(a), Value::Real(b)) => a == b,
-            (Value::Str(a), Value::Str(b)) => a == b,
+            // Interned strings ([`Value::interned`]) share one allocation,
+            // so the pointer check settles the common case without
+            // touching the bytes.
+            (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
             (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b),
             (Value::Table(a), Value::Table(b)) => Arc::ptr_eq(a, b),
             (Value::Proc(a), Value::Proc(b)) => a.same(b),

@@ -17,14 +17,15 @@
 mod builtins;
 
 use crate::ast::BinOp;
-use crate::normalize::{normalize_program, Atom, CoKind, NClass, NProc, Norm};
+use crate::normalize::{normalize_program, Atom, CoKind, NClass, NProc, Norm, VarRef};
 use crate::parse::{parse_expr, parse_program, ParseError};
+use crate::resolve::resolve_program;
 use crate::rt::{self, Flag, Slot};
 use bigint::BigInt;
 use gde::comb;
-use gde::env::Env;
+use gde::env::{Env, FrameLayout};
 use gde::func::arg;
-use gde::{BoxGen, Gen, GenExt, ProcValue, Step, Value, Var};
+use gde::{BoxGen, Gen, GenExt, ProcValue, Step, Symbol, Value, Var};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -151,8 +152,36 @@ impl Interp {
     /// global generator functions; top-level statements are executed in
     /// order (each bounded, as at the outermost level of a program).
     pub fn load(&self, src: &str) -> Result<(), JuniconError> {
+        self.load_with_resolve(src, true)
+    }
+
+    /// [`Interp::load`] with the resolve pass made optional.
+    ///
+    /// `resolve = false` loads procedures with every variable reference
+    /// left by-name — the pre-resolution interpreter. Slot resolution is a
+    /// pure optimization, so the two modes must be observationally
+    /// identical; the differential property suite
+    /// (`tests/resolver_differential.rs`) holds us to that. Not useful
+    /// outside testing: by-name frames are strictly slower.
+    pub fn load_with_resolve(&self, src: &str, resolve: bool) -> Result<(), JuniconError> {
         let prog = parse_program(src)?;
-        let nprog = normalize_program(&prog);
+        let mut nprog = normalize_program(&prog);
+        if resolve {
+            resolve_program(&mut nprog);
+        }
+        self.load_normalized(&nprog);
+        Ok(())
+    }
+
+    /// Register and run an already-normalized program exactly as given —
+    /// no resolve pass, no checks on slot coordinates.
+    ///
+    /// This is a test hook: the resolver's mutation sanity check feeds a
+    /// deliberately *mis*-resolved program through it to prove the
+    /// differential suite has teeth. Deliberately not part of the stable
+    /// surface.
+    #[doc(hidden)]
+    pub fn load_normalized(&self, nprog: &crate::normalize::NProgram) {
         for p in &nprog.procs {
             let proc_value = self.make_proc(Arc::new(p.clone()));
             self.shared
@@ -179,7 +208,6 @@ impl Interp {
             // statements (rare) do not stall the load
             while let Step::Suspend(_) = g.resume() {}
         }
-        Ok(())
     }
 
     /// Compile a Junicon *expression* to a generator over the global
@@ -218,10 +246,20 @@ impl Interp {
     fn make_class(&self, nclass: Arc<NClass>) -> ProcValue {
         let shared = Arc::clone(&self.shared);
         let name = nclass.name.clone();
+        // One shared field layout per class: `[fields..., "self"]` — the
+        // same coordinates the resolve pass hands to method bodies as
+        // depth-1 slots.
+        let field_layout = FrameLayout::of(
+            nclass
+                .fields
+                .iter()
+                .map(|f| Symbol::new(f))
+                .chain([Symbol::new("self")]),
+        );
         ProcValue::new(name, move |args: Vec<Value>| {
-            let fields = shared.globals.child();
-            for (i, f) in nclass.fields.iter().enumerate() {
-                fields.declare(f, arg(&args, i));
+            let fields = shared.globals.child_with_layout(field_layout.clone());
+            for (i, _) in nclass.fields.iter().enumerate() {
+                fields.slot_local(i).set(arg(&args, i));
             }
             let mut methods = HashMap::new();
             for m in &nclass.methods {
@@ -236,8 +274,11 @@ impl Interp {
                 methods: Arc::new(methods),
             });
             // Make `self` visible to method bodies (a reference cycle the
-            // interpreter tolerates; objects live for the session).
-            fields.declare("self", Value::Object(Arc::clone(&obj)));
+            // interpreter tolerates; objects live for the session). `self`
+            // occupies the last field-frame slot.
+            fields
+                .slot_local(nclass.fields.len())
+                .set(Value::Object(Arc::clone(&obj)));
             Box::new(comb::unit(Value::Object(obj))) as BoxGen
         })
     }
@@ -258,13 +299,31 @@ fn make_bound_proc(shared: Arc<Shared>, nproc: Arc<NProc>, scope: Env) -> ProcVa
 
 fn make_bound_proc_in(shared: Arc<Shared>, nproc: Arc<NProc>, scope: Env) -> ProcValue {
     let name = nproc.name.clone();
+    // Resolved procedures carry a slot layout (parameters first); build it
+    // once and share it across every activation. Unresolved procedures
+    // (none in practice after `load`, but `NProc` values can be built by
+    // hand) keep the by-name declare path.
+    let layout = (!nproc.slots.is_empty())
+        .then(|| FrameLayout::of(nproc.slots.iter().map(|s| Symbol::new(s))));
     ProcValue::new(name, move |args: Vec<Value>| {
-        // Fresh frame per invocation: parameters declared as locals,
+        // Fresh frame per invocation: parameters are the first slots,
         // missing arguments null (variadic convention).
-        let env = scope.child();
-        for (i, p) in nproc.params.iter().enumerate() {
-            env.declare(p, arg(&args, i));
-        }
+        let env = match &layout {
+            Some(layout) => {
+                let env = scope.child_with_layout(layout.clone());
+                for i in 0..nproc.params.len() {
+                    env.slot_local(i).set(arg(&args, i));
+                }
+                env
+            }
+            None => {
+                let env = scope.child();
+                for (i, p) in nproc.params.iter().enumerate() {
+                    env.declare(p, arg(&args, i));
+                }
+                env
+            }
+        };
         let ctx = Ctx {
             shared: Arc::clone(&shared),
             env,
@@ -326,7 +385,16 @@ fn rt_atom(a: &Atom, ctx: &Ctx) -> Slot {
         Atom::Var(name) if name == "&subject" => Slot::ScanSubject,
         Atom::Var(name) if name == "&pos" => Slot::ScanPos,
         Atom::Var(name) => Slot::Cell(ctx.env.lookup_or_declare(name)),
+        Atom::Slot(depth, idx, _) => Slot::Cell(ctx.env.slot(*depth as usize, *idx as usize)),
         Atom::Tmp(i) => Slot::Cell(ctx.tmps[*i as usize].clone()),
+    }
+}
+
+/// Bind an assignment / declaration target to its cell at compile time.
+fn target_cell(t: &VarRef, ctx: &Ctx) -> Var {
+    match t {
+        VarRef::Named(name) => ctx.env.lookup_or_declare(name),
+        VarRef::Slot(depth, idx, _) => ctx.env.slot(*depth as usize, *idx as usize),
     }
 }
 
@@ -453,8 +521,8 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
                 Some(Value::list(ritems.iter().map(|a| a.get()).collect()))
             }))
         }
-        Norm::SetVar { name, from } => {
-            let cell = ctx.env.lookup_or_declare(name);
+        Norm::SetVar { target, from } => {
+            let cell = target_cell(target, ctx);
             let rv = rt_atom(from, ctx);
             Box::new(comb::thunk(move || {
                 let v = rv.get();
@@ -462,8 +530,8 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
                 Some(v)
             }))
         }
-        Norm::RevSet { name, from } => {
-            let cell = ctx.env.lookup_or_declare(name);
+        Norm::RevSet { target, from } => {
+            let cell = target_cell(target, ctx);
             let rv = rt_atom(from, ctx);
             Box::new(rt::rev_set(cell, rv))
         }
@@ -594,8 +662,14 @@ fn compile(n: &Norm, ctx: &Ctx, mode: Mode) -> BoxGen {
             // initialize at run time.
             let cells: Vec<(Var, Option<Arc<Mutex<BoxGen>>>)> = decls
                 .iter()
-                .map(|(name, init)| {
-                    let cell = ctx.env.declare(name, Value::Null);
+                .map(|(target, init)| {
+                    // Resolved declarations own a pre-allocated slot cell;
+                    // dynamic ones create a fresh overlay cell here, at
+                    // compile time, so later lookups bind to this frame.
+                    let cell = match target {
+                        VarRef::Named(name) => ctx.env.declare(name, Value::Null),
+                        VarRef::Slot(_, idx, _) => ctx.env.slot_local(*idx as usize),
+                    };
                     let init_gen = init
                         .as_ref()
                         .map(|e| Arc::new(Mutex::new(compile(e, ctx, Mode::Value))));

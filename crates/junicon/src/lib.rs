@@ -8,8 +8,9 @@
 //!   mixed source ──[annot]──► segments (host / embedded)
 //!   embedded text ──[lex]──► tokens ──[parse]──► AST
 //!   AST ──[normalize]──► flattened products of bound iterators
-//!   flattened IR ──[interp]──► gde combinator trees (executable)
-//!               └─[emit]────► Rust source targeting the gde runtime
+//!   flattened IR ──[resolve]──► slot-addressed IR (static frame coordinates)
+//!   slotted IR ──[interp]──► gde combinator trees (executable)
+//!             └─[emit]────► Rust source targeting the gde runtime
 //! ```
 //!
 //! * [`annot`] — the *scoped annotations* metaparser: recognizes
@@ -24,6 +25,10 @@
 //! * [`normalize`] — the Sec. V.A rewrite: flattening nested generators in
 //!   primary expressions into products of bound iterators
 //!   (`e(ex).c[ei]` ⇒ `(f in ⟦e⟧) & (x in ⟦ex⟧) & (o in !f(x)) & …`).
+//! * [`resolve`] — the slot-resolution pass: assigns declared variables
+//!   static `(depth, slot)` frame coordinates so the executors address
+//!   frames by index instead of hashing names, with a conservative
+//!   poisoning analysis keeping genuinely dynamic references by-name.
 //! * [`interp`] — a tree-walking evaluator over the [`gde`] runtime with
 //!   suspendable procedure bodies (so `suspend` works inside loops without
 //!   threads, as the paper's kernel does).
@@ -41,6 +46,7 @@ pub mod lex;
 pub mod mixed;
 pub mod normalize;
 pub mod parse;
+pub mod resolve;
 pub mod rt;
 
 pub use annot::{parse_annotated, Segment};

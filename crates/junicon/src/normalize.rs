@@ -15,6 +15,7 @@
 //! combinators; in the paper, plain Java).
 
 use crate::ast::{BinOp, ClassDecl, Expr, ProcDecl, Program, UnOp};
+use gde::Symbol;
 
 /// An atomic operand after flattening.
 #[derive(Clone, Debug, PartialEq)]
@@ -25,10 +26,34 @@ pub enum Atom {
     Big(String),
     Real(f64),
     Str(String),
-    /// Named variable, resolved in the environment at run time.
+    /// Named variable, resolved in the environment at run time (the
+    /// by-name fallback; the resolve pass rewrites statically-scoped
+    /// references into [`Atom::Slot`]).
     Var(String),
+    /// Statically resolved variable: `(depth, slot)` into the activation
+    /// frame chain, produced by the resolve pass. The [`Symbol`] is the
+    /// interned name, kept for diagnostics and emitted-code comments.
+    Slot(u16, u16, Symbol),
     /// Compiler temporary, bound by a `(t in e)` factor.
     Tmp(u32),
+}
+
+/// An assignment / declaration target: a by-name reference (the dynamic
+/// fallback) or a statically resolved `(depth, slot)` coordinate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VarRef {
+    Named(String),
+    Slot(u16, u16, Symbol),
+}
+
+impl VarRef {
+    /// The referenced variable's name (for diagnostics and tests).
+    pub fn name(&self) -> &str {
+        match self {
+            VarRef::Named(n) => n,
+            VarRef::Slot(_, _, sym) => sym.as_str(),
+        }
+    }
 }
 
 /// Which co-expression form a creation node represents.
@@ -100,15 +125,15 @@ pub enum Norm {
     },
     /// List construction from atoms.
     ListLit(Vec<Atom>),
-    /// Assignment into a named variable; yields the assigned value.
+    /// Assignment into a variable; yields the assigned value.
     SetVar {
-        name: String,
+        target: VarRef,
         from: Atom,
     },
     /// Reversible assignment `x <- e`: assigns and yields, then restores
     /// the previous value when resumed for backtracking.
     RevSet {
-        name: String,
+        target: VarRef,
         from: Atom,
     },
     /// `from to to [by by]` with atom bounds.
@@ -158,7 +183,7 @@ pub enum Norm {
     Break,
     Next,
     /// Local declarations with optional initializers.
-    Decl(Vec<(String, Option<Norm>)>),
+    Decl(Vec<(VarRef, Option<Norm>)>),
     /// `<>e` / `|<>e` / `create e`.
     CoCreate {
         kind: CoKind,
@@ -181,6 +206,11 @@ pub struct NProc {
     pub body: Vec<Norm>,
     /// Number of compiler temporaries the body needs.
     pub tmp_count: u32,
+    /// Activation-frame slot names assigned by the resolve pass
+    /// (parameters first, then one slot per statically-scoped `local`
+    /// declaration, in pre-order). Empty until resolved; an empty list
+    /// means every reference goes through the by-name fallback.
+    pub slots: Vec<String>,
 }
 
 /// A normalized class.
@@ -246,6 +276,7 @@ pub fn normalize_proc(p: &ProcDecl) -> NProc {
         params: p.params.clone(),
         body,
         tmp_count: tmps.next,
+        slots: Vec::new(),
     }
 }
 
@@ -359,7 +390,7 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
                 with_binds(
                     binds,
                     Norm::RevSet {
-                        name: name.clone(),
+                        target: VarRef::Named(name.clone()),
                         from: v,
                     },
                 )
@@ -377,7 +408,7 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
                 with_binds(
                     binds,
                     Norm::SetVar {
-                        name: name.clone(),
+                        target: VarRef::Named(name.clone()),
                         from: v,
                     },
                 )
@@ -510,7 +541,12 @@ fn normalize(e: &Expr, tmps: &mut Tmps) -> Norm {
         Expr::Decl(decls) => Norm::Decl(
             decls
                 .iter()
-                .map(|(n, init)| (n.clone(), init.as_ref().map(|e| normalize(e, tmps))))
+                .map(|(n, init)| {
+                    (
+                        VarRef::Named(n.clone()),
+                        init.as_ref().map(|e| normalize(e, tmps)),
+                    )
+                })
                 .collect(),
         ),
     }
@@ -672,7 +708,7 @@ mod tests {
         match n {
             Norm::Product(fs) => {
                 assert!(matches!(&fs[0], Norm::Bind(_, _)));
-                assert!(matches!(&fs[1], Norm::SetVar { name, .. } if name == "x"));
+                assert!(matches!(&fs[1], Norm::SetVar { target, .. } if target.name() == "x"));
             }
             other => panic!("got {other:?}"),
         }
@@ -680,7 +716,7 @@ mod tests {
         assert_eq!(
             norm("x := 5"),
             Norm::SetVar {
-                name: "x".into(),
+                target: VarRef::Named("x".into()),
                 from: Atom::Int(5)
             }
         );

@@ -1,0 +1,649 @@
+//! Static resolution: variable references → `(depth, slot)` coordinates.
+//!
+//! This pass runs after [`crate::normalize`] and before interpretation or
+//! emission. It rewrites [`Atom::Var`] / [`VarRef::Named`] references whose
+//! binding is statically known into [`Atom::Slot`] / [`VarRef::Slot`]
+//! coordinates addressing the activation frame directly
+//! ([`gde::env::Env::slot`]: two pointer hops, no hashing, no frame lock),
+//! and records each procedure's frame shape in [`NProc::slots`] so the
+//! interpreter / emitter can allocate the frame as a flat slot array.
+//!
+//! # What resolves, what stays by-name
+//!
+//! A reference is rewritten only when it provably binds the same cell the
+//! unresolved interpreter would bind. The unresolved interpreter binds
+//! cells **at compile time, in pre-order**, via `lookup_or_declare`
+//! against a frame whose contents are: the parameters (declared at
+//! invocation), plus every `local` declaration compiled so far (`Decl`
+//! declares at compile time). That gives the following rules, checked per
+//! procedure:
+//!
+//! * **Parameters** always occupy slots `0..params.len()` — they exist
+//!   before any reference compiles, so every main-stream reference to a
+//!   parameter binds it (until shadowed by a later `local` of the same
+//!   name, which gets its *own fresh slot*, exactly as re-`declare` used
+//!   to create a fresh cell).
+//! * **Fields** (methods only): the enclosing field frame is laid out as
+//!   `[fields..., "self"]`; a method-body reference to a field that is not
+//!   (yet) shadowed by a method-local declaration resolves to depth 1.
+//! * **`local` declarations** on the main compile stream get a fresh
+//!   depth-0 slot each; references after the declaration resolve to the
+//!   latest slot.
+//! * **Everything else stays by-name** — these are the *genuinely dynamic*
+//!   references: globals and implicit locals (whether the name exists in
+//!   an outer frame is only known at invocation time), `&`-keywords,
+//!   references inside deferred bodies, and anything poisoned below.
+//!
+//! # Poisoning
+//!
+//! Two situations force a name to keep by-name semantics for the whole
+//! procedure (no slots at all), because a slot in the frame layout is
+//! visible to by-name lookup *from frame birth*, while the unresolved
+//! interpreter only sees a local cell once its `Decl` has compiled:
+//!
+//! * a main-stream **use before the first main-stream declaration** of a
+//!   non-parameter, non-field name — the unresolved interpreter would have
+//!   bound a global (or sprung an implicit local); a layout slot would
+//!   shadow it too early;
+//! * a declaration inside a **deferred body** (`<>e` / `|<>e` / `|>e`
+//!   bodies compile at co-expression creation time, not on the main
+//!   stream) — such declarations must create fresh overlay cells per
+//!   creation, which slots cannot model.
+//!
+//! References *inside* deferred bodies are always left by-name: they bind
+//! at creation time, after every main-stream declaration has executed, and
+//! the by-name fallback (overlay → latest layout slot → parent) reproduces
+//! that binding exactly — including against [`gde::env::Env::shadow`]
+//! copies, which preserve the layout.
+
+use crate::normalize::{Atom, NClass, NProc, NProgram, Norm, VarRef};
+use gde::Symbol;
+use std::collections::{HashMap, HashSet};
+
+/// Resolve every procedure and class method in the program. Top-level
+/// statements run directly in the global frame (the REPL frame) and are
+/// left fully dynamic.
+pub fn resolve_program(p: &mut NProgram) {
+    for proc in &mut p.procs {
+        resolve_proc(proc, None);
+    }
+    for class in &mut p.classes {
+        let fields = field_coords(class);
+        for method in &mut class.methods {
+            resolve_proc(method, Some(&fields));
+        }
+    }
+}
+
+/// Field-frame coordinates for a class: name → depth-1 slot index, laid
+/// out `[fields..., "self"]` (duplicates resolve to the last occurrence,
+/// matching [`gde::env::FrameLayout`]'s latest-wins index).
+fn field_coords(class: &NClass) -> HashMap<String, u16> {
+    let mut map = HashMap::new();
+    for (i, f) in class.fields.iter().enumerate() {
+        map.insert(f.clone(), i as u16);
+    }
+    map.insert("self".to_string(), class.fields.len() as u16);
+    map
+}
+
+/// Resolve one procedure (or method, when `fields` carries the enclosing
+/// field frame's coordinates).
+pub fn resolve_proc(proc: &mut NProc, fields: Option<&HashMap<String, u16>>) {
+    let empty = HashMap::new();
+    let fields = fields.unwrap_or(&empty);
+
+    // Pass 1: find poisoned names.
+    let mut scan = PoisonScan {
+        declared: proc.params.iter().cloned().collect(),
+        fields,
+        poisoned: HashSet::new(),
+    };
+    for stmt in &proc.body {
+        scan.walk(stmt, false);
+    }
+    let poisoned = scan.poisoned;
+
+    // Pass 2: rewrite references in pre-order, assigning slots.
+    let mut rs = Resolver {
+        slots: proc.params.clone(),
+        current: proc
+            .params
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p.clone(), (0u16, i as u16)))
+            .collect(),
+        fields,
+        poisoned: &poisoned,
+    };
+    for stmt in &mut proc.body {
+        rs.walk(stmt);
+    }
+    proc.slots = rs.slots;
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: poisoning scan
+// ---------------------------------------------------------------------------
+
+struct PoisonScan<'a> {
+    /// Names known to be bound in the frame at the current pre-order
+    /// point: parameters, plus main-stream declarations seen so far.
+    declared: HashSet<String>,
+    fields: &'a HashMap<String, u16>,
+    poisoned: HashSet<String>,
+}
+
+impl PoisonScan<'_> {
+    fn use_of(&mut self, name: &str, deferred: bool) {
+        if deferred || name.starts_with('&') {
+            return; // deferred uses bind late, by name — never poison
+        }
+        if !self.declared.contains(name) && !self.fields.contains_key(name) {
+            // Use before first main-stream declaration of a non-param,
+            // non-field name: binding is only known at invocation time.
+            self.poisoned.insert(name.to_string());
+        }
+    }
+
+    fn decl_of(&mut self, name: &str, deferred: bool) {
+        if deferred {
+            // Declarations in deferred bodies need fresh overlay cells per
+            // co-expression creation; the whole name stays dynamic.
+            self.poisoned.insert(name.to_string());
+        } else {
+            self.declared.insert(name.to_string());
+        }
+    }
+
+    fn atom(&mut self, a: &Atom, deferred: bool) {
+        if let Atom::Var(name) = a {
+            self.use_of(name, deferred);
+        }
+    }
+
+    fn walk(&mut self, n: &Norm, deferred: bool) {
+        match n {
+            Norm::Atom(a)
+            | Norm::Neg(a)
+            | Norm::Size(a)
+            | Norm::Promote(a)
+            | Norm::Activate(a)
+            | Norm::Refresh(a) => self.atom(a, deferred),
+            Norm::Product(fs) | Norm::Alt(fs) | Norm::Block(fs) => {
+                for f in fs {
+                    self.walk(f, deferred);
+                }
+            }
+            Norm::Bind(_, inner)
+            | Norm::Repeat(inner)
+            | Norm::Not(inner)
+            | Norm::Suspend(inner) => self.walk(inner, deferred),
+            Norm::Return(inner) => {
+                if let Some(e) = inner {
+                    self.walk(e, deferred);
+                }
+            }
+            Norm::Op(_, a, b) | Norm::Index { base: a, index: b } => {
+                self.atom(a, deferred);
+                self.atom(b, deferred);
+            }
+            Norm::IndexAssign { base, index, value } => {
+                self.atom(base, deferred);
+                self.atom(index, deferred);
+                self.atom(value, deferred);
+            }
+            Norm::FieldGet { base, .. } => self.atom(base, deferred),
+            Norm::FieldSet { base, value, .. } => {
+                self.atom(base, deferred);
+                self.atom(value, deferred);
+            }
+            Norm::Invoke { callee, args } => {
+                self.atom(callee, deferred);
+                for a in args {
+                    self.atom(a, deferred);
+                }
+            }
+            Norm::NativeInvoke { target, args, .. } => {
+                self.atom(target, deferred);
+                for a in args {
+                    self.atom(a, deferred);
+                }
+            }
+            Norm::ListLit(items) => {
+                for a in items {
+                    self.atom(a, deferred);
+                }
+            }
+            Norm::SetVar { target, from } | Norm::RevSet { target, from } => {
+                self.use_of(target.name(), deferred);
+                self.atom(from, deferred);
+            }
+            Norm::ToRange { from, to, by } => {
+                self.atom(from, deferred);
+                self.atom(to, deferred);
+                if let Some(b) = by {
+                    self.atom(b, deferred);
+                }
+            }
+            Norm::Limit { inner, n } => {
+                self.walk(inner, deferred);
+                self.atom(n, deferred);
+            }
+            Norm::If { cond, then, els } => {
+                self.walk(cond, deferred);
+                self.walk(then, deferred);
+                if let Some(e) = els {
+                    self.walk(e, deferred);
+                }
+            }
+            Norm::While { cond, body } | Norm::Until { cond, body } => {
+                self.walk(cond, deferred);
+                if let Some(b) = body {
+                    self.walk(b, deferred);
+                }
+            }
+            Norm::Every { source, body } => {
+                self.walk(source, deferred);
+                if let Some(b) = body {
+                    self.walk(b, deferred);
+                }
+            }
+            Norm::Scan { subject, body } => {
+                self.walk(subject, deferred);
+                self.walk(body, deferred);
+            }
+            Norm::Decl(decls) => {
+                for (target, init) in decls {
+                    // The unresolved interpreter declares the name *before*
+                    // compiling the initializer, so the declaration comes
+                    // first here too.
+                    self.decl_of(target.name(), deferred);
+                    if let Some(e) = init {
+                        self.walk(e, deferred);
+                    }
+                }
+            }
+            // Deferred bodies: everything below compiles at co-expression
+            // creation time.
+            Norm::CoCreate { body, .. } | Norm::Pipe(body) => self.walk(body, true),
+            Norm::Fail | Norm::Break | Norm::Next => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: rewrite
+// ---------------------------------------------------------------------------
+
+struct Resolver<'a> {
+    /// Frame layout under construction: slot index → name.
+    slots: Vec<String>,
+    /// Name → coordinate it binds at the current pre-order point.
+    current: HashMap<String, (u16, u16)>,
+    fields: &'a HashMap<String, u16>,
+    poisoned: &'a HashSet<String>,
+}
+
+impl Resolver<'_> {
+    /// The coordinate a main-stream use of `name` binds, if static.
+    fn coord_of(&self, name: &str) -> Option<(u16, u16)> {
+        if name.starts_with('&') || self.poisoned.contains(name) {
+            return None;
+        }
+        if let Some(&c) = self.current.get(name) {
+            return Some(c);
+        }
+        // Not (yet) a frame local: an unshadowed field reference.
+        self.fields.get(name).map(|&i| (1, i))
+    }
+
+    fn atom(&mut self, a: &mut Atom) {
+        if let Atom::Var(name) = a {
+            if let Some((depth, idx)) = self.coord_of(name) {
+                *a = Atom::Slot(depth, idx, Symbol::new(name));
+            }
+        }
+    }
+
+    fn target(&mut self, t: &mut VarRef) {
+        if let VarRef::Named(name) = t {
+            if let Some((depth, idx)) = self.coord_of(name) {
+                *t = VarRef::Slot(depth, idx, Symbol::new(name));
+            }
+        }
+    }
+
+    /// A main-stream declaration: a fresh depth-0 slot (re-declarations
+    /// shadow earlier slots of the same name, as re-`declare` used to
+    /// replace the cell).
+    fn declare(&mut self, t: &mut VarRef) {
+        let name = t.name().to_string();
+        if self.poisoned.contains(&name) {
+            return; // stays VarRef::Named → dynamic overlay cell
+        }
+        let idx = self.slots.len() as u16;
+        self.slots.push(name.clone());
+        self.current.insert(name.clone(), (0, idx));
+        *t = VarRef::Slot(0, idx, Symbol::new(&name));
+    }
+
+    fn walk(&mut self, n: &mut Norm) {
+        match n {
+            Norm::Atom(a)
+            | Norm::Neg(a)
+            | Norm::Size(a)
+            | Norm::Promote(a)
+            | Norm::Activate(a)
+            | Norm::Refresh(a) => self.atom(a),
+            Norm::Product(fs) | Norm::Alt(fs) | Norm::Block(fs) => {
+                for f in fs {
+                    self.walk(f);
+                }
+            }
+            Norm::Bind(_, inner)
+            | Norm::Repeat(inner)
+            | Norm::Not(inner)
+            | Norm::Suspend(inner) => self.walk(inner),
+            Norm::Return(inner) => {
+                if let Some(e) = inner {
+                    self.walk(e);
+                }
+            }
+            Norm::Op(_, a, b) | Norm::Index { base: a, index: b } => {
+                self.atom(a);
+                self.atom(b);
+            }
+            Norm::IndexAssign { base, index, value } => {
+                self.atom(base);
+                self.atom(index);
+                self.atom(value);
+            }
+            Norm::FieldGet { base, .. } => self.atom(base),
+            Norm::FieldSet { base, value, .. } => {
+                self.atom(base);
+                self.atom(value);
+            }
+            Norm::Invoke { callee, args } => {
+                self.atom(callee);
+                for a in args {
+                    self.atom(a);
+                }
+            }
+            Norm::NativeInvoke { target, args, .. } => {
+                self.atom(target);
+                for a in args {
+                    self.atom(a);
+                }
+            }
+            Norm::ListLit(items) => {
+                for a in items {
+                    self.atom(a);
+                }
+            }
+            Norm::SetVar { target, from } | Norm::RevSet { target, from } => {
+                self.target(target);
+                self.atom(from);
+            }
+            Norm::ToRange { from, to, by } => {
+                self.atom(from);
+                self.atom(to);
+                if let Some(b) = by {
+                    self.atom(b);
+                }
+            }
+            Norm::Limit { inner, n } => {
+                self.walk(inner);
+                self.atom(n);
+            }
+            Norm::If { cond, then, els } => {
+                self.walk(cond);
+                self.walk(then);
+                if let Some(e) = els {
+                    self.walk(e);
+                }
+            }
+            Norm::While { cond, body } | Norm::Until { cond, body } => {
+                self.walk(cond);
+                if let Some(b) = body {
+                    self.walk(b);
+                }
+            }
+            Norm::Every { source, body } => {
+                self.walk(source);
+                if let Some(b) = body {
+                    self.walk(b);
+                }
+            }
+            Norm::Scan { subject, body } => {
+                self.walk(subject);
+                self.walk(body);
+            }
+            Norm::Decl(decls) => {
+                for (target, init) in decls {
+                    // Declare before resolving the initializer: the
+                    // unresolved interpreter creates the cell before the
+                    // initializer compiles, so `local x := x + 1` reads
+                    // the *new* cell.
+                    self.declare(target);
+                    if let Some(e) = init {
+                        self.walk(e);
+                    }
+                }
+            }
+            // Deferred bodies stay fully by-name (see module docs).
+            Norm::CoCreate { .. } | Norm::Pipe(_) => {}
+            Norm::Fail | Norm::Break | Norm::Next => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normalize::normalize_program;
+    use crate::parse::parse_program;
+
+    fn resolved(src: &str) -> NProgram {
+        let mut np = normalize_program(&parse_program(src).unwrap());
+        resolve_program(&mut np);
+        np
+    }
+
+    /// Collect every (depth, idx, name) slot reference in a node tree.
+    fn slot_refs(n: &Norm, out: &mut Vec<(u16, u16, String)>) {
+        let on_atom = |a: &Atom, out: &mut Vec<(u16, u16, String)>| {
+            if let Atom::Slot(d, i, s) = a {
+                out.push((*d, *i, s.as_str().to_string()));
+            }
+        };
+        match n {
+            Norm::Atom(a)
+            | Norm::Neg(a)
+            | Norm::Size(a)
+            | Norm::Promote(a)
+            | Norm::Activate(a)
+            | Norm::Refresh(a) => on_atom(a, out),
+            Norm::Product(fs) | Norm::Alt(fs) | Norm::Block(fs) => {
+                fs.iter().for_each(|f| slot_refs(f, out))
+            }
+            Norm::Bind(_, x) | Norm::Repeat(x) | Norm::Not(x) | Norm::Suspend(x) => {
+                slot_refs(x, out)
+            }
+            Norm::Op(_, a, b) => {
+                on_atom(a, out);
+                on_atom(b, out);
+            }
+            Norm::Invoke { callee, args } => {
+                on_atom(callee, out);
+                args.iter().for_each(|a| on_atom(a, out));
+            }
+            Norm::SetVar { target, from } | Norm::RevSet { target, from } => {
+                if let VarRef::Slot(d, i, s) = target {
+                    out.push((*d, *i, s.as_str().to_string()));
+                }
+                on_atom(from, out);
+            }
+            Norm::While { cond, body } | Norm::Until { cond, body } => {
+                slot_refs(cond, out);
+                if let Some(b) = body {
+                    slot_refs(b, out);
+                }
+            }
+            Norm::Every { source, body } => {
+                slot_refs(source, out);
+                if let Some(b) = body {
+                    slot_refs(b, out);
+                }
+            }
+            Norm::If { cond, then, els } => {
+                slot_refs(cond, out);
+                slot_refs(then, out);
+                if let Some(e) = els {
+                    slot_refs(e, out);
+                }
+            }
+            Norm::Decl(ds) => {
+                for (t, init) in ds {
+                    if let VarRef::Slot(d, i, s) = t {
+                        out.push((*d, *i, s.as_str().to_string()));
+                    }
+                    if let Some(e) = init {
+                        slot_refs(e, out);
+                    }
+                }
+            }
+            Norm::Return(Some(e)) => slot_refs(e, out),
+            _ => {}
+        }
+    }
+
+    fn proc_slot_refs(p: &NProc) -> Vec<(u16, u16, String)> {
+        let mut out = Vec::new();
+        p.body.iter().for_each(|s| slot_refs(s, &mut out));
+        out
+    }
+
+    #[test]
+    fn params_become_depth0_slots() {
+        let np = resolved("def f(a, b) { return a + b; }");
+        let p = &np.procs[0];
+        assert_eq!(p.slots, vec!["a", "b"]);
+        let refs = proc_slot_refs(p);
+        assert!(refs.contains(&(0, 0, "a".into())));
+        assert!(refs.contains(&(0, 1, "b".into())));
+    }
+
+    #[test]
+    fn locals_get_fresh_slots_after_params() {
+        let np = resolved(
+            "def f(n) { local acc := 0; every i := 1 to n do acc := acc + 1; return acc; }",
+        );
+        let p = &np.procs[0];
+        // n = slot 0, acc = slot 1; `i` is an implicit local (dynamic).
+        assert_eq!(p.slots, vec!["n", "acc"]);
+        let refs = proc_slot_refs(p);
+        assert!(refs.contains(&(0, 1, "acc".into())));
+        assert!(!refs.iter().any(|(_, _, s)| s == "i"));
+    }
+
+    #[test]
+    fn redeclaration_gets_a_fresh_slot() {
+        let np = resolved("def f(x) { suspend x; local x := 2; suspend x; }");
+        let p = &np.procs[0];
+        assert_eq!(p.slots, vec!["x", "x"]);
+        let refs = proc_slot_refs(p);
+        // First suspend reads the parameter slot, second the local slot.
+        assert!(refs.contains(&(0, 0, "x".into())));
+        assert!(refs.contains(&(0, 1, "x".into())));
+    }
+
+    #[test]
+    fn use_before_decl_poisons() {
+        // `y` is used before its declaration: must stay fully dynamic.
+        let np = resolved("def f() { suspend y; local y := 1; suspend y; }");
+        let p = &np.procs[0];
+        assert_eq!(p.slots, Vec::<String>::new());
+        assert!(proc_slot_refs(p).is_empty());
+    }
+
+    #[test]
+    fn globals_stay_by_name() {
+        let np = resolved("def f(x) { return g(x); }");
+        let p = &np.procs[0];
+        let refs = proc_slot_refs(p);
+        assert!(!refs.iter().any(|(_, _, s)| s == "g"));
+    }
+
+    #[test]
+    fn deferred_bodies_stay_by_name() {
+        let np = resolved("def f(x) { local c := <> (x + 1); return c; }");
+        let p = &np.procs[0];
+        // `x` inside the co-expression body is untouched; the outer
+        // `return c` resolves.
+        assert_eq!(p.slots, vec!["x", "c"]);
+        let refs = proc_slot_refs(p);
+        assert!(refs.contains(&(0, 1, "c".into())));
+        assert!(
+            !refs.contains(&(0, 0, "x".into())),
+            "x only occurs inside the deferred body and must stay by-name"
+        );
+    }
+
+    #[test]
+    fn decl_inside_deferred_body_poisons() {
+        let np = resolved("def f() { local y := 1; local c := <> { local y := 2; y }; return y; }");
+        let p = &np.procs[0];
+        assert!(
+            !p.slots.contains(&"y".to_string()),
+            "y is declared in a deferred body and must stay dynamic, slots: {:?}",
+            p.slots
+        );
+    }
+
+    #[test]
+    fn method_field_refs_resolve_to_depth1() {
+        let np = resolved(
+            "class Point(x, y) { def getx() { return x; } def setx(v) { x := v; return self; } }",
+        );
+        let class = &np.classes[0];
+        let getx = &class.methods[0];
+        let refs = proc_slot_refs(getx);
+        assert!(
+            refs.contains(&(1, 0, "x".into())),
+            "field x at depth 1: {refs:?}"
+        );
+        let setx = &class.methods[1];
+        let refs = proc_slot_refs(setx);
+        assert!(refs.contains(&(1, 0, "x".into())));
+        // `self` is the last field-frame slot.
+        assert!(refs.contains(&(1, 2, "self".into())));
+    }
+
+    #[test]
+    fn method_local_shadows_field_after_decl() {
+        let np = resolved("class C(x) { def m() { suspend x; local x := 1; suspend x; } }");
+        let m = &np.classes[0].methods[0];
+        let refs = proc_slot_refs(m);
+        // Before the decl: the field (depth 1); after: the local (depth 0).
+        assert!(refs.contains(&(1, 0, "x".into())));
+        assert!(refs.contains(&(0, 0, "x".into())));
+    }
+
+    #[test]
+    fn toplevel_statements_are_untouched() {
+        let np = resolved("x := 1; write(x + 1);");
+        for s in &np.stmts {
+            let mut refs = Vec::new();
+            slot_refs(s, &mut refs);
+            assert!(refs.is_empty(), "top level must stay dynamic: {refs:?}");
+        }
+    }
+
+    #[test]
+    fn keywords_stay_by_name() {
+        let np = resolved("def f(s) { return s ? &subject; }");
+        let refs = proc_slot_refs(&np.procs[0]);
+        assert!(!refs.iter().any(|(_, _, n)| n.starts_with('&')));
+    }
+}

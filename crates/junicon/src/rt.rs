@@ -67,6 +67,13 @@ pub fn slot_var(env: &gde::env::Env, name: &str) -> Slot {
     Slot::Cell(env.lookup_or_declare(name))
 }
 
+/// Slot over a resolved `(depth, slot)` frame coordinate — the fast path
+/// emitted for statically-resolved variable references (no hashing, no
+/// frame lock; see `gde::Env::slot`).
+pub fn slot_at(env: &gde::env::Env, depth: usize, idx: usize) -> Slot {
+    Slot::Cell(env.slot(depth, idx))
+}
+
 /// Slot over a temporary.
 pub fn slot_tmp(tmps: &Arc<Vec<Var>>, i: u32) -> Slot {
     Slot::Cell(tmps[i as usize].clone())

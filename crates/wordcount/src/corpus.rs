@@ -8,6 +8,7 @@
 use gde::Value;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::{Arc, OnceLock};
 
 const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
 
@@ -15,6 +16,10 @@ const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789";
 #[derive(Clone, Debug)]
 pub struct Corpus {
     lines: Vec<String>,
+    /// Lazily-built dynamic form of the lines (see [`Corpus::as_value`]).
+    /// Shared across clones: the corpus is immutable input, so the boxed
+    /// list is built once per corpus, not once per run.
+    as_value: Arc<OnceLock<Value>>,
 }
 
 impl Corpus {
@@ -35,12 +40,15 @@ impl Corpus {
                 words.join(" ")
             })
             .collect();
-        Corpus { lines }
+        Corpus::from_lines(lines)
     }
 
     /// Wrap existing lines.
     pub fn from_lines(lines: Vec<String>) -> Corpus {
-        Corpus { lines }
+        Corpus {
+            lines,
+            as_value: Arc::new(OnceLock::new()),
+        }
     }
 
     /// The text lines.
@@ -57,9 +65,14 @@ impl Corpus {
     }
 
     /// The lines as a shared dynamic list (for the embedded suite and the
-    /// interpreter: the `static String[] lines` of Fig. 3).
+    /// interpreter: the `static String[] lines` of Fig. 3). Built once per
+    /// corpus and cached — Fig. 3's lines are a `static` array, so every
+    /// run over the same corpus shares one boxed list instead of
+    /// re-allocating a `Value::Str` per line per run.
     pub fn as_value(&self) -> Value {
-        Value::list(self.lines.iter().map(Value::str).collect())
+        self.as_value
+            .get_or_init(|| Value::list(self.lines.iter().map(Value::str).collect()))
+            .clone()
     }
 }
 

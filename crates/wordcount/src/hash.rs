@@ -87,6 +87,20 @@ pub fn hash_number(n: &BigUint, weight: Weight) -> f64 {
     }
 }
 
+/// [`hash_number`] over a machine-range value — the unboxed fast path the
+/// embedded runtime takes for `Value::Int`. Bit-identical to
+/// `hash_number(&BigUint::from(n), weight)`: a single-limb `to_f64` is
+/// exactly `n as f64`, so the lightweight path can skip the big-integer
+/// allocation entirely. The heavyweight path needs the big-integer ops
+/// (prime search), so it round-trips — the node is compute-dominated
+/// there anyway.
+pub fn hash_int(n: u64, weight: Weight) -> f64 {
+    match weight {
+        Weight::Light => (n as f64).sqrt(),
+        Weight::Heavy => hash_number(&BigUint::from(n), weight),
+    }
+}
+
 /// The composed per-word hash: `hashNumber(wordToNumber(word))`.
 pub fn hash_word(word: &str, weight: Weight) -> Option<f64> {
     Some(hash_number(&word_to_number(word, weight)?, weight))

@@ -46,7 +46,7 @@ fi
 step "[4/6] obs feature matrix (on + isolated off)"
 # With the feature: the whole workspace, all targets (bench + root
 # already default it on, but be explicit for the instrumented crates).
-OBS_CRATES=(blockingq exec pipes mapreduce wordcount)
+OBS_CRATES=(gde blockingq exec pipes mapreduce wordcount)
 for crate in "${OBS_CRATES[@]}"; do
     cargo build --offline -q -p "$crate" --features obs
 done
@@ -55,7 +55,7 @@ echo "   ok: instrumented builds"
 # root crate/bench cannot quietly re-enable obs. This is the zero-cost
 # compile gate — the obs_on! macro must expand to nothing and the crates
 # must carry no obs code at all.
-for crate in "${OBS_CRATES[@]}" gde coexpr junicon bigint obs; do
+for crate in "${OBS_CRATES[@]}" coexpr junicon bigint obs; do
     cargo build --offline -q -p "$crate"
     cargo test --offline -q -p "$crate" > /dev/null
 done
@@ -81,6 +81,13 @@ echo "   -- obs-overhead (instrumentation OFF):"
 TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
     cargo bench --offline -q -p bench --no-default-features --bench obs_overhead \
     | grep -E "put_take" | sed 's/^/      /'
+# Environment hot path: the slot/by-name gap and the interned-key win,
+# re-measured cheaply every run (see DESIGN.md § Slot-resolved
+# environments).
+echo "   -- env hot path (slot vs by-name vs table keys):"
+TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
+    cargo bench --offline -q -p bench --bench env_hot \
+    | grep -E "env_hot/" | sed 's/^/      /'
 grep -q '"schema": "figure6-v2"' BENCH_ci.json
 grep -q '"obs": {' BENCH_ci.json
 echo "   ok: BENCH_ci.json written (schema figure6-v2, obs snapshot embedded)"
@@ -106,6 +113,32 @@ else
         echo "   FAIL: blocked_takes/takes = ${blocked_takes}/${takes} exceeds the"
         echo "         pre-batching baseline ratio ${MAX_BLOCKED_TAKE_RATIO} — the batched"
         echo "         transport regression gate tripped (see DESIGN.md § Batched transport)."
+        exit 1
+    fi
+fi
+
+# Embedded/native gap regression gate. Slot-resolved environments plus
+# symbol interning brought the Sequential-Lightweight Junicon/Native
+# median ratio down to ~2.0x (BENCH_baseline.json; it was 3.2x before
+# the resolve pass). Gate at baseline + 15% headroom: if the ratio in
+# this run climbs above it, by-name lookups or per-word allocations have
+# crept back onto the embedded hot path — fail loudly. (Medians of a
+# ratio are scale-free, so the small smoke corpus works; the gate skips
+# when either median is missing.)
+MAX_SEQ_LW_RATIO="2.30"
+jun_seq="$(grep -o '{"suite": "Junicon", "variant": "Sequential", "weight": "Lightweight", "median_ns": [0-9]*' BENCH_ci.json | grep -o '[0-9]*$' || true)"
+nat_seq="$(grep -o '{"suite": "Native", "variant": "Sequential", "weight": "Lightweight", "median_ns": [0-9]*' BENCH_ci.json | grep -o '[0-9]*$' || true)"
+if [ -z "${jun_seq}" ] || [ -z "${nat_seq}" ] || [ "${nat_seq}" = "0" ]; then
+    echo "   !!! SKIPPED: embedded/native gate needs Sequential-Lightweight medians in BENCH_ci.json"
+else
+    if awk -v j="$jun_seq" -v n="$nat_seq" -v cap="$MAX_SEQ_LW_RATIO" \
+        'BEGIN { exit !(j / n <= cap) }'; then
+        echo "   ok: embedded/native gate — Junicon/Native Sequential-LW = ${jun_seq}/${nat_seq} <= ${MAX_SEQ_LW_RATIO}"
+    else
+        echo "   FAIL: Junicon/Native Sequential-Lightweight = ${jun_seq}/${nat_seq} exceeds"
+        echo "         the slot-resolution baseline ratio ${MAX_SEQ_LW_RATIO} — by-name lookups or"
+        echo "         per-word allocations are back on the embedded hot path"
+        echo "         (see DESIGN.md § Slot-resolved environments)."
         exit 1
     fi
 fi
