@@ -1,0 +1,70 @@
+//! Stage-fusion ablation: what does collapsing a combinator chain into a
+//! single composed closure actually buy on the embedded hot path?
+//!
+//! Two pairs, fused vs unfused:
+//!
+//! * a synthetic chain of monogenic stages over a plain range — isolates
+//!   the per-value resume cost (each unfused node is one `Step` climb per
+//!   value, the fused node is one climb total);
+//! * the real embedded-wordcount sequential cell — the Fig. 6 bar the
+//!   emit-time fusion is meant to move (`sequential` builds the fused
+//!   plan, `sequential_unfused` keeps the stage-per-node reference tree).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gde::comb::fuse::StagePlan;
+use gde::comb::{filter_map, to_range};
+use gde::{BoxGen, GenExt, Value};
+use std::hint::black_box;
+use wordcount::{embedded, Corpus, Weight};
+
+const N: i64 = 50_000;
+const STAGES: usize = 6;
+
+fn monogenic_plan() -> StagePlan {
+    let mut plan = StagePlan::new();
+    for k in 0..STAGES as i64 {
+        plan = plan.filter_map(move |v: &Value| {
+            let n = v.as_int()?;
+            (n % 97 != k).then(|| Value::from(n + 1))
+        });
+    }
+    plan
+}
+
+fn chain_fused(c: &mut Criterion) {
+    let fused = monogenic_plan().fuse();
+    c.bench_function("fusion/chain_fused", |b| {
+        b.iter(|| {
+            let mut g = fused.instantiate(Box::new(to_range(1, N, 1)));
+            black_box(g.count())
+        })
+    });
+}
+
+fn chain_unfused(c: &mut Criterion) {
+    c.bench_function("fusion/chain_unfused", |b| {
+        b.iter(|| {
+            let mut g: BoxGen = Box::new(to_range(1, N, 1));
+            for k in 0..STAGES as i64 {
+                g = Box::new(filter_map(g, move |v| {
+                    let n = v.as_int()?;
+                    (n % 97 != k).then(|| Value::from(n + 1))
+                }));
+            }
+            black_box(g.count())
+        })
+    });
+}
+
+fn wordcount_pair(c: &mut Criterion) {
+    let corpus = Corpus::generate(400, 10, 2016);
+    c.bench_function("fusion/wordcount_fused", |b| {
+        b.iter(|| black_box(embedded::sequential(&corpus, Weight::Light)))
+    });
+    c.bench_function("fusion/wordcount_unfused", |b| {
+        b.iter(|| black_box(embedded::sequential_unfused(&corpus, Weight::Light)))
+    });
+}
+
+criterion_group!(benches, chain_fused, chain_unfused, wordcount_pair);
+criterion_main!(benches);

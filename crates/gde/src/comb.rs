@@ -12,6 +12,8 @@ use crate::gen::{BoxGen, Gen, Step};
 use crate::value::Value;
 use crate::var::Var;
 
+pub mod fuse;
+
 // ---------------------------------------------------------------------------
 // Leaf generators
 // ---------------------------------------------------------------------------

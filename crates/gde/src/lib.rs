@@ -70,6 +70,8 @@ pub(crate) mod obs_hot {
     cached_counter!(slot_hits, "gde.env.slot_hits");
     cached_counter!(name_fallbacks, "gde.env.name_fallbacks");
     cached_counter!(interned, "gde.sym.interned");
+    cached_counter!(fused_stages, "gde.comb.fused_stages");
+    cached_counter!(fusion_barriers, "gde.comb.fusion_barriers");
 }
 
 /// Force-register this crate's hot-path counters with the obs registry
@@ -84,6 +86,8 @@ pub fn obs_register() {
     let _ = obs_hot::slot_hits();
     let _ = obs_hot::name_fallbacks();
     let _ = obs_hot::interned();
+    let _ = obs_hot::fused_stages();
+    let _ = obs_hot::fusion_barriers();
 }
 
 pub mod comb;

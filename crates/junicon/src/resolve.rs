@@ -60,6 +60,79 @@ use crate::normalize::{Atom, NClass, NProc, NProgram, Norm, VarRef};
 use gde::Symbol;
 use std::collections::{HashMap, HashSet};
 
+// ---------------------------------------------------------------------------
+// Fusable-run annotation (consumed by the emitter)
+// ---------------------------------------------------------------------------
+
+/// The length of the maximal *fusable* suffix of a product's factors: the
+/// trailing run of monogenic factors (at most one value per activation —
+/// the flattened thunk shapes) whose operands are all statically
+/// resolved. The emitter collapses such a run into a single composed
+/// filter-map closure over the preceding factor
+/// ([`gde::comb::fuse::emitted_fused`]), eliminating one product link and
+/// one boxed `resume` per run factor per binding.
+///
+/// The analysis is deliberately conservative — a factor only joins a run
+/// when the fused closure provably evaluates it with the by-node tree's
+/// exact semantics:
+///
+/// * **generator factors** (invocation, promotion, ranges, alternation,
+///   nested products, …) can yield many values per binding, so
+///   backtracking must be able to re-enter them — they end every run;
+/// * **dynamic-name operands** ([`Atom::Var`]) are barriers: a by-name
+///   lookup can spring an implicit local mid-product
+///   (`lookup_or_declare` mutates the frame), and the `&`-keywords
+///   (`&subject`/`&pos`) read the scanning stack, whose innermost frame
+///   can change between the product's construction and the closure's
+///   evaluation — only slot-resolved cells, temporaries and literals are
+///   known to read the same cell either way (see DESIGN.md § Stage
+///   fusion);
+/// * **by-name assignment targets** ([`VarRef::Named`]) stay unfused for
+///   the same reason.
+///
+/// The suffix never includes *every* factor — the emitter keeps at least
+/// one leading factor as the generator the fused closure hangs off — and
+/// callers get that clamp here so the annotation is the single source of
+/// truth.
+pub fn fusable_suffix(factors: &[Norm]) -> usize {
+    let run = factors
+        .iter()
+        .rev()
+        .take_while(|f| fusable_monogenic(f))
+        .count();
+    run.min(factors.len().saturating_sub(1))
+}
+
+/// Is this atom a statically-resolved operand (literal, frame slot, or
+/// temporary)? Dynamic names and `&`-keywords make the factor unfusable.
+fn atom_is_static(a: &Atom) -> bool {
+    !matches!(a, Atom::Var(_))
+}
+
+/// Is this factor a monogenic thunk shape over static operands?
+fn fusable_monogenic(n: &Norm) -> bool {
+    match n {
+        Norm::Atom(a) | Norm::Neg(a) | Norm::Size(a) => atom_is_static(a),
+        Norm::Op(_, a, b) | Norm::Index { base: a, index: b } => {
+            atom_is_static(a) && atom_is_static(b)
+        }
+        Norm::IndexAssign { base, index, value } => {
+            atom_is_static(base) && atom_is_static(index) && atom_is_static(value)
+        }
+        Norm::FieldGet { base, .. } => atom_is_static(base),
+        Norm::FieldSet { base, value, .. } => atom_is_static(base) && atom_is_static(value),
+        Norm::ListLit(items) => items.iter().all(atom_is_static),
+        Norm::SetVar { target, from } => matches!(target, VarRef::Slot(..)) && atom_is_static(from),
+        Norm::NativeInvoke { target, args, .. } => {
+            atom_is_static(target) && args.iter().all(atom_is_static)
+        }
+        // Binding a temporary to a monogenic factor is itself monogenic
+        // (the set runs as the factor produces its one value).
+        Norm::Bind(_, inner) => fusable_monogenic(inner),
+        _ => false,
+    }
+}
+
 /// Resolve every procedure and class method in the program. Top-level
 /// statements run directly in the global frame (the REPL frame) and are
 /// left fully dynamic.
@@ -638,6 +711,34 @@ mod tests {
             slot_refs(s, &mut refs);
             assert!(refs.is_empty(), "top level must stay dynamic: {refs:?}");
         }
+    }
+
+    #[test]
+    fn fusable_suffix_marks_trailing_monogenic_runs_only() {
+        use crate::ast::BinOp;
+        let gen = Norm::ToRange {
+            from: Atom::Int(1),
+            to: Atom::Int(3),
+            by: None,
+        };
+        let op = Norm::Op(BinOp::Mul, Atom::Tmp(0), Atom::Int(2));
+        // generator | op → the op fuses onto the generator.
+        assert_eq!(fusable_suffix(&[gen.clone(), op.clone()]), 1);
+        // generator | bind(op) | op → the whole trailing run fuses.
+        assert_eq!(
+            fusable_suffix(&[gen.clone(), Norm::Bind(0, Box::new(op.clone())), op.clone()]),
+            2
+        );
+        // Dynamic-name operands are fusion barriers.
+        let dynamic = Norm::Op(BinOp::Mul, Atom::Var("x".into()), Atom::Int(2));
+        assert_eq!(fusable_suffix(&[gen.clone(), dynamic]), 0);
+        // &-keywords read the scanning stack: barrier.
+        let keyword = Norm::Op(BinOp::Mul, Atom::Var("&pos".into()), Atom::Int(2));
+        assert_eq!(fusable_suffix(&[gen.clone(), keyword]), 0);
+        // An all-monogenic product keeps one leading factor as the base.
+        assert_eq!(fusable_suffix(&[op.clone(), op.clone()]), 1);
+        // A generator in last position ends the (empty) run.
+        assert_eq!(fusable_suffix(&[op, gen]), 0);
     }
 
     #[test]

@@ -59,12 +59,17 @@ impl Merge {
     /// to the shared queue capacity) and moves them in one `put_all`.
     /// Chunks from different sources never interleave *within* a chunk,
     /// so per-source FIFO order is preserved; the cap keeps round-robin-ish
-    /// arrival fairness honest. Takes effect on (re)start — call before
-    /// the first `resume`.
+    /// arrival fairness honest. Takes effect immediately: if producers are
+    /// already running with the old batch, their queue is closed and the
+    /// next `resume` respawns them with the new one (the stream restarts
+    /// from the top, exactly like [`Gen::restart`]).
     pub fn with_batch(mut self, batch: usize) -> Merge {
         self.batch = batch
             .clamp(1, MERGE_BATCH_FAIRNESS_CAP)
             .min(self.capacity.max(1));
+        if let Some(st) = self.state.take() {
+            st.queue.close();
+        }
         self
     }
 
@@ -361,6 +366,27 @@ mod tests {
         assert_eq!(m.batch(), 2, "capacity bounds the per-source grab");
         let m = merge(sources(), 64).with_batch(0);
         assert_eq!(m.batch(), 1, "batch 0 normalizes to 1");
+    }
+
+    #[test]
+    fn merge_with_batch_after_start_respawns_with_new_batch() {
+        // Regression: with_batch used to be silently ignored once the
+        // producers were running (start() only reads self.batch when the
+        // state is first built). It must now close the stale state so the
+        // next resume runs the requested transport.
+        let mut m = merge(
+            vec![Box::new(|| Box::new(to_range(1, 20, 1)) as BoxGen)
+                as Box<dyn Fn() -> BoxGen + Send + Sync>],
+            16,
+        );
+        assert!(matches!(m.resume(), Step::Suspend(_)), "producers running");
+        let m = m.with_batch(7);
+        assert_eq!(m.batch(), 7);
+        assert_eq!(
+            drain_sorted(m),
+            (1..=20).collect::<Vec<_>>(),
+            "post-start with_batch must restart the full stream"
+        );
     }
 
     #[test]

@@ -93,6 +93,24 @@ impl Pipe {
         }
     }
 
+    /// `|> plan(e)`: a pipe whose producer runs a combinator
+    /// [`StagePlan`](gde::comb::fuse::StagePlan) over a source generator,
+    /// **fused at `Pipe` construction**. The plan is rewritten once (its
+    /// monogenic runs collapse into single composed closures —
+    /// `gde.comb.fused_stages` counts the seams eliminated) and the fused
+    /// recipe is instantiated afresh on every producer (re)spawn, so
+    /// restart re-evaluation still sees a brand-new generator tree while
+    /// paying the fusion rewrite exactly once.
+    pub fn staged(
+        make_source: impl Fn() -> BoxGen + Send + Sync + 'static,
+        plan: &gde::comb::fuse::StagePlan,
+        capacity: usize,
+        batch: usize,
+    ) -> Pipe {
+        let fused = plan.fuse();
+        Pipe::batched(move || fused.instantiate(make_source()), capacity, batch)
+    }
+
     /// Builder-style batch override: abandons the producer spawned by the
     /// constructor and respawns it with the new batch (exactly like a
     /// restart, so call it before consuming). `with_batch(1)` disables
@@ -428,6 +446,20 @@ mod tests {
                 "batch {batch} changed the sequence"
             );
         }
+    }
+
+    #[test]
+    fn staged_pipe_fuses_at_construction_and_survives_restart() {
+        // The plan fuses once; each producer (re)spawn instantiates the
+        // fused recipe over a fresh source, so restart re-evaluation holds.
+        let plan = gde::comb::fuse::StagePlan::new()
+            .map(|v| Value::from(v.as_int().unwrap() * 2))
+            .filter(|v| v.as_int().unwrap() % 4 == 0);
+        let mut p = Pipe::staged(|| Box::new(to_range(1, 10, 1)), &plan, 8, 4);
+        let want: Vec<i64> = (1..=10).map(|i| i * 2).filter(|i| i % 4 == 0).collect();
+        assert_eq!(ints(&p.collect_values()), want);
+        Gen::restart(&mut p);
+        assert_eq!(ints(&p.collect_values()), want);
     }
 
     #[test]

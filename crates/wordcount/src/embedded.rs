@@ -15,6 +15,7 @@
 
 use crate::corpus::Corpus;
 use crate::hash::{hash_int, hash_number, word_to_number, Weight};
+use gde::comb::fuse::StagePlan;
 use gde::comb::{fail, filter_map, flat, promote_value};
 use gde::{BoxGen, Gen, GenExt, Step, Value};
 use mapreduce::DataParallel;
@@ -32,13 +33,22 @@ pub const CHUNK_SIZE: usize = 1000;
 /// same input) gets back the canonical `Arc<str>` with no allocation, and
 /// downstream `Value::Str` equality hits the pointer fast path.
 fn word_stream(lines: Value) -> BoxGen {
-    Box::new(flat(promote_value(lines), |line| match line {
+    Box::new(flat(promote_value(lines), word_split_factory))
+}
+
+/// `line::split("\\s+")` as a flat-stage factory: one lazy [`WordSplit`]
+/// per line value. This is the pipeline's fusion *barrier* — a line
+/// expands to many words, so monogenic stages cannot move across it, but
+/// the run *after* it fuses into the barrier node itself
+/// ([`gde::comb::fuse::FlatFused`]).
+fn word_split_factory(line: &Value) -> BoxGen {
+    match line {
         Value::Str(s) => Box::new(WordSplit {
             line: s.clone(),
             pos: 0,
         }) as BoxGen,
         _ => Box::new(fail()) as BoxGen,
-    }))
+    }
 }
 
 /// Lazy `line::split("\\s+")`: yields one interned word value per resume,
@@ -81,21 +91,48 @@ impl Gen for WordSplit {
 /// big-integer representation. This keeps the per-word hot path free of
 /// the `Arc<BigInt>` allocation.
 fn parse_stage(words: BoxGen, weight: Weight) -> BoxGen {
-    Box::new(filter_map(words, move |w| {
+    Box::new(filter_map(words, parse_filter_map(weight)))
+}
+
+/// The `wordToNumber` transform as a shareable stage closure (both the
+/// unfused [`parse_stage`] node and the fused plans compose it).
+fn parse_filter_map(weight: Weight) -> impl Fn(&Value) -> Option<Value> + Send + Sync {
+    move |w| {
         let s = w.as_str()?;
         let n = word_to_number(s, weight)?;
         Some(match n.to_u64() {
             Some(u) if u <= i64::MAX as u64 => Value::Int(u as i64),
             _ => Value::big(n.into()),
         })
-    }))
+    }
 }
 
 /// `hashNumber` as a stage: big-integer value → real value.
 fn hash_stage(numbers: BoxGen, weight: Weight) -> BoxGen {
-    Box::new(filter_map(numbers, move |n| {
-        Some(Value::Real(hash_value(n, weight)?))
-    }))
+    Box::new(filter_map(numbers, hash_filter_map(weight)))
+}
+
+/// The `hashNumber` transform as a shareable stage closure.
+fn hash_filter_map(weight: Weight) -> impl Fn(&Value) -> Option<Value> + Send + Sync {
+    move |n| Some(Value::Real(hash_value(n, weight)?))
+}
+
+/// The full Fig. 3 stage pipeline as a fusable [`StagePlan`]:
+/// `splitWords` (flat barrier) → `wordToNumber` → `hashNumber`. Fusing
+/// collapses the two monogenic stages into the barrier node, so the whole
+/// pipeline costs one [`gde::comb::fuse::FlatFused`] resume plus one
+/// [`WordSplit`] resume per word — down from four boxed dispatches in the
+/// stage-per-node tree.
+fn stage_plan(weight: Weight) -> StagePlan {
+    parse_plan(weight).filter_map(hash_filter_map(weight))
+}
+
+/// The producer half of the pipeline variant: `splitWords` →
+/// `wordToNumber` (hashing runs downstream of the pipe).
+fn parse_plan(weight: Weight) -> StagePlan {
+    StagePlan::new()
+        .flat(word_split_factory)
+        .filter_map(parse_filter_map(weight))
 }
 
 /// Hash a dynamic big-integer value *by reference*: the dominant
@@ -129,8 +166,17 @@ fn sum_gen(mut gen: BoxGen, seed: f64) -> f64 {
     total
 }
 
-/// Sequential embedded word-count: all stages inline on one thread.
+/// Sequential embedded word-count: all stages inline on one thread, with
+/// the stage pipeline fused at construction (see [`stage_plan`]).
 pub fn sequential(corpus: &Corpus, weight: Weight) -> f64 {
+    let hashed = stage_plan(weight).instantiate(Box::new(promote_value(corpus.as_value())));
+    sum_gen(hashed, 0.0)
+}
+
+/// [`sequential`] over the traditional one-combinator-node-per-stage tree
+/// — the reference semantics the fusion equivalence suite compares
+/// against (and the "before" side of the fused-vs-unfused bench).
+pub fn sequential_unfused(corpus: &Corpus, weight: Weight) -> f64 {
     let words = word_stream(corpus.as_value());
     let hashed = hash_stage(parse_stage(words, weight), weight);
     sum_gen(hashed, 0.0)
@@ -154,8 +200,9 @@ pub fn pipeline_with_capacity(corpus: &Corpus, weight: Weight, capacity: usize) 
 /// item-at-a-time transport of the original embedding).
 pub fn pipeline_batched(corpus: &Corpus, weight: Weight, capacity: usize, batch: usize) -> f64 {
     let lines = corpus.as_value();
-    let pipe = Pipe::batched(
-        move || parse_stage(word_stream(lines.clone()), weight),
+    let pipe = Pipe::staged(
+        move || Box::new(promote_value(lines.clone())),
+        &parse_plan(weight),
         capacity,
         batch,
     );
@@ -191,13 +238,15 @@ pub fn fan_in(
                 .map(Value::str)
                 .collect(),
         );
+        // Tag each hash with its source index so the consumer can restore
+        // the sequential reduction order. The tag stage is monogenic, so
+        // it fuses into the same closure as parse and hash — the whole
+        // per-source pipeline is one FlatFused node.
+        let fused = stage_plan(weight)
+            .filter_map(move |h| Some(Value::list(vec![Value::from(k as i64), h.clone()])))
+            .fuse();
         factories.push(Box::new(move || {
-            let hashed = hash_stage(parse_stage(word_stream(slice.clone()), weight), weight);
-            // Tag each hash with its source index so the consumer can
-            // restore the sequential reduction order.
-            Box::new(gde::comb::filter_map(hashed, move |h| {
-                Some(Value::list(vec![Value::from(k as i64), h.clone()]))
-            })) as BoxGen
+            fused.instantiate(Box::new(promote_value(slice.clone())))
         }));
     }
     let mut merged = pipes::merge(factories, capacity).with_batch(batch);
@@ -237,7 +286,7 @@ pub fn map_reduce(corpus: &Corpus, weight: Weight) -> f64 {
 /// [`map_reduce`] with an explicit chunk size (ablation).
 pub fn map_reduce_sized(corpus: &Corpus, weight: Weight, chunk_size: usize) -> f64 {
     let dp = DataParallel::new(chunk_size);
-    let numbers = parse_stage(word_stream(corpus.as_value()), weight);
+    let numbers = parse_plan(weight).instantiate(Box::new(promote_value(corpus.as_value())));
     let mut partials = dp.map_reduce(
         move |n| Some(Value::Real(hash_value(n, weight)?)),
         numbers,
@@ -261,7 +310,7 @@ pub fn data_parallel(corpus: &Corpus, weight: Weight) -> f64 {
 /// [`data_parallel`] with an explicit chunk size.
 pub fn data_parallel_sized(corpus: &Corpus, weight: Weight, chunk_size: usize) -> f64 {
     let dp = DataParallel::new(chunk_size);
-    let numbers = parse_stage(word_stream(corpus.as_value()), weight);
+    let numbers = parse_plan(weight).instantiate(Box::new(promote_value(corpus.as_value())));
     let hashes = dp.map_flat(move |n| Some(Value::Real(hash_value(n, weight)?)), numbers);
     sum_gen(Box::new(hashes), 0.0)
 }
@@ -304,6 +353,23 @@ mod tests {
         let native = crate::native::sequential(c.lines(), Weight::Light);
         let dp = data_parallel_sized(&c, Weight::Light, 37);
         assert!(close(native, dp));
+    }
+
+    #[test]
+    fn fused_sequential_is_bitwise_unfused() {
+        // Fusion is a pure rewrite: same hashes, same association, so the
+        // sums are byte-for-byte equal — for both weights.
+        let c = Corpus::generate(60, 8, 29);
+        for weight in [Weight::Light, Weight::Heavy] {
+            assert_eq!(sequential(&c, weight), sequential_unfused(&c, weight));
+        }
+    }
+
+    #[test]
+    fn stage_plan_fuses_to_one_node() {
+        // splitWords | parse | hash: the monogenic run is absorbed into
+        // the flat barrier — a single FlatFused segment.
+        assert_eq!(stage_plan(Weight::Light).fuse().segment_count(), 1);
     }
 
     #[test]

@@ -88,6 +88,12 @@ echo "   -- env hot path (slot vs by-name vs table keys):"
 TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
     cargo bench --offline -q -p bench --bench env_hot \
     | grep -E "env_hot/" | sed 's/^/      /'
+# Stage fusion: the collapsed-closure vs stage-per-node gap, re-measured
+# cheaply every run (see DESIGN.md § Stage fusion).
+echo "   -- stage fusion (fused vs unfused combinator chains):"
+TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
+    cargo bench --offline -q -p bench --bench fusion \
+    | grep -E "fusion/" | sed 's/^/      /'
 grep -q '"schema": "figure6-v2"' BENCH_ci.json
 grep -q '"obs": {' BENCH_ci.json
 echo "   ok: BENCH_ci.json written (schema figure6-v2, obs snapshot embedded)"
@@ -117,15 +123,38 @@ else
     fi
 fi
 
+# Stage-fusion wiring gate. The fig6 embedded cells build their stage
+# plans through gde::comb::fuse, so a healthy run MUST have fused at
+# least one run of monogenic stages (the counter tallies collapsed
+# seams). Zero means the fusion rewriter silently stopped being reached
+# — e.g. a refactor routed the wordcount variants around StagePlan —
+# which would quietly re-open the embedded/native gap the next gate
+# guards. Skips (loudly) when the snapshot is absent: without obs there
+# is no counter to read.
+fused_stages="$(grep -o '"gde.comb.fused_stages": {"kind": "counter", "value": [0-9]*' BENCH_ci.json | grep -o '[0-9]*$' || true)"
+if grep -q '"obs": null' BENCH_ci.json; then
+    echo "   !!! SKIPPED: fusion gate needs the obs snapshot in BENCH_ci.json"
+    echo "   !!!          (bench built without the obs feature)"
+elif [ -z "${fused_stages}" ] || [ "${fused_stages}" = "0" ]; then
+    echo "   FAIL: gde.comb.fused_stages = ${fused_stages:-missing} in BENCH_ci.json —"
+    echo "         the benchmarked pipelines no longer reach the stage-fusion"
+    echo "         rewriter (see DESIGN.md § Stage fusion)."
+    exit 1
+else
+    echo "   ok: fusion gate — gde.comb.fused_stages = ${fused_stages} > 0"
+fi
+
 # Embedded/native gap regression gate. Slot-resolved environments plus
 # symbol interning brought the Sequential-Lightweight Junicon/Native
-# median ratio down to ~2.0x (BENCH_baseline.json; it was 3.2x before
-# the resolve pass). Gate at baseline + 15% headroom: if the ratio in
-# this run climbs above it, by-name lookups or per-word allocations have
-# crept back onto the embedded hot path — fail loudly. (Medians of a
+# median ratio down to ~2.0x, and emit-time stage fusion (collapsing
+# each resolved monogenic suffix into one composed closure) cut it to
+# ~1.73x (BENCH_baseline.json, the re-derived figure). Gate at
+# baseline + 15% headroom: if the ratio in this run climbs above it,
+# by-name lookups, per-word allocations, or an unfused hot path have
+# crept back into the embedded build — fail loudly. (Medians of a
 # ratio are scale-free, so the small smoke corpus works; the gate skips
 # when either median is missing.)
-MAX_SEQ_LW_RATIO="2.30"
+MAX_SEQ_LW_RATIO="1.99"
 jun_seq="$(grep -o '{"suite": "Junicon", "variant": "Sequential", "weight": "Lightweight", "median_ns": [0-9]*' BENCH_ci.json | grep -o '[0-9]*$' || true)"
 nat_seq="$(grep -o '{"suite": "Native", "variant": "Sequential", "weight": "Lightweight", "median_ns": [0-9]*' BENCH_ci.json | grep -o '[0-9]*$' || true)"
 if [ -z "${jun_seq}" ] || [ -z "${nat_seq}" ] || [ "${nat_seq}" = "0" ]; then

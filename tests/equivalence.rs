@@ -242,6 +242,77 @@ fn fan_in_is_bitwise_sequential_across_batch_sizes() {
     }
 }
 
+/// Stage fusion under the batched transport: the embedded variants now
+/// fuse their stage plans ([`gde::comb::fuse`]) at construction, so this
+/// sweep pins fused ≡ *unfused* across every producer/consumer schedule
+/// the batch knob can produce — not just inline evaluation. The unfused
+/// stage-per-node fold is the reference on the left of every assert.
+#[test]
+fn fused_pipelines_are_bitwise_unfused_across_batch_sizes() {
+    use concurrent_generators::wordcount::{embedded, Corpus, Weight};
+    let corpora = [
+        (Corpus::generate(60, 8, 2019), Weight::Light),
+        (Corpus::generate(12, 6, 2020), Weight::Heavy),
+    ];
+    for (corpus, weight) in &corpora {
+        let unfused = embedded::sequential_unfused(corpus, *weight);
+        assert_eq!(
+            unfused.to_bits(),
+            embedded::sequential(corpus, *weight).to_bits(),
+            "fused sequential diverged from unfused ({weight:?})"
+        );
+        for batch in [1, 2, 7, 64] {
+            let fused_piped = embedded::pipeline_batched(corpus, *weight, 16, batch);
+            assert_eq!(
+                unfused.to_bits(),
+                fused_piped.to_bits(),
+                "fused staged pipe diverged from unfused at batch {batch} ({weight:?})"
+            );
+        }
+    }
+}
+
+/// Close-under-fire for staged (fused-at-construction) pipes: restarting
+/// mid-consumption abandons a producer mid-chunk (its next `put` fails on
+/// the closed queue), and the respawned producer must re-instantiate the
+/// fused plan and replay the exact stream; dropping mid-consumption must
+/// not hang. Swept across the same batch schedule as the other suites.
+#[test]
+fn staged_pipe_close_under_fire_replays_exactly() {
+    use concurrent_generators::gde::comb::fuse::StagePlan;
+    use concurrent_generators::gde::comb::to_range;
+    use concurrent_generators::gde::{BoxGen, Gen, GenExt, Value};
+    use concurrent_generators::pipes::Pipe;
+    let plan = StagePlan::new()
+        .map(|v| Value::from(v.as_int().unwrap_or(0) * 3))
+        .filter(|v| v.as_int().unwrap_or(0) % 2 == 0)
+        .flat(|v| Box::new(to_range(0, v.as_int().unwrap_or(0) % 5, 1)) as BoxGen)
+        .filter_map(|v| Some(Value::from(v.as_int()? + 1)));
+    let want: Vec<Option<i64>> = plan
+        .instantiate(Box::new(to_range(1, 200, 1)))
+        .collect_values()
+        .iter()
+        .map(|v| v.as_int())
+        .collect();
+    assert!(!want.is_empty());
+    for batch in [1, 2, 7, 64] {
+        // Small capacity: the producer is still in full flight when the
+        // restart closes its queue out from under it.
+        let mut p = Pipe::staged(|| Box::new(to_range(1, 200, 1)) as BoxGen, &plan, 8, batch);
+        for _ in 0..5 {
+            let _ = p.next_value();
+        }
+        Gen::restart(&mut p);
+        let got: Vec<Option<i64>> = p.collect_values().iter().map(|v| v.as_int()).collect();
+        assert_eq!(want, got, "staged pipe replay diverged at batch {batch}");
+        // Drop mid-consumption: reaching the next iteration without a
+        // hang is the assertion.
+        let mut q = Pipe::staged(|| Box::new(to_range(1, 200, 1)) as BoxGen, &plan, 4, batch);
+        let _ = q.next_value();
+        drop(q);
+    }
+}
+
 /// The generic `mapreduce::Pipeline` builder must likewise be
 /// batch-invariant: identical value sequences at every transport batch.
 #[test]
