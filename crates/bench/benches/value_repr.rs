@@ -1,0 +1,145 @@
+//! Microbench for the compact value representation (DESIGN.md § "Compact
+//! values"): what does a word cost to *create*, to *clone through a
+//! stage*, and to *use as a table key*, per representation?
+//!
+//! Three groups:
+//!
+//! * `value_repr/make_*` — producing one word as an owned `Str` (fresh
+//!   `Arc<str>` per word), an interned `Sym` (one-time intern, then a
+//!   copyable handle), and an arena `Slice` (a window into a shared line
+//!   buffer — the `WordSplit` hot path);
+//! * `value_repr/clone_*` — moving a value through a fused stage:
+//!   `Sym`/`Int` clones are inline copies, `Str` clones bump an `Arc`,
+//!   `Slice` clones bump the shared line's `Arc` (one per line, not one
+//!   per word);
+//! * `value_repr/key_*` — table probes through `Key::Sym` (cached hash,
+//!   pointer-first equality) vs `Key::Str` (rehash + byte compare per
+//!   probe).
+//!
+//! Wired into `scripts/ci.sh` bench-smoke so the representation gap is
+//! re-measured (cheaply) on every CI run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gde::{Symbol, Value};
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// The benchmark vocabulary: 256 distinct short words, plus the single
+/// line buffer holding all of them (the arena a `WordSplit` would own).
+fn vocabulary() -> (Vec<String>, Arc<str>, Vec<(u32, u32)>) {
+    let words: Vec<String> = (0..256).map(|i| format!("w{i:03x}word")).collect();
+    let line: Arc<str> = Arc::from(words.join(" ").as_str());
+    let mut windows = Vec::with_capacity(words.len());
+    let mut pos = 0u32;
+    for w in &words {
+        windows.push((pos, pos + w.len() as u32));
+        pos += w.len() as u32 + 1;
+    }
+    (words, line, windows)
+}
+
+fn bench_make(c: &mut Criterion) {
+    let (words, line, windows) = vocabulary();
+    let mut group = c.benchmark_group("value_repr");
+
+    group.bench_function("make_str", |b| {
+        // One heap allocation per word per pass.
+        b.iter(|| {
+            for w in &words {
+                black_box(Value::str(w));
+            }
+        })
+    });
+    group.bench_function("make_sym", |b| {
+        // Interner hit per word (the vocabulary is already interned after
+        // the first pass): hash + bucket walk, no allocation.
+        b.iter(|| {
+            for w in &words {
+                black_box(Value::interned(w));
+            }
+        })
+    });
+    group.bench_function("make_slice", |b| {
+        // The WordSplit path: an Arc bump on the shared line + bounds
+        // check, no hashing, no allocation.
+        b.iter(|| {
+            for &(start, end) in &windows {
+                black_box(Value::slice(line.clone(), start as usize, end as usize));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+fn bench_clone(c: &mut Criterion) {
+    let (words, line, windows) = vocabulary();
+    let strs: Vec<Value> = words.iter().map(Value::str).collect();
+    let syms: Vec<Value> = words.iter().map(|w| Value::interned(w)).collect();
+    let slices: Vec<Value> = windows
+        .iter()
+        .map(|&(s, e)| Value::slice(line.clone(), s as usize, e as usize))
+        .collect();
+    let ints: Vec<Value> = (0..256i64).map(Value::from).collect();
+
+    let mut group = c.benchmark_group("value_repr");
+    for (name, vals) in [
+        ("clone_int", &ints),
+        ("clone_sym", &syms),
+        ("clone_str", &strs),
+        ("clone_slice", &slices),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                for v in vals {
+                    black_box(v.clone());
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_keys(c: &mut Criterion) {
+    let (words, _, _) = vocabulary();
+    let mut group = c.benchmark_group("value_repr");
+
+    // A populated table, probed 256 times per pass through each key form.
+    let table = Value::table();
+    for (i, w) in words.iter().enumerate() {
+        gde::ops::index_assign(&table, &Value::interned(w), Value::from(i as i64));
+    }
+    let sym_probes: Vec<Value> = words.iter().map(|w| Value::interned(w)).collect();
+    let str_probes: Vec<Value> = words.iter().map(Value::str).collect();
+
+    group.bench_function("key_sym_probe", |b| {
+        // Cached hash + pointer-first equality.
+        b.iter(|| {
+            for k in &sym_probes {
+                black_box(gde::ops::index(&table, k));
+            }
+        })
+    });
+    group.bench_function("key_str_probe", |b| {
+        // FNV over the bytes per probe + byte-compare on hit.
+        b.iter(|| {
+            for k in &str_probes {
+                black_box(gde::ops::index(&table, k));
+            }
+        })
+    });
+    group.bench_function("key_sym_hash", |b| {
+        // The raw hash-code path the Key impl uses.
+        let syms: Vec<Symbol> = words.iter().map(|w| Symbol::new(w)).collect();
+        b.iter(|| {
+            for s in &syms {
+                black_box(s.hash_code());
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_make, bench_clone, bench_keys);
+criterion_main!(benches);

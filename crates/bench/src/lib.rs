@@ -10,6 +10,9 @@
 //! figure's data, and the criterion benches provide statistically
 //! disciplined per-cell timings.
 
+pub mod gates;
+pub mod json;
+
 use std::time::{Duration, Instant};
 use wordcount::{run_cell, Corpus, Suite, Variant, Weight};
 

@@ -1,0 +1,188 @@
+//! Fixture tests for the CI gate library.
+//!
+//! Each fixture under `tests/fixtures/` is a hand-written figure6
+//! snapshot exercising one behavior: the passing shape, each gate
+//! tripping individually, the legitimate obs-null skip, and — the cases
+//! the old grep gates got wrong — snapshots whose keys were renamed,
+//! which must FAIL loudly instead of silently skipping.
+
+use bench::gates::{drift_table, run_gates, GateReport, GateStatus, Thresholds};
+use bench::json::Json;
+
+/// The thresholds scripts/ci.sh passes (see the derivation note there).
+const TH: Thresholds = Thresholds {
+    max_blocked_take_ratio: 0.0747,
+    max_seq_lw_ratio: 1.76,
+};
+
+fn gate_on(fixture: &str) -> Vec<GateReport> {
+    let doc = Json::parse(fixture).expect("fixture parses");
+    run_gates(&doc, &TH)
+}
+
+fn status_of<'a>(reports: &'a [GateReport], name: &str) -> &'a GateReport {
+    reports
+        .iter()
+        .find(|r| r.name == name)
+        .unwrap_or_else(|| panic!("no report for gate {name}"))
+}
+
+const ALL_GATES: [&str; 5] = [
+    "schema",
+    "contention",
+    "fusion",
+    "compact-values",
+    "seq-lw-ratio",
+];
+
+#[test]
+fn passing_snapshot_passes_every_gate() {
+    let reports = gate_on(include_str!("fixtures/passing.json"));
+    assert_eq!(reports.len(), ALL_GATES.len());
+    for name in ALL_GATES {
+        let r = status_of(&reports, name);
+        assert_eq!(r.status, GateStatus::Pass, "{name}: {}", r.detail);
+    }
+}
+
+#[test]
+fn contention_gate_trips_alone() {
+    let reports = gate_on(include_str!("fixtures/contention_trip.json"));
+    for name in ALL_GATES {
+        let r = status_of(&reports, name);
+        let want = if name == "contention" {
+            GateStatus::Fail
+        } else {
+            GateStatus::Pass
+        };
+        assert_eq!(r.status, want, "{name}: {}", r.detail);
+    }
+    assert!(
+        status_of(&reports, "contention").detail.contains("0.45"),
+        "detail carries the measured ratio"
+    );
+}
+
+#[test]
+fn fusion_gate_trips_alone() {
+    let reports = gate_on(include_str!("fixtures/fusion_trip.json"));
+    for name in ALL_GATES {
+        let r = status_of(&reports, name);
+        let want = if name == "fusion" {
+            GateStatus::Fail
+        } else {
+            GateStatus::Pass
+        };
+        assert_eq!(r.status, want, "{name}: {}", r.detail);
+    }
+}
+
+#[test]
+fn compact_values_gate_trips_alone() {
+    let reports = gate_on(include_str!("fixtures/compact_trip.json"));
+    for name in ALL_GATES {
+        let r = status_of(&reports, name);
+        let want = if name == "compact-values" {
+            GateStatus::Fail
+        } else {
+            GateStatus::Pass
+        };
+        assert_eq!(r.status, want, "{name}: {}", r.detail);
+    }
+}
+
+#[test]
+fn seq_lw_ratio_gate_trips_alone() {
+    let reports = gate_on(include_str!("fixtures/ratio_trip.json"));
+    for name in ALL_GATES {
+        let r = status_of(&reports, name);
+        let want = if name == "seq-lw-ratio" {
+            GateStatus::Fail
+        } else {
+            GateStatus::Pass
+        };
+        assert_eq!(r.status, want, "{name}: {}", r.detail);
+    }
+    assert!(
+        status_of(&reports, "seq-lw-ratio").detail.contains("2.100"),
+        "detail carries the measured ratio"
+    );
+}
+
+#[test]
+fn obs_null_skips_counter_gates_only() {
+    // A snapshot produced without the obs feature: the counter gates are
+    // legitimately uncheckable (SKIP, never PASS), while the schema and
+    // the median-based ratio gate still run.
+    let reports = gate_on(include_str!("fixtures/obs_null.json"));
+    for (name, want) in [
+        ("schema", GateStatus::Pass),
+        ("contention", GateStatus::Skip),
+        ("fusion", GateStatus::Skip),
+        ("compact-values", GateStatus::Skip),
+        ("seq-lw-ratio", GateStatus::Pass),
+    ] {
+        let r = status_of(&reports, name);
+        assert_eq!(r.status, want, "{name}: {}", r.detail);
+    }
+}
+
+#[test]
+fn renamed_median_key_fails_loudly() {
+    // `median_ns` renamed to `median_nanos`: the grep gates this library
+    // replaced would have skipped; the schema gate must fail instead, and
+    // the remaining gates must report failed-not-evaluated, not pass.
+    let reports = gate_on(include_str!("fixtures/renamed_median_key.json"));
+    for name in ALL_GATES {
+        let r = status_of(&reports, name);
+        assert_eq!(r.status, GateStatus::Fail, "{name}: {}", r.detail);
+    }
+    assert!(
+        status_of(&reports, "schema").detail.contains("median_ns"),
+        "schema detail names the missing key"
+    );
+}
+
+#[test]
+fn renamed_counter_key_fails_loudly() {
+    // The fused-stages counter renamed: an obs snapshot is present, so a
+    // missing metric is a rename/unregistration bug, not an obs-off skip.
+    let reports = gate_on(include_str!("fixtures/renamed_counter_key.json"));
+    let r = status_of(&reports, "fusion");
+    assert_eq!(r.status, GateStatus::Fail, "fusion: {}", r.detail);
+    assert!(r.detail.contains("gde.comb.fused_stages"));
+    // Gates whose inputs are intact still evaluate normally.
+    assert_eq!(status_of(&reports, "contention").status, GateStatus::Pass);
+    assert_eq!(
+        status_of(&reports, "compact-values").status,
+        GateStatus::Pass
+    );
+    assert_eq!(status_of(&reports, "seq-lw-ratio").status, GateStatus::Pass);
+}
+
+#[test]
+fn malformed_json_is_a_parse_error_not_a_skip() {
+    assert!(Json::parse("{\"schema\": \"figure6-v2\",").is_err());
+    assert!(Json::parse("").is_err());
+}
+
+#[test]
+fn drift_table_reports_per_cell_deltas() {
+    let current = Json::parse(include_str!("fixtures/ratio_trip.json")).unwrap();
+    let baseline = Json::parse(include_str!("fixtures/passing.json")).unwrap();
+    let table = drift_table(&current, &baseline).unwrap();
+    // 2100000 vs 1330000 ≈ +57.9% median; the native cell is unchanged.
+    assert!(table.contains("+57.9%"), "table:\n{table}");
+    assert!(table.contains("+0.0%"), "table:\n{table}");
+    // Scale-free column: normalized 2.2 vs 1.4 ≈ +57.1%.
+    assert!(table.contains("+57.1%"), "table:\n{table}");
+    // A cell missing from the baseline is marked new, not an error.
+    let partial = Json::parse(
+        r#"{"schema": "figure6-v2", "config": {}, "measurements": [
+            {"suite": "Native", "variant": "Sequential", "weight": "Lightweight", "median_ns": 1000000, "normalized": 1.0}
+        ], "obs": null}"#,
+    )
+    .unwrap();
+    let table = drift_table(&current, &partial).unwrap();
+    assert!(table.contains("new"), "table:\n{table}");
+}

@@ -629,9 +629,15 @@ impl Gen for Promote {
                     let v = (self.src)().deref();
                     self.state = match v {
                         Value::List(l) => PromoteState::Items(values(l.lock().clone())),
-                        Value::Str(s) => PromoteState::Items(values(
-                            s.chars().map(|c| Value::from(c.to_string())).collect(),
-                        )),
+                        s @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_)) => {
+                            PromoteState::Items(values(
+                                s.as_str()
+                                    .expect("string form")
+                                    .chars()
+                                    .map(|c| Value::from(c.to_string()))
+                                    .collect(),
+                            ))
+                        }
                         Value::Table(t) => PromoteState::Items(values(
                             t.lock().entries.values().cloned().collect(),
                         )),

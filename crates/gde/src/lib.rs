@@ -72,6 +72,9 @@ pub(crate) mod obs_hot {
     cached_counter!(interned, "gde.sym.interned");
     cached_counter!(fused_stages, "gde.comb.fused_stages");
     cached_counter!(fusion_barriers, "gde.comb.fusion_barriers");
+    cached_counter!(value_inline_hits, "gde.value.inline_hits");
+    cached_counter!(value_promotions, "gde.value.promotions");
+    cached_counter!(value_arc_clones, "gde.value.arc_clones");
 }
 
 /// Force-register this crate's hot-path counters with the obs registry
@@ -88,6 +91,9 @@ pub fn obs_register() {
     let _ = obs_hot::interned();
     let _ = obs_hot::fused_stages();
     let _ = obs_hot::fusion_barriers();
+    let _ = obs_hot::value_inline_hits();
+    let _ = obs_hot::value_promotions();
+    let _ = obs_hot::value_arc_clones();
 }
 
 pub mod comb;
@@ -103,5 +109,5 @@ pub use env::{Env, FrameLayout};
 pub use func::ProcValue;
 pub use gen::{BoxGen, Gen, GenExt, GenIter, Step};
 pub use sym::Symbol;
-pub use value::{CoRef, Coroutine, Key, ObjData, ObjRef, Value};
+pub use value::{CoRef, Coroutine, Key, ObjData, ObjRef, StrSlice, Value};
 pub use var::Var;

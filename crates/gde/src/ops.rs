@@ -33,8 +33,8 @@ pub fn to_num(v: &Value) -> Option<Num> {
         Value::Int(i) => Some(Num::Int(i)),
         Value::Big(b) => Some(Num::Big((*b).clone())),
         Value::Real(r) => Some(Num::Real(r)),
-        Value::Str(s) => {
-            let s = s.trim();
+        s @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_)) => {
+            let s = s.as_str().expect("string form").trim();
             if let Ok(i) = s.parse::<i64>() {
                 Some(Num::Int(i))
             } else if let Ok(b) = BigInt::from_str_radix(s, 10) {
@@ -223,6 +223,9 @@ pub fn num_ne(a: &Value, b: &Value) -> Option<Value> {
 pub fn to_str(v: &Value) -> Option<Arc<str>> {
     match v.deref() {
         Value::Str(s) => Some(s),
+        // Interned handles already own a canonical shared allocation.
+        Value::Sym(s) => Some(s.arc()),
+        Value::Slice(s) => Some(Arc::from(s.as_str())),
         Value::Int(i) => Some(Arc::from(i.to_string().as_str())),
         Value::Big(b) => Some(Arc::from(b.to_string().as_str())),
         Value::Real(r) => Some(Arc::from(format_real(r).as_str())),
@@ -290,8 +293,8 @@ pub fn equiv(a: &Value, b: &Value) -> Option<Value> {
 /// strings and lists, and key lookup (with default) for tables.
 pub fn index(x: &Value, i: &Value) -> Option<Value> {
     match x.deref() {
-        Value::Str(s) => {
-            let chars: Vec<char> = s.chars().collect();
+        s @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_)) => {
+            let chars: Vec<char> = s.as_str().expect("string form").chars().collect();
             let idx = icon_index(i, chars.len())?;
             Some(Value::from(chars[idx].to_string()))
         }

@@ -27,7 +27,7 @@ use std::sync::Arc;
 /// process on first intern.
 const BUCKETS: usize = 1 << 16;
 
-struct Node {
+pub(crate) struct Node {
     hash: u64,
     text: Arc<str>,
     next: *mut Node,
@@ -57,7 +57,7 @@ impl Table {
 }
 
 /// FNV-1a, the classic short-string hash.
-fn fnv1a(s: &str) -> u64 {
+pub(crate) fn fnv1a(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.as_bytes() {
         h ^= *b as u64;
@@ -73,6 +73,13 @@ fn fnv1a(s: &str) -> u64 {
 /// subsequent interns converge on one pointer), so interned strings
 /// compare by pointer on the equality fast path ([`crate::Value::equiv`]).
 pub fn intern(s: &str) -> Arc<str> {
+    intern_node(s).text.clone()
+}
+
+/// Intern `s` and return the canonical immortal table node. Published
+/// nodes are never freed, so `&'static` is sound — this is what makes
+/// [`Symbol`] a `Copy` handle.
+pub(crate) fn intern_node(s: &str) -> &'static Node {
     let table = Table::get();
     let hash = fnv1a(s);
     let bucket = &table.buckets[(hash as usize) & (BUCKETS - 1)];
@@ -97,7 +104,8 @@ pub fn intern(s: &str) -> Arc<str> {
         match bucket.compare_exchange_weak(seen, node, Ordering::Release, Ordering::Acquire) {
             Ok(_) => {
                 obs_on!(crate::obs_hot::interned().inc());
-                return unsafe { (*node).text.clone() };
+                // Safety: just published — immortal from here on.
+                return unsafe { &*node };
             }
             Err(newer) => {
                 // Someone else pushed; check the newly visible prefix for
@@ -120,12 +128,12 @@ pub fn intern_arc(s: &Arc<str>) -> Arc<str> {
     intern(s)
 }
 
-fn find(mut cur: *mut Node, hash: u64, s: &str) -> Option<Arc<str>> {
+fn find(mut cur: *mut Node, hash: u64, s: &str) -> Option<&'static Node> {
     while !cur.is_null() {
         // Safety: published nodes are immortal and immutable.
         let node = unsafe { &*cur };
         if node.hash == hash && &*node.text == s {
-            return Some(node.text.clone());
+            return Some(node);
         }
         cur = node.next;
     }
@@ -134,50 +142,51 @@ fn find(mut cur: *mut Node, hash: u64, s: &str) -> Option<Arc<str>> {
 
 /// Walk from `cur` down to (exclusive) `stop`, the part of the chain we
 /// have not examined yet after a failed CAS.
-fn find_until(mut cur: *mut Node, stop: *mut Node, hash: u64, s: &str) -> Option<Arc<str>> {
+fn find_until(mut cur: *mut Node, stop: *mut Node, hash: u64, s: &str) -> Option<&'static Node> {
     while !cur.is_null() && cur != stop {
         let node = unsafe { &*cur };
         if node.hash == hash && &*node.text == s {
-            return Some(node.text.clone());
+            return Some(node);
         }
         cur = node.next;
     }
     None
 }
 
-/// An interned name: a canonical `Arc<str>` with pointer equality and a
-/// cached hash. This is the payload the resolve pass stores in
-/// `Atom::Slot` — cloning is an `Arc` bump, comparisons are pointer
-/// compares.
-#[derive(Clone)]
+/// An interned name: a `Copy` handle (one pointer) into the immortal
+/// interner table, carrying the canonical text and a cached hash. This is
+/// the payload the resolve pass stores in `Atom::Slot` and the compact
+/// string representation behind `Value::Sym` — copying is a register
+/// move (no `Arc` traffic), comparisons are pointer compares, hashing
+/// replays the cached FNV-1a digest.
+#[derive(Clone, Copy)]
 pub struct Symbol {
-    text: Arc<str>,
-    hash: u64,
+    node: &'static Node,
 }
 
 impl Symbol {
     /// Intern `s` and wrap the canonical handle.
     pub fn new(s: &str) -> Symbol {
-        let text = intern(s);
         Symbol {
-            hash: fnv1a(&text),
-            text,
+            node: intern_node(s),
         }
     }
 
-    /// The symbol's text.
-    pub fn as_str(&self) -> &str {
-        &self.text
+    /// The symbol's text. Interner nodes are immortal, so the slice is
+    /// `'static`.
+    pub fn as_str(&self) -> &'static str {
+        let text: &'static Arc<str> = &self.node.text;
+        text
     }
 
     /// The canonical shared allocation.
     pub fn arc(&self) -> Arc<str> {
-        self.text.clone()
+        self.node.text.clone()
     }
 
     /// The cached FNV-1a hash of the text.
     pub fn hash_code(&self) -> u64 {
-        self.hash
+        self.node.hash
     }
 }
 
@@ -185,7 +194,7 @@ impl PartialEq for Symbol {
     fn eq(&self, other: &Self) -> bool {
         // Canonical handles make pointer equality sufficient; fall back to
         // text equality to stay correct across a benign creation race.
-        Arc::ptr_eq(&self.text, &other.text) || self.text == other.text
+        std::ptr::eq(self.node, other.node) || self.node.text == other.node.text
     }
 }
 
@@ -193,26 +202,26 @@ impl Eq for Symbol {}
 
 impl std::hash::Hash for Symbol {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
-        state.write_u64(self.hash);
+        state.write_u64(self.node.hash);
     }
 }
 
 impl std::fmt::Debug for Symbol {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Symbol({:?})", &*self.text)
+        write!(f, "Symbol({:?})", self.as_str())
     }
 }
 
 impl std::fmt::Display for Symbol {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.text)
+        f.write_str(self.as_str())
     }
 }
 
 impl std::ops::Deref for Symbol {
     type Target = str;
     fn deref(&self) -> &str {
-        &self.text
+        self.as_str()
     }
 }
 
@@ -242,6 +251,18 @@ mod tests {
     fn empty_and_unicode() {
         assert!(Arc::ptr_eq(&intern(""), &intern("")));
         assert!(Arc::ptr_eq(&intern("héllo"), &intern("héllo")));
+    }
+
+    #[test]
+    fn symbols_are_copy_word_sized_handles() {
+        // The whole point of the node-backed representation: a Symbol is
+        // one pointer, copied in registers, and its text is immortal.
+        assert_eq!(std::mem::size_of::<Symbol>(), std::mem::size_of::<usize>());
+        let a = Symbol::new("copy-me");
+        let b = a; // Copy, not Clone
+        assert_eq!(a, b);
+        let text: &'static str = a.as_str();
+        assert_eq!(text, "copy-me");
     }
 
     #[test]

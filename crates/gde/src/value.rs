@@ -2,6 +2,7 @@
 
 use crate::env::Env;
 use crate::func::ProcValue;
+use crate::sym::Symbol;
 use crate::var::Var;
 use bigint::BigInt;
 use parking_lot::Mutex;
@@ -67,13 +68,105 @@ impl ObjData {
 }
 
 /// Hashable key for table subscripts (scalar values only).
-#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+///
+/// String-like keys come in two forms — an owned [`Key::Str`] and a
+/// compact interned [`Key::Sym`] — which must be interchangeable in a
+/// table: `Eq` and `Hash` are hand-written so that both forms compare by
+/// text and hash to the same digest (FNV-1a; [`Key::Sym`] replays its
+/// cached copy instead of re-hashing the bytes).
+#[derive(Clone, Debug)]
 pub enum Key {
     Null,
     Int(i64),
     /// Reals are keyed by bit pattern, as Icon tables key on value identity.
     RealBits(u64),
     Str(Arc<str>),
+    /// Interned string key: copyable handle, cached hash.
+    Sym(Symbol),
+}
+
+impl Key {
+    /// The text of a string-like key, if it is one.
+    fn text(&self) -> Option<&str> {
+        match self {
+            Key::Str(s) => Some(s),
+            Key::Sym(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Key::Null, Key::Null) => true,
+            (Key::Int(a), Key::Int(b)) => a == b,
+            (Key::RealBits(a), Key::RealBits(b)) => a == b,
+            // Sym/Sym hits the pointer fast path inside Symbol::eq.
+            (Key::Sym(a), Key::Sym(b)) => a == b,
+            (a, b) => match (a.text(), b.text()) {
+                (Some(a), Some(b)) => a == b,
+                _ => false,
+            },
+        }
+    }
+}
+
+impl Eq for Key {}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Key::Null => state.write_u8(0),
+            Key::Int(i) => {
+                state.write_u8(1);
+                state.write_i64(*i);
+            }
+            Key::RealBits(b) => {
+                state.write_u8(2);
+                state.write_u64(*b);
+            }
+            // Both string forms hash to the same digest so a table keyed
+            // by Key::Str("x") finds Key::Sym("x") and vice versa.
+            Key::Str(s) => {
+                state.write_u8(3);
+                state.write_u64(crate::sym::fnv1a(s));
+            }
+            Key::Sym(s) => {
+                state.write_u8(3);
+                state.write_u64(s.hash_code());
+            }
+        }
+    }
+}
+
+/// A view into a shared line buffer: the compact representation for
+/// string payloads produced by hot generators (`WordSplit`).
+///
+/// The "arena" here is the pipeline's per-line `Arc<str>` buffer: every
+/// word of a line is a `(start, len)` window into the one allocation the
+/// corpus already holds, so yielding a word costs no hashing, no interner
+/// walk, and no new allocation — just an `Arc` refcount on the line.
+/// Slices are *borrowed handles* in the ownership sense: they pin their
+/// line buffer alive, so any value that outlives its stage must be
+/// promoted to an owned form ([`Value::promote`]) to let the arena drop.
+#[derive(Clone)]
+pub struct StrSlice {
+    owner: Arc<str>,
+    start: u32,
+    len: u32,
+}
+
+impl StrSlice {
+    /// The viewed text.
+    pub fn as_str(&self) -> &str {
+        &self.owner[self.start as usize..(self.start + self.len) as usize]
+    }
+
+    /// The backing line buffer this slice pins.
+    pub fn owner(&self) -> &Arc<str> {
+        &self.owner
+    }
 }
 
 /// A dynamically typed value.
@@ -82,7 +175,13 @@ pub enum Key {
 /// handles with interior mutability, matching Icon's reference semantics for
 /// structures. All variants are `Send + Sync`, which is what lets pipes move
 /// generated values between threads.
-#[derive(Clone, Default)]
+///
+/// The compact variants — [`Value::Sym`] (copyable interned handle with a
+/// cached hash) and [`Value::Slice`] (arena-backed view into a shared line
+/// buffer) — exist so the per-element cost of fused stages is a move, not
+/// an `Arc` clone plus a re-hash; `Clone` is hand-written to count how
+/// often each regime is hit (`gde.value.inline_hits` / `arc_clones`).
+#[derive(Default)]
 pub enum Value {
     /// The null value (`&null`); also the value of unset variables.
     #[default]
@@ -95,6 +194,12 @@ pub enum Value {
     Real(f64),
     /// Immutable string.
     Str(Arc<str>),
+    /// Interned string: a copyable handle into the immortal symbol table.
+    Sym(Symbol),
+    /// Borrowed string: a window into a shared line buffer (see
+    /// [`StrSlice`]). Must be [promoted](Value::promote) before escaping
+    /// its pipeline.
+    Slice(StrSlice),
     /// Mutable shared list.
     List(Arc<Mutex<Vec<Value>>>),
     /// Mutable shared table with a default value.
@@ -107,6 +212,67 @@ pub enum Value {
     Ref(Var),
     /// A class instance.
     Object(ObjRef),
+}
+
+impl Clone for Value {
+    fn clone(&self) -> Value {
+        match self {
+            // Inline regime: copied in registers, no refcount traffic.
+            Value::Null => {
+                obs_on!(crate::obs_hot::value_inline_hits().inc());
+                Value::Null
+            }
+            Value::Int(i) => {
+                obs_on!(crate::obs_hot::value_inline_hits().inc());
+                Value::Int(*i)
+            }
+            Value::Real(r) => {
+                obs_on!(crate::obs_hot::value_inline_hits().inc());
+                Value::Real(*r)
+            }
+            Value::Sym(s) => {
+                obs_on!(crate::obs_hot::value_inline_hits().inc());
+                Value::Sym(*s)
+            }
+            // Shared regime: an Arc refcount per clone.
+            Value::Big(b) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Big(b.clone())
+            }
+            Value::Str(s) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Str(s.clone())
+            }
+            Value::Slice(s) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Slice(s.clone())
+            }
+            Value::List(l) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::List(l.clone())
+            }
+            Value::Table(t) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Table(t.clone())
+            }
+            Value::Proc(p) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Proc(p.clone())
+            }
+            Value::Co(c) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Co(c.clone())
+            }
+            Value::Ref(v) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Ref(v.clone())
+            }
+            Value::Object(o) => {
+                obs_on!(crate::obs_hot::value_arc_clones().inc());
+                Value::Object(o.clone())
+            }
+        }
+    }
 }
 
 /// Backing storage for [`Value::Table`].
@@ -122,10 +288,71 @@ impl Value {
     }
 
     /// Build a string value through the process-wide interner
-    /// ([`crate::sym`]): repeated texts share one allocation, so table
-    /// keys and comparisons on hot paths hit interned pointers.
+    /// ([`crate::sym`]): repeated texts share one allocation, and the
+    /// resulting [`Value::Sym`] is a copyable handle with a cached hash,
+    /// so table keys and comparisons on hot paths hit interned pointers
+    /// and clones stay off the refcount.
     pub fn interned(s: &str) -> Value {
-        Value::Str(crate::sym::intern(s))
+        obs_on!(crate::obs_hot::value_inline_hits().inc());
+        Value::Sym(Symbol::new(s))
+    }
+
+    /// Build a borrowed string value: a `[start, end)` window into a
+    /// shared line buffer (see [`StrSlice`]). The window must lie on
+    /// `char` boundaries. This is the zero-hash, zero-allocation path hot
+    /// generators use per emitted word; the handle pins `owner` until it
+    /// is dropped or [promoted](Value::promote).
+    pub fn slice(owner: Arc<str>, start: usize, end: usize) -> Value {
+        owner
+            .get(start..end)
+            .expect("Value::slice window must be in-bounds on char boundaries");
+        obs_on!(crate::obs_hot::value_inline_hits().inc());
+        Value::Slice(StrSlice {
+            owner,
+            start: start as u32,
+            len: (end - start) as u32,
+        })
+    }
+
+    /// Promote a borrowed handle to an owned value — the escape hatch a
+    /// value takes when it outlives its stage (stored in an `Env` slot,
+    /// captured by a deferred body, used as a table key, or crossing a
+    /// pipe to another thread).
+    ///
+    /// Small slices promote to interned [`Value::Sym`] handles (matching
+    /// what the pre-compact runtime stored for escaped words, and keeping
+    /// later comparisons on the pointer fast path); larger ones become
+    /// plain owned strings so the immortal interner is never fed bulk
+    /// text. Either way the promoted value no longer pins its line
+    /// buffer, so the arena can drop as soon as the pipeline does.
+    pub fn promote(self) -> Value {
+        match self {
+            Value::Slice(s) => {
+                obs_on!(crate::obs_hot::value_promotions().inc());
+                let text = s.as_str();
+                if text.len() <= Self::PROMOTE_INTERN_MAX {
+                    Value::Sym(Symbol::new(text))
+                } else {
+                    Value::Str(Arc::from(text))
+                }
+            }
+            other => other,
+        }
+    }
+
+    /// Longest slice (in bytes) that [`Value::promote`] routes through the
+    /// immortal interner; longer text gets a private owned allocation.
+    const PROMOTE_INTERN_MAX: usize = 64;
+
+    /// The text of a string-like value (`Str`, `Sym` or `Slice`), without
+    /// dereferencing.
+    fn text(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            Value::Sym(s) => Some(s.as_str()),
+            Value::Slice(s) => Some(s.as_str()),
+            _ => None,
+        }
     }
 
     /// Build a list value from elements.
@@ -170,12 +397,10 @@ impl Value {
         }
     }
 
-    /// The string slice, if this is a string.
+    /// The string slice, if this is a string (owned, interned, or
+    /// borrowed form).
     pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Value::Str(s) => Some(s),
-            _ => None,
-        }
+        self.text()
     }
 
     /// The list handle, if this is a list.
@@ -196,12 +421,22 @@ impl Value {
     }
 
     /// The table key for this value, if it is a scalar.
+    ///
+    /// A key escapes into the table's own storage, so borrowed slices are
+    /// [promoted](Value::promote) here rather than pinning a line buffer
+    /// from inside a table.
     pub fn as_key(&self) -> Option<Key> {
         match self.deref() {
             Value::Null => Some(Key::Null),
             Value::Int(i) => Some(Key::Int(i)),
             Value::Real(r) => Some(Key::RealBits(r.to_bits())),
             Value::Str(s) => Some(Key::Str(s)),
+            Value::Sym(s) => Some(Key::Sym(s)),
+            v @ Value::Slice(_) => match v.promote() {
+                Value::Sym(s) => Some(Key::Sym(s)),
+                Value::Str(s) => Some(Key::Str(s)),
+                _ => unreachable!("promoting a slice yields a string form"),
+            },
             _ => None,
         }
     }
@@ -209,8 +444,11 @@ impl Value {
     /// Icon's `*x`: size of a string, list, table, or results count of a
     /// co-expression. `None` for sizeless values.
     pub fn size(&self) -> Option<i64> {
-        match self.deref() {
-            Value::Str(s) => Some(s.chars().count() as i64),
+        let v = self.deref();
+        match &v {
+            Value::Str(_) | Value::Sym(_) | Value::Slice(_) => {
+                Some(v.text().expect("string form").chars().count() as i64)
+            }
             Value::List(l) => Some(l.lock().len() as i64),
             Value::Table(t) => Some(t.lock().entries.len() as i64),
             Value::Co(c) => Some(c.lock().produced() as i64),
@@ -224,7 +462,7 @@ impl Value {
             Value::Null => "null",
             Value::Int(_) | Value::Big(_) => "integer",
             Value::Real(_) => "real",
-            Value::Str(_) => "string",
+            Value::Str(_) | Value::Sym(_) | Value::Slice(_) => "string",
             Value::List(_) => "list",
             Value::Table(_) => "table",
             Value::Proc(_) => "procedure",
@@ -249,6 +487,14 @@ impl Value {
             // so the pointer check settles the common case without
             // touching the bytes.
             (Value::Str(a), Value::Str(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Value::Sym(a), Value::Sym(b)) => a == b,
+            // Mixed string forms (owned / interned / borrowed) compare by
+            // text: the representation is an optimization, not a type.
+            (a @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_)), b)
+                if matches!(b, Value::Str(_) | Value::Sym(_) | Value::Slice(_)) =>
+            {
+                a.text() == b.text()
+            }
             (Value::List(a), Value::List(b)) => Arc::ptr_eq(a, b),
             (Value::Table(a), Value::Table(b)) => Arc::ptr_eq(a, b),
             (Value::Proc(a), Value::Proc(b)) => a.same(b),
@@ -266,6 +512,10 @@ impl Value {
     /// the local environment".
     pub fn deep_copy(&self) -> Value {
         match self.deref() {
+            // Crossing a thread boundary is the canonical "outlives its
+            // stage" event: borrowed slices promote to owned form so the
+            // consumer never pins the producer's line buffers.
+            v @ Value::Slice(_) => v.promote(),
             Value::List(l) => {
                 let items = l.lock().iter().map(Value::deep_copy).collect();
                 Value::list(items)
@@ -339,6 +589,8 @@ impl fmt::Debug for Value {
             Value::Big(b) => write!(f, "{b}"),
             Value::Real(r) => write!(f, "{r:?}"),
             Value::Str(s) => write!(f, "{s:?}"),
+            Value::Sym(s) => write!(f, "{:?}", s.as_str()),
+            Value::Slice(s) => write!(f, "{:?}", s.as_str()),
             Value::List(l) => {
                 let l = l.lock();
                 write!(f, "[")?;
@@ -362,9 +614,10 @@ impl fmt::Debug for Value {
 impl fmt::Display for Value {
     /// Icon-style string image: strings print bare, others as in `Debug`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.deref() {
-            Value::Str(s) => f.write_str(&s),
-            other => write!(f, "{other:?}"),
+        let v = self.deref();
+        match v.text() {
+            Some(s) => f.write_str(s),
+            None => write!(f, "{v:?}"),
         }
     }
 }
@@ -451,6 +704,136 @@ mod tests {
         assert_eq!(Value::str("k").as_key(), Some(Key::Str(Arc::from("k"))));
         assert_eq!(Value::Null.as_key(), Some(Key::Null));
         assert_eq!(Value::list(vec![]).as_key(), None);
+    }
+
+    fn slice_of(line: &str, start: usize, end: usize) -> Value {
+        Value::slice(Arc::from(line), start, end)
+    }
+
+    #[test]
+    fn string_forms_are_interchangeable() {
+        let owned = Value::str("word");
+        let interned = Value::interned("word");
+        let sliced = slice_of("a word b", 2, 6);
+        assert!(matches!(interned, Value::Sym(_)));
+        assert!(matches!(sliced, Value::Slice(_)));
+        for v in [&owned, &interned, &sliced] {
+            assert_eq!(v.as_str(), Some("word"));
+            assert_eq!(v.type_name(), "string");
+            assert_eq!(v.size(), Some(4));
+            assert_eq!(v.to_string(), "word");
+            assert_eq!(format!("{v:?}"), "\"word\"");
+        }
+        assert!(owned.equiv(&interned));
+        assert!(owned.equiv(&sliced));
+        assert!(interned.equiv(&sliced));
+        assert!(!interned.equiv(&Value::interned("other")));
+        assert!(!sliced.equiv(&slice_of("words", 0, 5)));
+    }
+
+    #[test]
+    fn string_key_forms_collide_in_tables() {
+        // A table keyed through one string form must be found through the
+        // others: Key::Str and Key::Sym hash to the same digest and
+        // compare by text.
+        let t = Value::table();
+        if let Value::Table(h) = &t {
+            let k = Value::str("shared").as_key().unwrap();
+            h.lock().entries.insert(k, Value::from(1));
+        }
+        for probe in [
+            Value::interned("shared"),
+            slice_of("shared", 0, 6),
+            Value::str("shared"),
+        ] {
+            let k = probe.as_key().unwrap();
+            if let Value::Table(h) = &t {
+                assert_eq!(
+                    h.lock().entries.get(&k).and_then(Value::as_int),
+                    Some(1),
+                    "probe {probe:?} missed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_windows_and_boundaries() {
+        let line: Arc<str> = Arc::from("héllo wörld");
+        let w = Value::slice(line.clone(), 0, 6); // "héllo" is 6 bytes
+        assert_eq!(w.as_str(), Some("héllo"));
+        assert_eq!(w.size(), Some(5)); // chars, not bytes
+    }
+
+    #[test]
+    #[should_panic(expected = "char boundaries")]
+    fn slice_rejects_split_chars() {
+        let line: Arc<str> = Arc::from("é");
+        Value::slice(line, 0, 1); // middle of the two-byte é
+    }
+
+    #[test]
+    fn promote_releases_the_arena() {
+        // The promoted value no longer pins the line buffer: once the
+        // pipeline's handle drops, the arena is freed even though the
+        // promoted word lives on.
+        let line: Arc<str> = Arc::from("pinned line");
+        let weak = Arc::downgrade(&line);
+        let word = Value::slice(line, 0, 6);
+        let promoted = word.promote();
+        assert!(matches!(promoted, Value::Sym(_)));
+        assert!(weak.upgrade().is_none(), "promotion must unpin the arena");
+        assert_eq!(promoted.as_str(), Some("pinned"));
+    }
+
+    #[test]
+    fn promote_large_text_stays_private() {
+        // Bulk text must not be fed to the immortal interner.
+        let big = "x".repeat(200);
+        let line: Arc<str> = Arc::from(big.as_str());
+        let v = Value::slice(line, 0, 200).promote();
+        assert!(matches!(v, Value::Str(_)));
+        assert_eq!(v.size(), Some(200));
+    }
+
+    #[test]
+    fn promote_is_identity_elsewhere() {
+        for v in [
+            Value::Null,
+            Value::from(3),
+            Value::str("owned"),
+            Value::interned("sym"),
+            Value::list(vec![]),
+        ] {
+            let before = format!("{v:?}");
+            assert_eq!(format!("{:?}", v.promote()), before);
+        }
+    }
+
+    #[test]
+    fn deep_copy_promotes_slices() {
+        let line: Arc<str> = Arc::from("over the wire");
+        let weak = Arc::downgrade(&line);
+        let word = Value::slice(line, 0, 4);
+        let crossed = word.deep_copy();
+        drop(word);
+        assert!(weak.upgrade().is_none(), "deep_copy must unpin the arena");
+        assert_eq!(crossed.as_str(), Some("over"));
+    }
+
+    #[test]
+    fn coercions_cover_compact_forms() {
+        use crate::ops;
+        let sym = Value::interned("42");
+        let sli = slice_of("xx 42 yy", 3, 5);
+        for v in [&sym, &sli] {
+            assert!(matches!(ops::to_num(v), Some(ops::Num::Int(42))));
+            assert_eq!(ops::to_str(v).as_deref(), Some("42"));
+            assert_eq!(
+                ops::index(v, &Value::from(1)).and_then(|c| c.as_str().map(str::to_string)),
+                Some("4".to_string())
+            );
+        }
     }
 
     #[test]

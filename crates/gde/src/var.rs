@@ -27,9 +27,15 @@ pub struct Var {
 
 impl Var {
     /// Create a variable holding `v`.
+    ///
+    /// Storing into a cell is an escape point for borrowed string handles:
+    /// an `Env` slot can outlive the pipeline stage that produced the
+    /// value, so slices are [promoted](Value::promote) to owned form here
+    /// (a no-op for every other variant) rather than pinning a line
+    /// buffer from inside an environment.
     pub fn new(v: Value) -> Var {
         Var {
-            cell: Arc::new(Mutex::new(v)),
+            cell: Arc::new(Mutex::new(v.promote())),
         }
     }
 
@@ -43,19 +49,26 @@ impl Var {
         self.cell.lock().clone()
     }
 
-    /// Assign a new value.
+    /// Assign a new value (promoting borrowed handles — see [`Var::new`]).
     pub fn set(&self, v: Value) {
-        *self.cell.lock() = v;
+        *self.cell.lock() = v.promote();
     }
 
-    /// Swap in a new value, returning the old one.
+    /// Swap in a new value, returning the old one (promoting borrowed
+    /// handles — see [`Var::new`]).
     pub fn replace(&self, v: Value) -> Value {
-        std::mem::replace(&mut self.cell.lock(), v)
+        std::mem::replace(&mut self.cell.lock(), v.promote())
     }
 
-    /// Apply `f` to the current value in place.
+    /// Apply `f` to the current value in place (promoting borrowed
+    /// handles the closure may have written — see [`Var::new`]).
     pub fn update(&self, f: impl FnOnce(&mut Value)) {
-        f(&mut self.cell.lock());
+        let mut guard = self.cell.lock();
+        f(&mut guard);
+        if matches!(&*guard, Value::Slice(_)) {
+            let v = std::mem::take(&mut *guard);
+            *guard = v.promote();
+        }
     }
 
     /// A *new* cell holding a clone of the current value — the shadowing

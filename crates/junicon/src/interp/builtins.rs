@@ -525,6 +525,7 @@ fn install_sequences(interp: &Interp) {
                     gde::Key::Int(i) => Value::from(*i),
                     gde::Key::RealBits(b) => Value::Real(f64::from_bits(*b)),
                     gde::Key::Str(s) => Value::Str(s.clone()),
+                    gde::Key::Sym(s) => Value::Sym(*s),
                 })
                 .collect(),
             _ => Vec::new(),
@@ -534,8 +535,9 @@ fn install_sequences(interp: &Interp) {
 }
 
 fn image_for_write(v: &Value) -> String {
-    match v.deref() {
-        Value::Str(s) => s.to_string(),
-        other => format!("{other:?}"),
+    let v = v.deref();
+    match v.as_str() {
+        Some(s) => s.to_string(),
+        None => format!("{v:?}"),
     }
 }
