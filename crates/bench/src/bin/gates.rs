@@ -5,12 +5,17 @@
 //!         --json BENCH_ci.json \
 //!         --max-blocked-take-ratio 0.0747 \
 //!         --max-seq-lw-ratio 1.53 \
-//!         [--strict] [--baseline BENCH_baseline.json]
+//!         [--strict] [--baseline BENCH_baseline.json] \
+//!         [--schedtest-json SCHEDTEST_ci.json]
 //!
 //! Exit code 1 on any FAIL, or on any SKIP under `--strict` (CI sets
 //! strict so an accidentally obs-less bench build cannot silently turn
 //! the counter gates off). `--baseline` additionally prints a report-only
 //! per-cell drift table against the committed baseline snapshot.
+//! `--schedtest-json` points at the JSON-lines summary the schedule-
+//! exploration smoke appends (SCHEDTEST_JSON); without the flag that gate
+//! reports SKIP (strict CI turns the skip into a failure, so CI cannot
+//! quietly drop the smoke).
 
 use bench::gates::{run_gates, GateStatus, Thresholds};
 use bench::json::Json;
@@ -19,7 +24,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: gates --json PATH --max-blocked-take-ratio R --max-seq-lw-ratio R \
-         [--strict] [--baseline PATH]"
+         [--strict] [--baseline PATH] [--schedtest-json PATH]"
     );
     std::process::exit(2);
 }
@@ -38,6 +43,7 @@ fn load(path: &str) -> Json {
 fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut schedtest_path: Option<String> = None;
     let mut max_blocked_take_ratio: Option<f64> = None;
     let mut max_seq_lw_ratio: Option<f64> = None;
     let mut strict = false;
@@ -53,6 +59,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--json" => json_path = Some(value("--json")),
             "--baseline" => baseline_path = Some(value("--baseline")),
+            "--schedtest-json" => schedtest_path = Some(value("--schedtest-json")),
             "--max-blocked-take-ratio" => {
                 max_blocked_take_ratio = value("--max-blocked-take-ratio").parse().ok()
             }
@@ -78,7 +85,22 @@ fn main() -> ExitCode {
         max_seq_lw_ratio,
     };
 
-    let reports = run_gates(&doc, &th);
+    let mut reports = run_gates(&doc, &th);
+    reports.push(match &schedtest_path {
+        None => bench::gates::GateReport {
+            name: "schedtest",
+            status: GateStatus::Skip,
+            detail: "no --schedtest-json (schedule-exploration smoke not run)".into(),
+        },
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(text) => bench::gates::schedtest_gate(&text),
+            Err(e) => bench::gates::GateReport {
+                name: "schedtest",
+                status: GateStatus::Fail,
+                detail: format!("cannot read {path}: {e}"),
+            },
+        },
+    });
     let mut failed = false;
     let mut skipped = false;
     for r in &reports {

@@ -233,6 +233,80 @@ pub fn run_gates(doc: &Json, th: &Thresholds) -> Vec<GateReport> {
     out
 }
 
+/// Evaluate the schedule-exploration smoke gate on the JSON-lines summary
+/// the schedtest model suites append under `SCHEDTEST_JSON` (one
+/// `schedtest-v1` object per `explore()` call — see
+/// `crates/schedtest/src/lib.rs`). The gate holds when the smoke actually
+/// ran: at least one summary line, every line well-formed, no exploration
+/// failed, and `explored_schedules` sums to more than zero. A summary
+/// that parses but explored nothing is exactly what a mis-wired cfg flag
+/// looks like (the model tests compiled out), so it FAILs rather than
+/// skips; the only skip is the caller not passing a summary at all.
+pub fn schedtest_gate(text: &str) -> GateReport {
+    let name = "schedtest";
+    let mut explorations = 0u64;
+    let mut schedules = 0u64;
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = i + 1;
+        let doc = match Json::parse(line) {
+            Ok(doc) => doc,
+            Err(e) => {
+                return GateReport::fail(name, format!("summary line {lineno}: bad JSON: {e}"))
+            }
+        };
+        match doc.get("schema").and_then(Json::as_str) {
+            Some("schedtest-v1") => {}
+            other => {
+                return GateReport::fail(
+                    name,
+                    format!("summary line {lineno}: schema {other:?}, expected \"schedtest-v1\""),
+                )
+            }
+        }
+        let Some(explored) = doc.get("explored_schedules").and_then(Json::as_u64) else {
+            return GateReport::fail(
+                name,
+                format!("summary line {lineno}: no integer \"explored_schedules\""),
+            );
+        };
+        if let Some(Json::Bool(true)) = doc.get("failed") {
+            let test = doc
+                .get("test")
+                .and_then(Json::as_str)
+                .unwrap_or("<unnamed>");
+            return GateReport::fail(
+                name,
+                format!("exploration \"{test}\" found a failing schedule (line {lineno})"),
+            );
+        }
+        explorations += 1;
+        schedules += explored;
+    }
+    if explorations == 0 {
+        return GateReport::fail(
+            name,
+            "summary has no schedtest-v1 lines — the smoke ran zero explorations".into(),
+        );
+    }
+    if schedules == 0 {
+        return GateReport::fail(
+            name,
+            format!(
+                "{explorations} explorations but explored_schedules sums to 0 — \
+                 the model tests compiled out (cfg flag mis-wired?)"
+            ),
+        );
+    }
+    GateReport::pass(
+        name,
+        format!("{explorations} explorations, {schedules} schedules explored"),
+    )
+}
+
 /// A counter-must-be-nonzero wiring gate (fusion, compact values).
 fn wiring_gate(
     doc: &Json,

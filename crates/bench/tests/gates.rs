@@ -186,3 +186,80 @@ fn drift_table_reports_per_cell_deltas() {
     let table = drift_table(&current, &partial).unwrap();
     assert!(table.contains("new"), "table:\n{table}");
 }
+
+// --- schedule-exploration smoke gate ----------------------------------------
+//
+// `schedtest_gate` reads the JSON-lines summary the model suites append
+// under SCHEDTEST_JSON (crates/schedtest); it is keyed off a text blob,
+// not the figure6 snapshot, so it gets its own fixture set here.
+
+use bench::gates::schedtest_gate;
+
+#[test]
+fn schedtest_summary_with_explored_schedules_passes() {
+    let r = schedtest_gate(include_str!("fixtures/schedtest_passing.jsonl"));
+    assert_eq!(r.status, GateStatus::Pass, "{}", r.detail);
+    assert!(
+        r.detail.contains("3 explorations") && r.detail.contains("6863 schedules"),
+        "detail sums the lines: {}",
+        r.detail
+    );
+}
+
+#[test]
+fn schedtest_empty_summary_fails() {
+    // An empty (or whitespace-only) file means the smoke ran no model
+    // tests at all — FAIL, not skip: the file existing proves the step
+    // was attempted.
+    for text in ["", "\n\n"] {
+        let r = schedtest_gate(text);
+        assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+        assert!(r.detail.contains("zero explorations"), "{}", r.detail);
+    }
+}
+
+#[test]
+fn schedtest_zero_schedules_fails() {
+    // Lines parse but nothing was explored: the cfg flag was mis-wired
+    // and the model tests compiled out.
+    let text = "{\"schema\":\"schedtest-v1\",\"test\":\"t\",\"mode\":\"dfs\",\
+                \"explored_schedules\":0,\"complete\":true,\"failed\":false}\n";
+    let r = schedtest_gate(text);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("sums to 0"), "{}", r.detail);
+}
+
+#[test]
+fn schedtest_failed_exploration_fails_and_names_the_test() {
+    let text = "{\"schema\":\"schedtest-v1\",\"test\":\"ok_one\",\"mode\":\"dfs\",\
+                \"explored_schedules\":10,\"complete\":true,\"failed\":false}\n\
+                {\"schema\":\"schedtest-v1\",\"test\":\"bad_one\",\"mode\":\"dfs\",\
+                \"explored_schedules\":7,\"complete\":false,\"failed\":true}\n";
+    let r = schedtest_gate(text);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("bad_one"), "{}", r.detail);
+}
+
+#[test]
+fn schedtest_malformed_line_fails_with_line_number() {
+    let text = "{\"schema\":\"schedtest-v1\",\"test\":\"t\",\"mode\":\"dfs\",\
+                \"explored_schedules\":5,\"complete\":true,\"failed\":false}\n\
+                not json at all\n";
+    let r = schedtest_gate(text);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("line 2"), "{}", r.detail);
+}
+
+#[test]
+fn schedtest_wrong_schema_or_missing_count_fails() {
+    let wrong_schema = "{\"schema\":\"schedtest-v2\",\"explored_schedules\":5}\n";
+    let r = schedtest_gate(wrong_schema);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("schedtest-v1"), "{}", r.detail);
+
+    let renamed_count = "{\"schema\":\"schedtest-v1\",\"test\":\"t\",\"mode\":\"dfs\",\
+                         \"schedules\":5,\"complete\":true,\"failed\":false}\n";
+    let r = schedtest_gate(renamed_count);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("explored_schedules"), "{}", r.detail);
+}

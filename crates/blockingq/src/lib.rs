@@ -33,6 +33,7 @@ mod mvar;
 mod queue;
 #[cfg(feature = "obs")]
 mod stats;
+pub mod testkit;
 
 pub use mvar::{Future, MVar};
 pub use queue::{BlockingQueue, PutError, TimedOut, TryPutError, TryTakeError};

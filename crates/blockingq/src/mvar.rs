@@ -5,11 +5,17 @@
 //! take operations wait until the channel is empty or full respectively."
 
 use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicUsize, Ordering as AtomicOrdering};
 use std::sync::Arc;
 
 struct Slot<T> {
     value: Mutex<Option<T>>,
     cond: Condvar,
+    /// Threads parked in `put`/`take`/`read`. A plain std atomic on
+    /// purpose: it is test/diagnostic introspection (see
+    /// [`MVar::waiters`]) and must not add scheduling points under the
+    /// schedtest model.
+    waiters: AtomicUsize,
 }
 
 /// A mutable variable in the M-structure / Concurrent-Haskell-MVar mould:
@@ -40,6 +46,7 @@ impl<T> MVar<T> {
             slot: Arc::new(Slot {
                 value: Mutex::new(None),
                 cond: Condvar::new(),
+                waiters: AtomicUsize::new(0),
             }),
         }
     }
@@ -50,6 +57,7 @@ impl<T> MVar<T> {
             slot: Arc::new(Slot {
                 value: Mutex::new(Some(v)),
                 cond: Condvar::new(),
+                waiters: AtomicUsize::new(0),
             }),
         }
     }
@@ -61,7 +69,9 @@ impl<T> MVar<T> {
             crate::stats::mvar().blocked_puts.inc();
         });
         while guard.is_some() {
+            self.slot.waiters.fetch_add(1, AtomicOrdering::SeqCst);
             self.slot.cond.wait(&mut guard);
+            self.slot.waiters.fetch_sub(1, AtomicOrdering::SeqCst);
         }
         *guard = Some(v);
         drop(guard);
@@ -84,7 +94,9 @@ impl<T> MVar<T> {
                 waited = true;
                 crate::stats::mvar().blocked_takes.inc();
             });
+            self.slot.waiters.fetch_add(1, AtomicOrdering::SeqCst);
             self.slot.cond.wait(&mut guard);
+            self.slot.waiters.fetch_sub(1, AtomicOrdering::SeqCst);
         }
     }
 
@@ -115,6 +127,12 @@ impl<T> MVar<T> {
     pub fn is_full(&self) -> bool {
         self.slot.value.lock().is_some()
     }
+
+    /// Number of threads currently parked in `put`/`take`/`read`. Meant
+    /// for tests and diagnostics — see [`crate::testkit::wait_until`].
+    pub fn waiters(&self) -> usize {
+        self.slot.waiters.load(AtomicOrdering::SeqCst)
+    }
 }
 
 impl<T: Clone> MVar<T> {
@@ -130,7 +148,9 @@ impl<T: Clone> MVar<T> {
                 waited = true;
                 crate::stats::mvar().blocked_takes.inc();
             });
+            self.slot.waiters.fetch_add(1, AtomicOrdering::SeqCst);
             self.slot.cond.wait(&mut guard);
+            self.slot.waiters.fetch_sub(1, AtomicOrdering::SeqCst);
         }
     }
 }
@@ -190,8 +210,8 @@ impl<T: Clone> Future<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit;
     use std::thread;
-    use std::time::Duration;
 
     #[test]
     fn put_take_roundtrip() {
@@ -217,7 +237,7 @@ mod tests {
         let m: MVar<i32> = MVar::empty();
         let m2 = m.clone();
         let h = thread::spawn(move || m2.take());
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("taker parked", || m.waiters() == 1);
         m.put(99);
         assert_eq!(h.join().unwrap(), 99);
     }
@@ -227,7 +247,7 @@ mod tests {
         let m = MVar::new(1);
         let m2 = m.clone();
         let h = thread::spawn(move || m2.put(2));
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("putter parked", || m.waiters() == 1);
         assert_eq!(m.take(), 1);
         h.join().unwrap();
         assert_eq!(m.take(), 2);
@@ -272,7 +292,7 @@ mod tests {
         let f: Future<String> = Future::new();
         let f2 = f.clone();
         let h = thread::spawn(move || f2.get());
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("reader parked", || f.mvar.waiters() == 1);
         f.set("done".to_string()).unwrap();
         assert_eq!(h.join().unwrap(), "done");
     }

@@ -38,6 +38,12 @@ pub enum TryTakeError {
 struct State<T> {
     buf: VecDeque<T>,
     closed: bool,
+    /// Threads currently parked waiting for space / for data. Maintained
+    /// under the state lock (no extra synchronization); exposed through
+    /// [`BlockingQueue::blocked_producers`]/[`BlockingQueue::blocked_consumers`]
+    /// so tests can wait for a peer to actually park instead of sleeping.
+    put_waiters: usize,
+    take_waiters: usize,
 }
 
 struct Shared<T> {
@@ -78,6 +84,8 @@ impl<T> BlockingQueue<T> {
                 state: Mutex::new(State {
                     buf: VecDeque::new(),
                     closed: false,
+                    put_waiters: 0,
+                    take_waiters: 0,
                 }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
@@ -93,6 +101,8 @@ impl<T> BlockingQueue<T> {
                 state: Mutex::new(State {
                     buf: VecDeque::new(),
                     closed: false,
+                    put_waiters: 0,
+                    take_waiters: 0,
                 }),
                 not_empty: Condvar::new(),
                 not_full: Condvar::new(),
@@ -119,6 +129,21 @@ impl<T> BlockingQueue<T> {
     /// True iff [`BlockingQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
         self.shared.state.lock().closed
+    }
+
+    /// Number of threads currently parked in a blocking put waiting for
+    /// space. Instantaneously accurate (maintained under the state lock),
+    /// but of course stale the moment it returns; meant for tests and
+    /// diagnostics — see [`crate::testkit::wait_until`].
+    pub fn blocked_producers(&self) -> usize {
+        self.shared.state.lock().put_waiters
+    }
+
+    /// Number of threads currently parked in a blocking take/batch-take
+    /// waiting for data. Same caveats as
+    /// [`BlockingQueue::blocked_producers`].
+    pub fn blocked_consumers(&self) -> usize {
+        self.shared.state.lock().take_waiters
     }
 
     /// Block until space is available, then enqueue `v`.
@@ -149,7 +174,9 @@ impl<T> BlockingQueue<T> {
                 waited = true;
                 crate::stats::queue().blocked_puts.inc();
             });
+            st.put_waiters += 1;
             self.shared.not_full.wait(&mut st);
+            st.put_waiters -= 1;
         }
     }
 
@@ -231,7 +258,9 @@ impl<T> BlockingQueue<T> {
                 waited = true;
                 crate::stats::queue().blocked_puts.inc();
             });
+            st.put_waiters += 1;
             self.shared.not_full.wait(&mut st);
+            st.put_waiters -= 1;
         }
     }
 
@@ -298,7 +327,9 @@ impl<T> BlockingQueue<T> {
                 waited = true;
                 crate::stats::queue().blocked_takes.inc();
             });
+            st.take_waiters += 1;
             self.shared.not_empty.wait(&mut st);
+            st.take_waiters -= 1;
         }
     }
 
@@ -346,7 +377,9 @@ impl<T> BlockingQueue<T> {
                 waited = true;
                 crate::stats::queue().blocked_takes.inc();
             });
+            st.take_waiters += 1;
             self.shared.not_empty.wait(&mut st);
+            st.take_waiters -= 1;
         }
     }
 
@@ -399,7 +432,9 @@ impl<T> BlockingQueue<T> {
                 waited = true;
                 crate::stats::queue().blocked_takes.inc();
             });
+            st.take_waiters += 1;
             self.shared.not_empty.wait(&mut st);
+            st.take_waiters -= 1;
         }
     }
 
@@ -444,12 +479,14 @@ impl<T> BlockingQueue<T> {
                 waited = true;
                 crate::stats::queue().blocked_takes.inc();
             });
-            if self
+            st.take_waiters += 1;
+            let timed_out = self
                 .shared
                 .not_empty
                 .wait_until(&mut st, deadline)
-                .timed_out()
-            {
+                .timed_out();
+            st.take_waiters -= 1;
+            if timed_out {
                 return Err(TimedOut);
             }
         }
@@ -531,6 +568,7 @@ impl<T> Iterator for Drain<'_, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::testkit;
     use std::thread;
     use std::time::Duration;
 
@@ -580,7 +618,7 @@ mod tests {
         q.put(0).unwrap();
         let q2 = q.clone();
         let h = thread::spawn(move || q2.put(1));
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("putter parked", || q.blocked_producers() == 1);
         assert_eq!(q.take(), Some(0));
         h.join().unwrap().unwrap();
         assert_eq!(q.take(), Some(1));
@@ -591,7 +629,7 @@ mod tests {
         let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
         let q2 = q.clone();
         let h = thread::spawn(move || q2.take());
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("taker parked", || q.blocked_consumers() == 1);
         q.put(42).unwrap();
         assert_eq!(h.join().unwrap(), Some(42));
     }
@@ -602,7 +640,7 @@ mod tests {
         q.put(0).unwrap();
         let q2 = q.clone();
         let h = thread::spawn(move || q2.put(1));
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("putter parked", || q.blocked_producers() == 1);
         q.close();
         assert_eq!(h.join().unwrap(), Err(PutError(1)));
     }
@@ -612,7 +650,7 @@ mod tests {
         let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
         let q2 = q.clone();
         let h = thread::spawn(move || q2.take());
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("taker parked", || q.blocked_consumers() == 1);
         q.close();
         assert_eq!(h.join().unwrap(), None);
     }
@@ -717,7 +755,7 @@ mod tests {
         let q = BlockingQueue::bounded(2);
         let q2 = q.clone();
         let h = thread::spawn(move || q2.put_all((0..6).collect()));
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("producer parked mid-batch", || q.blocked_producers() == 1);
         assert_eq!(q.len(), 2, "prefix visible before producer unblocks");
         let mut got = Vec::new();
         while got.len() < 6 {
@@ -732,7 +770,7 @@ mod tests {
         let q = BlockingQueue::bounded(2);
         let q2 = q.clone();
         let h = thread::spawn(move || q2.put_all((0..6).collect()));
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("producer parked mid-batch", || q.blocked_producers() == 1);
         q.close();
         let refund = h.join().unwrap().expect_err("closed mid-batch").0;
         // Accepted prefix drains; refund is exactly the untaken suffix.
@@ -766,12 +804,12 @@ mod tests {
         let q: BlockingQueue<i32> = BlockingQueue::bounded(4);
         let q2 = q.clone();
         let h = thread::spawn(move || q2.take_batch(8));
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("batch taker parked", || q.blocked_consumers() == 1);
         q.put_all(vec![1, 2]).unwrap();
         assert_eq!(h.join().unwrap(), Some(vec![1, 2]));
         let q3 = q.clone();
         let h = thread::spawn(move || q3.take_batch(8));
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("batch taker parked", || q.blocked_consumers() == 1);
         q.close();
         assert_eq!(h.join().unwrap(), None);
     }
@@ -815,7 +853,7 @@ mod tests {
                 thread::spawn(move || q.put(10 + i))
             })
             .collect();
-        thread::sleep(Duration::from_millis(20));
+        testkit::wait_until("all three putters parked", || q.blocked_producers() == 3);
         let mut got = q.take_batch(16).expect("open");
         while got.len() < 5 {
             got.extend(q.take_batch(16).expect("open"));
@@ -840,9 +878,9 @@ mod tests {
                 produced2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
             }
         });
-        thread::sleep(Duration::from_millis(30));
-        // Producer can be at most capacity + 1 ahead (one element may be
-        // mid-handoff).
+        // Once the producer is parked on a full queue its progress
+        // counter is stable: no consumer exists yet to free space.
+        testkit::wait_until("producer throttled", || q.blocked_producers() == 1);
         let ahead = produced.load(std::sync::atomic::Ordering::SeqCst);
         assert!(ahead <= 3, "producer ran ahead: {ahead}");
         for _ in 0..100 {

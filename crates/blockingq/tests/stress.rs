@@ -9,12 +9,11 @@
 //! capacity 1 where producers and consumers strictly alternate under
 //! maximal contention.
 
-use blockingq::{BlockingQueue, PutError};
+use blockingq::{testkit, BlockingQueue, PutError};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
-use std::time::Duration;
 
 /// Tag values as (producer_id, sequence) so conservation *and* per-producer
 /// FIFO can both be checked on the consumer side.
@@ -132,9 +131,11 @@ fn close_wakes_blocked_consumers() {
                 woken.fetch_add(1, Ordering::SeqCst);
             });
         }
-        // Give the consumers a moment to actually block (not required for
-        // correctness — close() wakes both parked and about-to-park).
-        thread::sleep(Duration::from_millis(20));
+        // Wait until every consumer is actually parked in `take` (not
+        // required for correctness — close() wakes both parked and
+        // about-to-park — but it makes the test exercise the parked path
+        // on every run instead of by timing luck).
+        testkit::wait_until("6 consumers parked", || q.blocked_consumers() == 6);
         q.close();
     });
     assert_eq!(woken.load(Ordering::SeqCst), 6);
@@ -158,7 +159,8 @@ fn close_wakes_blocked_producers() {
                 Ok(()) => panic!("put succeeded on a full-then-closed queue"),
             });
         }
-        thread::sleep(Duration::from_millis(20));
+        // All five producers parked in `put` before close fires.
+        testkit::wait_until("5 producers parked", || q.blocked_producers() == 5);
         q.close();
     });
     assert_eq!(rejected.load(Ordering::SeqCst), 5);
@@ -194,11 +196,11 @@ fn close_midstream_loses_nothing_already_queued() {
             let closer = {
                 let q = &q;
                 s.spawn(move || {
-                    // Vary the race window across trials.
-                    if trial % 2 == 0 {
-                        std::hint::black_box(0);
-                    } else {
-                        thread::sleep(Duration::from_micros(50 * trial));
+                    // Vary the race window across trials: the point is
+                    // schedule jitter, not elapsed time, so yield instead
+                    // of sleeping.
+                    for _ in 0..trial * 8 {
+                        thread::yield_now();
                     }
                     q.close();
                 })

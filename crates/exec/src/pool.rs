@@ -1,9 +1,12 @@
 //! A fixed-size worker pool over a shared blocking job queue.
 
 use blockingq::{BlockingQueue, MVar};
+// Worker threads spawn through the parking_lot shim so the whole pool is
+// virtualized under --cfg schedtest (see DESIGN.md § "Schedule
+// exploration").
+use parking_lot::thread::JoinHandle;
 use std::num::NonZeroUsize;
 use std::sync::OnceLock;
-use std::thread::JoinHandle;
 
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
@@ -26,7 +29,7 @@ impl ThreadPool {
             .map(|i| {
                 let queue = queue.clone();
                 obs_on!(crate::stats::pool().workers_spawned.inc(););
-                std::thread::Builder::new()
+                parking_lot::thread::Builder::new()
                     .name(format!("exec-worker-{i}"))
                     .spawn(move || {
                         while let Some(job) = queue.take() {

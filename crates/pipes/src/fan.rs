@@ -81,8 +81,11 @@ impl Merge {
     fn start(&mut self) -> &MergeState {
         if self.state.is_none() {
             let queue = BlockingQueue::bounded(self.capacity.max(1));
-            let remaining =
-                std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(self.sources.len()));
+            // Atomics and spawns go through the parking_lot shim so merge
+            // producers are virtual threads under --cfg schedtest.
+            let remaining = std::sync::Arc::new(parking_lot::sync::atomic::AtomicUsize::new(
+                self.sources.len(),
+            ));
             if self.sources.is_empty() {
                 queue.close();
             }
@@ -92,14 +95,14 @@ impl Merge {
                 let q = queue.clone();
                 let remaining = remaining.clone();
                 obs_on!(crate::stats::fan().merge_sources.inc(););
-                std::thread::Builder::new()
+                parking_lot::thread::Builder::new()
                     .name("fan-merge-producer".into())
                     .spawn(move || {
                         // Last producer out closes the queue, even on panic.
                         // With obs on, each departing producer records its
                         // forwarded-item count (the fairness distribution).
                         struct Depart {
-                            remaining: std::sync::Arc<std::sync::atomic::AtomicUsize>,
+                            remaining: std::sync::Arc<parking_lot::sync::atomic::AtomicUsize>,
                             queue: BlockingQueue<Value>,
                             #[cfg(feature = "obs")]
                             forwarded: u64,
@@ -111,7 +114,7 @@ impl Merge {
                                     .record(self.forwarded););
                                 if self
                                     .remaining
-                                    .fetch_sub(1, std::sync::atomic::Ordering::AcqRel)
+                                    .fetch_sub(1, parking_lot::sync::atomic::Ordering::AcqRel)
                                     == 1
                                 {
                                     self.queue.close();

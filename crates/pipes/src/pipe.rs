@@ -153,7 +153,9 @@ fn spawn_producer(factory: GenFactory, capacity: usize, batch: usize) -> Blockin
     let out = queue.clone();
     let batch = effective_batch(batch, capacity);
     obs_on!(crate::stats::pipe().spawned.inc(););
-    std::thread::Builder::new()
+    // Through the parking_lot shim so the producer is a virtual thread
+    // under --cfg schedtest (see DESIGN.md § "Schedule exploration").
+    parking_lot::thread::Builder::new()
         .name("pipe-producer".into())
         .spawn(move || {
             // Close the queue even if the generator panics: a consumer
@@ -340,7 +342,7 @@ pub fn spawn_future(
 ) -> blockingq::Future<Value> {
     let fut: blockingq::Future<Value> = blockingq::Future::new();
     let fut2 = fut.clone();
-    std::thread::Builder::new()
+    parking_lot::thread::Builder::new()
         .name("pipe-future".into())
         .spawn(move || {
             if let Some(v) = f() {
@@ -359,9 +361,9 @@ pub fn drain(mut p: Pipe) -> Vec<Value> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use blockingq::testkit;
     use gde::comb::{thunk, to_range, values};
     use gde::Var;
-    use std::time::Duration;
 
     fn ints(vals: &[Value]) -> Vec<i64> {
         vals.iter().map(|v| v.as_int().unwrap()).collect()
@@ -382,11 +384,10 @@ mod tests {
 
     #[test]
     fn pipe_runs_concurrently_with_consumer() {
-        // The producer makes progress while the consumer sleeps: after the
-        // consumer's pause, the queue holds buffered results.
+        // The producer makes progress while the consumer merely watches:
+        // the queue fills with buffered results before the first take.
         let p = Pipe::with_capacity(|| Box::new(to_range(1, 64, 1)), 64);
-        std::thread::sleep(Duration::from_millis(50));
-        assert!(!p.queue().is_empty(), "producer did not run ahead");
+        testkit::wait_until("producer ran ahead", || !p.queue().is_empty());
         assert_eq!(ints(&drain(p)), (1..=64).collect::<Vec<_>>());
     }
 
@@ -408,8 +409,10 @@ mod tests {
         let progress = Var::new(Value::from(0));
         // batch(1): item-at-a-time transport, the pre-batching bound.
         let p = Pipe::batched(counting_src(progress.clone()), 4, 1);
-        std::thread::sleep(Duration::from_millis(50));
-        // Producer is unbounded but must stall within capacity + 1.
+        // Producer is unbounded but must stall within capacity + 1: wait
+        // for it to park in `put` on the full queue, then check how far
+        // it got. No consumer runs, so the parked state is stable.
+        testkit::wait_until("producer throttled", || p.queue().blocked_producers() == 1);
         let ahead = progress.get().as_int().unwrap();
         assert!(
             ahead <= 5,
@@ -427,7 +430,8 @@ mod tests {
         let progress = Var::new(Value::from(0));
         let p = Pipe::with_capacity(counting_src(progress.clone()), 4);
         assert_eq!(p.batch(), 4, "batch clamps to capacity");
-        std::thread::sleep(Duration::from_millis(50));
+        // Full queue + full local chunk: the producer parks in `put_all`.
+        testkit::wait_until("producer throttled", || p.queue().blocked_producers() == 1);
         let ahead = progress.get().as_int().unwrap();
         assert!(
             ahead <= 4 + 4 + 1,
@@ -548,11 +552,12 @@ mod tests {
             || Box::new(gde::comb::repeat_alt(thunk(|| Some(Value::from(1))))),
             2,
         );
-        std::thread::sleep(Duration::from_millis(20));
+        // Wait until the producer is genuinely parked on the full queue so
+        // the drop exercises the close-wakes-blocked-put path every run.
+        testkit::wait_until("producer parked", || p.queue().blocked_producers() == 1);
         drop(p);
-        // Reaching here without deadlock is the assertion; give the
-        // producer a moment to observe the close.
-        std::thread::sleep(Duration::from_millis(20));
+        // Reaching here without deadlock is the assertion: drop closes the
+        // queue, which fails the pending put and reaps the producer.
     }
 
     #[test]

@@ -5,7 +5,6 @@
 use gde::comb::{fail, to_range};
 use gde::{BoxGen, Gen, GenExt, Step};
 use pipes::{merge, round_robin};
-use std::time::Duration;
 
 fn range_src(lo: i64, hi: i64) -> Box<dyn Fn() -> BoxGen + Send + Sync> {
     Box::new(move || Box::new(to_range(lo, hi, 1)) as BoxGen)
@@ -124,11 +123,13 @@ fn merge_capacity_zero_is_clamped_to_one() {
 fn merge_capacity_1_slow_consumer_still_conserves() {
     let mut m = merge(vec![range_src(1, 12), range_src(13, 24)], 1);
     let mut got = Vec::new();
-    // Consume with a deliberate stall so producers park on the full
-    // queue repeatedly.
+    // Yield between takes so the producers get scheduled and park on the
+    // full queue repeatedly — schedule pressure, not wall-clock delay.
     while let Step::Suspend(v) = m.resume() {
         got.push(v.as_int().expect("int"));
-        std::thread::sleep(Duration::from_millis(1));
+        for _ in 0..4 {
+            std::thread::yield_now();
+        }
     }
     got.sort_unstable();
     assert_eq!(got, (1..=24).collect::<Vec<_>>());
@@ -139,9 +140,9 @@ fn merge_capacity_1_abandoned_midstream_shuts_down_producers() {
     // Take a couple of values from a long stream, then drop the merge:
     // producers blocked in put() must observe the closed queue and exit
     // rather than deadlock. The test finishing (under the harness
-    // timeout) is the assertion; the explicit sleep gives a stuck
-    // producer a chance to manifest as a leaked-thread panic on some
-    // platforms.
+    // timeout) is the assertion — drop closes the queue, which fails the
+    // producers' pending puts. The schedtest model suite proves the
+    // close-under-fire wakeup exhaustively; no wall-clock grace needed.
     let mut m = merge(vec![range_src(1, 100_000), range_src(1, 100_000)], 1);
     let mut seen = 0;
     while seen < 3 {
@@ -151,7 +152,6 @@ fn merge_capacity_1_abandoned_midstream_shuts_down_producers() {
         }
     }
     drop(m);
-    std::thread::sleep(Duration::from_millis(20));
 }
 
 #[test]

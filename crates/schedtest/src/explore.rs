@@ -1,0 +1,258 @@
+//! Exploration strategies over [`rt::run_once`]: exhaustive DFS with
+//! DPOR-lite sleep sets and an optional preemption bound, deterministic
+//! PRNG sampling, and single-schedule replay.
+//!
+//! The DFS keeps a stack of decision nodes. Each run replays the stack's
+//! chosen prefix, then extends it: at fresh depth a node is created with
+//! the observed enabled set and pending ops, its sleep set derived from
+//! the parent (a sleeping thread stays asleep only while it remains
+//! enabled and its pending op is independent of the op just executed).
+//! After a run, the deepest node with an untried, non-sleeping,
+//! within-bound alternative becomes the next prefix; the just-finished
+//! choice joins its sleep set (its subtree is fully covered, so any run
+//! scheduling it first from that state is redundant).
+
+use crate::rt::{self, ops_dependent, Op, StepView, Tid};
+use crate::{format_schedule, Config, Failure, Mode, Report};
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+type Body = Arc<dyn Fn() + Send + Sync>;
+
+struct Node {
+    chosen: Tid,
+    enabled: Vec<Tid>,
+    /// Pending op of every live thread at this decision point.
+    ops: Vec<(Tid, Op)>,
+    tried: BTreeSet<Tid>,
+    sleep: BTreeSet<Tid>,
+    /// Preemptions accumulated strictly before this node.
+    preemptions_before: usize,
+    /// Which thread executed the previous step (None at the root).
+    running_before: Option<Tid>,
+    /// Set when every enabled thread was asleep at creation: the whole
+    /// subtree is covered elsewhere, so no alternatives are queued here.
+    redundant: bool,
+}
+
+impl Node {
+    fn op_of(&self, t: Tid) -> &Op {
+        &self
+            .ops
+            .iter()
+            .find(|(tid, _)| *tid == t)
+            .expect("sleeping/enabled thread has a recorded op")
+            .1
+    }
+
+    fn choice_preemptions(&self, t: Tid) -> usize {
+        let preempt = match self.running_before {
+            Some(prev) => t != prev && self.enabled.contains(&prev),
+            None => false,
+        };
+        self.preemptions_before + preempt as usize
+    }
+}
+
+pub(crate) fn run(cfg: &Config, body: Body) -> Report {
+    match &cfg.mode {
+        Mode::Dfs => dfs(cfg, body),
+        Mode::Sample { seed, runs } => sample(cfg, body, *seed, *runs),
+        Mode::Replay(sched) => replay(cfg, body, sched.clone()),
+    }
+}
+
+fn fail(outcome: rt::RunOutcome) -> Option<Failure> {
+    outcome.failure.map(|message| Failure {
+        schedule: format_schedule(&outcome.schedule),
+        message,
+    })
+}
+
+fn dfs(cfg: &Config, body: Body) -> Report {
+    let mut stack: Vec<Node> = Vec::new();
+    let mut explored = 0usize;
+    let mut bounded_out = false;
+
+    loop {
+        if explored >= cfg.max_schedules {
+            return Report {
+                explored_schedules: explored,
+                complete: false,
+                failure: None,
+            };
+        }
+        let outcome = rt::run_once(body.clone(), cfg.max_depth, |step, view| {
+            if step < stack.len() {
+                return stack[step].chosen;
+            }
+            debug_assert_eq!(step, stack.len());
+            let (preemptions_before, running_before, sleep) = match stack.last() {
+                Some(parent) => {
+                    let parent_op = parent.op_of(parent.chosen).clone();
+                    // With sleep sets off the child inherits nothing, so
+                    // backtracking enumerates every interleaving (chosen
+                    // threads still retire into `sleep`, which then acts
+                    // exactly like `tried`).
+                    let sleep: BTreeSet<Tid> = if !cfg.sleep_sets {
+                        BTreeSet::new()
+                    } else {
+                        parent
+                            .sleep
+                            .iter()
+                            .copied()
+                            .filter(|&u| {
+                                view.enabled.contains(&u)
+                                    && !ops_dependent(parent.op_of(u), &parent_op)
+                            })
+                            .collect()
+                    };
+                    (
+                        parent.choice_preemptions(parent.chosen),
+                        Some(parent.chosen),
+                        sleep,
+                    )
+                }
+                None => (0, None, BTreeSet::new()),
+            };
+            let mut node = Node {
+                chosen: 0,
+                enabled: view.enabled.to_vec(),
+                ops: view.ops.to_vec(),
+                tried: BTreeSet::new(),
+                sleep,
+                preemptions_before,
+                running_before,
+                redundant: false,
+            };
+            let chosen = match pick(&node, cfg.preemption_bound, &mut bounded_out) {
+                Some(t) => t,
+                None => {
+                    // Every enabled thread is asleep (subtree covered
+                    // elsewhere) or over the bound; the run must still
+                    // finish, so take the first enabled thread but queue
+                    // no alternatives below this point.
+                    node.redundant = true;
+                    node.enabled[0]
+                }
+            };
+            node.chosen = chosen;
+            node.tried.insert(chosen);
+            stack.push(node);
+            chosen
+        });
+        explored += 1;
+        if let Some(failure) = fail(outcome) {
+            return Report {
+                explored_schedules: explored,
+                complete: false,
+                failure: Some(failure),
+            };
+        }
+
+        // Backtrack: retire the finished choice into the sleep set and
+        // move to the deepest node with a viable alternative.
+        loop {
+            let Some(top) = stack.last_mut() else {
+                return Report {
+                    explored_schedules: explored,
+                    complete: !bounded_out,
+                    failure: None,
+                };
+            };
+            top.sleep.insert(top.chosen);
+            let next = if top.redundant {
+                None
+            } else {
+                pick(top, cfg.preemption_bound, &mut bounded_out)
+            };
+            match next {
+                Some(t) => {
+                    top.chosen = t;
+                    top.tried.insert(t);
+                    break;
+                }
+                None => {
+                    stack.pop();
+                }
+            }
+        }
+    }
+}
+
+/// First viable choice at `node`: prefer continuing the previously running
+/// thread (zero preemption cost), then ascending tid order. `None` when
+/// everything enabled is tried, asleep, or over the preemption bound.
+fn pick(node: &Node, bound: Option<usize>, bounded_out: &mut bool) -> Option<Tid> {
+    let candidates = node
+        .running_before
+        .into_iter()
+        .filter(|prev| node.enabled.contains(prev))
+        .chain(node.enabled.iter().copied());
+    for t in candidates {
+        if node.tried.contains(&t) || node.sleep.contains(&t) {
+            continue;
+        }
+        if let Some(b) = bound {
+            if node.choice_preemptions(t) > b {
+                // A branch exists past the bound: the search is no longer
+                // exhaustive.
+                *bounded_out = true;
+                continue;
+            }
+        }
+        return Some(t);
+    }
+    None
+}
+
+fn sample(cfg: &Config, body: Body, seed: u64, runs: usize) -> Report {
+    // SplitMix64 (same generator tinyprop uses): deterministic for a given
+    // seed, so sampled failures are reproducible before replay even enters.
+    let mut state = seed.wrapping_add(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        let mut z = state;
+        state = state.wrapping_add(0x9e3779b97f4a7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    let total = runs.min(cfg.max_schedules);
+    for i in 0..total {
+        let outcome = rt::run_once(body.clone(), cfg.max_depth, |_, view: &StepView<'_>| {
+            view.enabled[(next() % view.enabled.len() as u64) as usize]
+        });
+        if let Some(failure) = fail(outcome) {
+            return Report {
+                explored_schedules: i + 1,
+                complete: false,
+                failure: Some(failure),
+            };
+        }
+    }
+    Report {
+        explored_schedules: total,
+        complete: false,
+        failure: None,
+    }
+}
+
+fn replay(cfg: &Config, body: Body, sched: Vec<Tid>) -> Report {
+    let outcome = rt::run_once(body, cfg.max_depth, |step, view: &StepView<'_>| {
+        match sched.get(step) {
+            Some(&t) if view.enabled.contains(&t) => t,
+            Some(&t) => panic!(
+                "schedtest: replay diverged at step {step}: thread {t} not enabled \
+                 (enabled: {:?})",
+                view.enabled
+            ),
+            // Past the recorded prefix: continue deterministically.
+            None => view.enabled[0],
+        }
+    });
+    Report {
+        explored_schedules: 1,
+        complete: false,
+        failure: fail(outcome),
+    }
+}

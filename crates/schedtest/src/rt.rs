@@ -1,0 +1,668 @@
+//! Virtual scheduler runtime: one global baton, real OS threads.
+//!
+//! Exactly one *vthread* (a closure running on a pooled worker) executes at
+//! a time. At every synchronization point the running vthread declares its
+//! next operation ([`Op`]), parks, and hands the baton to the driver
+//! ([`run_once`]), which computes the enabled set from the declared ops and
+//! the virtual object table, asks the exploration strategy for a choice,
+//! and passes the baton on. Performing an op's effects (acquiring a
+//! virtual lock, enqueueing on a condvar, ...) happens when the thread is
+//! *scheduled*, under the global lock, so the object table only ever moves
+//! at decision points.
+//!
+//! Failed runs can leave permanently-blocked vthreads behind; they are
+//! generation-stamped, so they park forever as zombies (their worker is
+//! leaked and the pool spawns a replacement). Exploration stops at the
+//! first failure, so the leak is bounded by one run's thread count.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Condvar as StdCondvar, Mutex as StdMutex, OnceLock};
+
+/// Virtual thread index, assigned in creation order (test body = 0).
+pub type Tid = usize;
+/// Virtual synchronization-object index, assigned in first-use order.
+pub type ObjId = usize;
+
+/// The operation a vthread has declared it will perform when next
+/// scheduled. Up to two object ids; used for enabledness and for the
+/// sleep-set dependence relation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// About to start running the body (no effect; always enabled).
+    Start,
+    /// Acquire a mutex (enabled iff unowned).
+    Lock(ObjId),
+    /// Try to acquire a mutex (always enabled; may report failure).
+    TryLock(ObjId),
+    /// Release a mutex. A yield point: a sleeping `TryLock` is dependent
+    /// on the release, so it must be visible to the pruner.
+    Unlock(ObjId),
+    /// Acquire a read lock (enabled iff no writer).
+    RwRead(ObjId),
+    /// Acquire a write lock (enabled iff no readers and no writer).
+    RwWrite(ObjId),
+    /// Non-blocking read acquire (always enabled).
+    TryRwRead(ObjId),
+    /// Non-blocking write acquire (always enabled).
+    TryRwWrite(ObjId),
+    /// Release a read lock.
+    RwUnlockRead(ObjId),
+    /// Release a write lock.
+    RwUnlockWrite(ObjId),
+    /// Atomically release mutex `m` and join `cv`'s waiter queue
+    /// (always enabled; the *wait* happens via the follow-up op).
+    CondWait { cv: ObjId, m: ObjId },
+    /// Reacquire `m` after a wait on `cv`. Untimed: enabled iff notified
+    /// (dequeued) and `m` free. Timed: enabled whenever `m` is free —
+    /// scheduling it while still queued *is* the timeout branch.
+    Reacquire { cv: ObjId, m: ObjId, timed: bool },
+    /// Wake the longest-waiting thread on `cv`, if any. A yield point:
+    /// dependent with a concurrent wait-begin on the same condvar.
+    Notify(ObjId),
+    /// Wake every thread waiting on `cv`.
+    NotifyAll(ObjId),
+    /// Read an atomic cell (two loads of the same cell commute).
+    AtomicLoad(ObjId),
+    /// Write or read-modify-write an atomic cell.
+    AtomicRmw(ObjId),
+    /// Register a child vthread (two spawns are dependent: they race for
+    /// the next thread index, which replay relies on).
+    Spawn,
+    /// Wait for a child to terminate (enabled iff it has).
+    Join(Tid),
+    /// Plain scheduling point (`yield_now`, virtual `sleep`).
+    Yield,
+    /// Final op of every vthread (always enabled; marks it terminated).
+    Terminate,
+}
+
+impl Op {
+    fn objects(&self) -> (Option<ObjId>, Option<ObjId>) {
+        use Op::*;
+        match *self {
+            Lock(o) | TryLock(o) | Unlock(o) | RwRead(o) | RwWrite(o) | TryRwRead(o)
+            | TryRwWrite(o) | RwUnlockRead(o) | RwUnlockWrite(o) | Notify(o) | NotifyAll(o)
+            | AtomicLoad(o) | AtomicRmw(o) => (Some(o), None),
+            CondWait { cv, m } | Reacquire { cv, m, .. } => (Some(cv), Some(m)),
+            Start | Spawn | Join(_) | Yield | Terminate => (None, None),
+        }
+    }
+}
+
+/// Dependence relation for sleep-set pruning. Conservative: two ops are
+/// independent only when reordering them provably reaches the same state.
+pub fn ops_dependent(a: &Op, b: &Op) -> bool {
+    use Op::*;
+    match (a, b) {
+        // Spawns race for the next vthread index.
+        (Spawn, Spawn) => true,
+        // Pure reads commute even on the same object.
+        (AtomicLoad(_), AtomicLoad(_)) => false,
+        (RwRead(_) | TryRwRead(_), RwRead(_) | TryRwRead(_)) => false,
+        _ => {
+            let (a1, a2) = a.objects();
+            let (b1, b2) = b.objects();
+            let hits = |x: Option<ObjId>| x.is_some() && (x == b1 || x == b2);
+            hits(a1) || hits(a2)
+        }
+    }
+}
+
+/// What `yield_op` reports back to the shim that declared the op.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// Op performed; nothing to report.
+    Proceed,
+    /// `Try*` op: whether the acquisition succeeded.
+    TryResult(bool),
+    /// Timed `Reacquire`: whether the wait timed out.
+    TimedOut(bool),
+}
+
+enum ObjState {
+    Mutex {
+        owner: Option<Tid>,
+    },
+    Cond {
+        waiters: VecDeque<Tid>,
+    },
+    Rw {
+        writer: Option<Tid>,
+        readers: Vec<Tid>,
+    },
+    Atomic,
+}
+
+/// Kind tag used when a shim object lazily registers itself.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum ObjKind {
+    Mutex,
+    Cond,
+    Rw,
+    Atomic,
+}
+
+struct VThread {
+    pending: Op,
+    terminated: bool,
+}
+
+struct Rt {
+    /// Bumped at every run start; stale-generation vthreads park forever.
+    generation: u64,
+    /// `Some(t)`: vthread `t` holds the baton. `None`: the driver does.
+    active: Option<Tid>,
+    threads: Vec<VThread>,
+    objects: Vec<ObjState>,
+    failure: Option<String>,
+}
+
+fn global() -> &'static (StdMutex<Rt>, StdCondvar) {
+    static G: OnceLock<(StdMutex<Rt>, StdCondvar)> = OnceLock::new();
+    G.get_or_init(|| {
+        (
+            StdMutex::new(Rt {
+                generation: 0,
+                active: None,
+                threads: Vec::new(),
+                objects: Vec::new(),
+                failure: None,
+            }),
+            StdCondvar::new(),
+        )
+    })
+}
+
+thread_local! {
+    /// `(generation, tid)` of the vthread this OS thread is currently
+    /// hosting, if any. `None` on the driver and on unregistered threads
+    /// (which fall back to real std synchronization in the shims).
+    static SELF_ID: std::cell::Cell<Option<(u64, Tid)>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// The `(generation, tid)` of the calling vthread, or `None` when the
+/// caller is not part of the active model run (shims then use real locks).
+pub(crate) fn current_vthread() -> Option<(u64, Tid)> {
+    SELF_ID.with(|c| c.get())
+}
+
+/// Lazily allocate a virtual object id for the current run.
+pub(crate) fn register_object(gen: u64, kind: ObjKind) -> ObjId {
+    let (lk, _) = global();
+    let mut g = lk.lock().unwrap_or_else(|p| p.into_inner());
+    assert_eq!(g.generation, gen, "object registered from a stale run");
+    g.objects.push(match kind {
+        ObjKind::Mutex => ObjState::Mutex { owner: None },
+        ObjKind::Cond => ObjState::Cond {
+            waiters: VecDeque::new(),
+        },
+        ObjKind::Rw => ObjState::Rw {
+            writer: None,
+            readers: Vec::new(),
+        },
+        ObjKind::Atomic => ObjState::Atomic,
+    });
+    g.objects.len() - 1
+}
+
+/// Record the run's first failure (later ones lose the race and are
+/// dropped; exploration stops at the first anyway).
+pub(crate) fn record_failure(gen: u64, msg: String) {
+    let (lk, cv) = global();
+    let mut g = lk.lock().unwrap_or_else(|p| p.into_inner());
+    if g.generation == gen && g.failure.is_none() {
+        g.failure = Some(msg);
+        cv.notify_all();
+    }
+}
+
+/// Register a child vthread (pending op `Start`) and hand its body to a
+/// pooled worker. Must be called by the currently-scheduled vthread, so
+/// the driver cannot observe a half-registered child.
+pub(crate) fn register_child(gen: u64, body: Box<dyn FnOnce() + Send>) -> Tid {
+    let tid = {
+        let (lk, _) = global();
+        let mut g = lk.lock().unwrap_or_else(|p| p.into_inner());
+        assert_eq!(g.generation, gen, "spawn from a stale run");
+        g.threads.push(VThread {
+            pending: Op::Start,
+            terminated: false,
+        });
+        g.threads.len() - 1
+    };
+    dispatch_vthread(gen, tid, body);
+    tid
+}
+
+fn dispatch_vthread(gen: u64, tid: Tid, body: Box<dyn FnOnce() + Send>) {
+    pool_run(Box::new(move || {
+        SELF_ID.with(|c| c.set(Some((gen, tid))));
+        if wait_first_schedule(gen, tid) {
+            // `body` is pre-wrapped: it never unwinds (panics are caught,
+            // recorded as the run's failure, and delivered to the join
+            // slot inside the wrapper).
+            body();
+            yield_op(Op::Terminate);
+        }
+        SELF_ID.with(|c| c.set(None));
+    }));
+}
+
+/// Park until this vthread is scheduled for the first time. Returns false
+/// if the run was abandoned before that ever happened (worker recycled).
+fn wait_first_schedule(gen: u64, me: Tid) -> bool {
+    let (lk, cv) = global();
+    let mut g = lk.lock().unwrap_or_else(|p| p.into_inner());
+    loop {
+        if g.generation != gen {
+            return false;
+        }
+        if g.active == Some(me) {
+            return true;
+        }
+        g = cv.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+}
+
+/// The heart of the protocol: declare `op`, give the baton to the driver,
+/// park until scheduled, then perform the op's effects under the global
+/// lock and resume user code. Called from every shim synchronization
+/// point; a no-op for unregistered threads.
+pub(crate) fn yield_op(op: Op) -> StepOutcome {
+    let Some((gen, me)) = current_vthread() else {
+        return StepOutcome::Proceed;
+    };
+    let (lk, cv) = global();
+    let mut g = lk.lock().unwrap_or_else(|p| p.into_inner());
+    if g.generation != gen {
+        // The run was abandoned while we were executing user code. We
+        // cannot unwind safely from here (drop glue would re-enter the
+        // scheduler), so park forever as a zombie; the worker is leaked.
+        loop {
+            g = cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+    }
+    g.threads[me].pending = op.clone();
+    g.active = None;
+    cv.notify_all();
+    while !(g.generation == gen && g.active == Some(me)) {
+        if g.generation != gen {
+            loop {
+                g = cv.wait(g).unwrap_or_else(|p| p.into_inner());
+            }
+        }
+        g = cv.wait(g).unwrap_or_else(|p| p.into_inner());
+    }
+    let out = perform(&mut g, me, &op);
+    if matches!(op, Op::Terminate) {
+        g.threads[me].terminated = true;
+        g.active = None;
+        cv.notify_all();
+    }
+    out
+}
+
+/// Apply `op`'s effects to the virtual object table. The scheduler only
+/// schedules enabled ops, so blocking acquisitions always succeed here.
+fn perform(g: &mut Rt, me: Tid, op: &Op) -> StepOutcome {
+    use Op::*;
+    match *op {
+        Start | Yield | Spawn | Join(_) | Terminate | AtomicLoad(_) | AtomicRmw(_) => {
+            StepOutcome::Proceed
+        }
+        Lock(o) => {
+            let ObjState::Mutex { owner } = &mut g.objects[o] else {
+                unreachable!("lock on non-mutex object")
+            };
+            debug_assert!(owner.is_none());
+            *owner = Some(me);
+            StepOutcome::Proceed
+        }
+        TryLock(o) => {
+            let ObjState::Mutex { owner } = &mut g.objects[o] else {
+                unreachable!("try_lock on non-mutex object")
+            };
+            if owner.is_none() {
+                *owner = Some(me);
+                StepOutcome::TryResult(true)
+            } else {
+                StepOutcome::TryResult(false)
+            }
+        }
+        Unlock(o) => {
+            let ObjState::Mutex { owner } = &mut g.objects[o] else {
+                unreachable!("unlock on non-mutex object")
+            };
+            debug_assert_eq!(*owner, Some(me));
+            *owner = None;
+            StepOutcome::Proceed
+        }
+        RwRead(o) => {
+            let ObjState::Rw { readers, .. } = &mut g.objects[o] else {
+                unreachable!("read on non-rwlock object")
+            };
+            readers.push(me);
+            StepOutcome::Proceed
+        }
+        RwWrite(o) => {
+            let ObjState::Rw { writer, .. } = &mut g.objects[o] else {
+                unreachable!("write on non-rwlock object")
+            };
+            *writer = Some(me);
+            StepOutcome::Proceed
+        }
+        TryRwRead(o) => {
+            let ObjState::Rw { writer, readers } = &mut g.objects[o] else {
+                unreachable!("try_read on non-rwlock object")
+            };
+            if writer.is_none() {
+                readers.push(me);
+                StepOutcome::TryResult(true)
+            } else {
+                StepOutcome::TryResult(false)
+            }
+        }
+        TryRwWrite(o) => {
+            let ObjState::Rw { writer, readers } = &mut g.objects[o] else {
+                unreachable!("try_write on non-rwlock object")
+            };
+            if writer.is_none() && readers.is_empty() {
+                *writer = Some(me);
+                StepOutcome::TryResult(true)
+            } else {
+                StepOutcome::TryResult(false)
+            }
+        }
+        RwUnlockRead(o) => {
+            let ObjState::Rw { readers, .. } = &mut g.objects[o] else {
+                unreachable!("read-unlock on non-rwlock object")
+            };
+            if let Some(pos) = readers.iter().position(|&t| t == me) {
+                readers.swap_remove(pos);
+            }
+            StepOutcome::Proceed
+        }
+        RwUnlockWrite(o) => {
+            let ObjState::Rw { writer, .. } = &mut g.objects[o] else {
+                unreachable!("write-unlock on non-rwlock object")
+            };
+            *writer = None;
+            StepOutcome::Proceed
+        }
+        CondWait { cv, m } => {
+            {
+                let ObjState::Mutex { owner } = &mut g.objects[m] else {
+                    unreachable!("cond_wait releasing a non-mutex")
+                };
+                debug_assert_eq!(*owner, Some(me));
+                *owner = None;
+            }
+            let ObjState::Cond { waiters } = &mut g.objects[cv] else {
+                unreachable!("cond_wait on non-condvar object")
+            };
+            waiters.push_back(me);
+            StepOutcome::Proceed
+        }
+        Reacquire { cv, m, timed } => {
+            let still_queued = {
+                let ObjState::Cond { waiters } = &mut g.objects[cv] else {
+                    unreachable!("reacquire on non-condvar object")
+                };
+                match waiters.iter().position(|&t| t == me) {
+                    Some(pos) => {
+                        debug_assert!(timed, "untimed reacquire scheduled while queued");
+                        waiters.remove(pos);
+                        true
+                    }
+                    None => false,
+                }
+            };
+            let ObjState::Mutex { owner } = &mut g.objects[m] else {
+                unreachable!("reacquire of a non-mutex")
+            };
+            debug_assert!(owner.is_none());
+            *owner = Some(me);
+            StepOutcome::TimedOut(still_queued)
+        }
+        Notify(o) => {
+            let ObjState::Cond { waiters } = &mut g.objects[o] else {
+                unreachable!("notify on non-condvar object")
+            };
+            waiters.pop_front();
+            StepOutcome::Proceed
+        }
+        NotifyAll(o) => {
+            let ObjState::Cond { waiters } = &mut g.objects[o] else {
+                unreachable!("notify_all on non-condvar object")
+            };
+            waiters.clear();
+            StepOutcome::Proceed
+        }
+    }
+}
+
+/// Is `t`'s declared op currently executable?
+fn enabled(g: &Rt, t: Tid) -> bool {
+    use Op::*;
+    if g.threads[t].terminated {
+        return false;
+    }
+    let mutex_free = |o: ObjId| match &g.objects[o] {
+        ObjState::Mutex { owner } => owner.is_none(),
+        _ => unreachable!("mutex-enabledness of non-mutex"),
+    };
+    match g.threads[t].pending {
+        Lock(o) => mutex_free(o),
+        RwRead(o) => match &g.objects[o] {
+            ObjState::Rw { writer, .. } => writer.is_none(),
+            _ => unreachable!(),
+        },
+        RwWrite(o) => match &g.objects[o] {
+            ObjState::Rw { writer, readers } => writer.is_none() && readers.is_empty(),
+            _ => unreachable!(),
+        },
+        Reacquire { cv, m, timed } => {
+            let queued = match &g.objects[cv] {
+                ObjState::Cond { waiters } => waiters.contains(&t),
+                _ => unreachable!(),
+            };
+            mutex_free(m) && (timed || !queued)
+        }
+        Join(child) => g.threads[child].terminated,
+        _ => true,
+    }
+}
+
+/// What the exploration strategy sees at each decision point.
+pub(crate) struct StepView<'a> {
+    /// Tids whose pending op can execute now, ascending.
+    pub enabled: &'a [Tid],
+    /// Pending op of every live (non-terminated) thread, by tid.
+    pub ops: &'a [(Tid, Op)],
+}
+
+/// Result of executing one complete schedule.
+pub(crate) struct RunOutcome {
+    pub schedule: Vec<Tid>,
+    pub failure: Option<String>,
+}
+
+/// Execute one run of `body` under the decisions of `decide`, which is
+/// called with the step index and the current [`StepView`] and must return
+/// one of the enabled tids.
+pub(crate) fn run_once(
+    body: std::sync::Arc<dyn Fn() + Send + Sync>,
+    max_depth: usize,
+    mut decide: impl FnMut(usize, &StepView<'_>) -> Tid,
+) -> RunOutcome {
+    let (lk, cv) = global();
+    let gen = {
+        let mut g = lk.lock().unwrap_or_else(|p| p.into_inner());
+        g.generation += 1;
+        g.active = None;
+        g.threads.clear();
+        g.threads.push(VThread {
+            pending: Op::Start,
+            terminated: false,
+        });
+        g.objects.clear();
+        g.failure = None;
+        // Wake any worker still parked in `wait_first_schedule` from an
+        // abandoned previous run so it can recycle itself.
+        cv.notify_all();
+        g.generation
+    };
+    dispatch_vthread(
+        gen,
+        0,
+        Box::new(move || {
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| body())) {
+                record_failure(gen, format!("test body panicked: {}", panic_message(&*p)));
+            }
+        }),
+    );
+
+    let mut schedule = Vec::new();
+    loop {
+        let mut g = lk.lock().unwrap_or_else(|p| p.into_inner());
+        while g.active.is_some() {
+            g = cv.wait(g).unwrap_or_else(|p| p.into_inner());
+        }
+        if g.failure.is_some() {
+            // Let already-unwound threads finish their Terminate handshake
+            // (recycling their workers), then stop; blocked threads are
+            // leaked as generation-stamped zombies.
+            if let Some(t) = (0..g.threads.len()).find(|&t| {
+                !g.threads[t].terminated && matches!(g.threads[t].pending, Op::Terminate)
+            }) {
+                schedule.push(t);
+                g.active = Some(t);
+                cv.notify_all();
+                continue;
+            }
+            return RunOutcome {
+                schedule,
+                failure: g.failure.clone(),
+            };
+        }
+        let live: Vec<Tid> = (0..g.threads.len())
+            .filter(|&t| !g.threads[t].terminated)
+            .collect();
+        if live.is_empty() {
+            return RunOutcome {
+                schedule,
+                failure: None,
+            };
+        }
+        let en: Vec<Tid> = live.iter().copied().filter(|&t| enabled(&g, t)).collect();
+        if en.is_empty() {
+            let mut msg = String::from("deadlock: no enabled thread; pending ops:");
+            for &t in &live {
+                msg.push_str(&format!(" [{t}] {:?}", g.threads[t].pending));
+            }
+            g.failure = Some(msg.clone());
+            return RunOutcome {
+                schedule,
+                failure: Some(msg),
+            };
+        }
+        if schedule.len() >= max_depth {
+            let msg = format!("run exceeded max_depth={max_depth} scheduling decisions");
+            g.failure = Some(msg.clone());
+            return RunOutcome {
+                schedule,
+                failure: Some(msg),
+            };
+        }
+        let ops: Vec<(Tid, Op)> = live
+            .iter()
+            .map(|&t| (t, g.threads[t].pending.clone()))
+            .collect();
+        let choice = decide(
+            schedule.len(),
+            &StepView {
+                enabled: &en,
+                ops: &ops,
+            },
+        );
+        assert!(
+            en.contains(&choice),
+            "strategy chose disabled thread {choice} (enabled: {en:?}) — \
+             replay diverged or the program under test is nondeterministic"
+        );
+        schedule.push(choice);
+        g.active = Some(choice);
+        cv.notify_all();
+    }
+}
+
+pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Worker pool: vthreads reuse parked OS threads across runs. On a 1-core
+// CI host, exhaustive explorations execute thousands of runs; paying an OS
+// thread spawn per vthread per run would dominate wall-clock.
+// ---------------------------------------------------------------------------
+
+type Job = Box<dyn FnOnce() + Send>;
+
+struct PoolState {
+    idle: usize,
+    jobs: VecDeque<Job>,
+}
+
+fn pool() -> &'static (StdMutex<PoolState>, StdCondvar) {
+    static P: OnceLock<(StdMutex<PoolState>, StdCondvar)> = OnceLock::new();
+    P.get_or_init(|| {
+        (
+            StdMutex::new(PoolState {
+                idle: 0,
+                jobs: VecDeque::new(),
+            }),
+            StdCondvar::new(),
+        )
+    })
+}
+
+fn pool_run(job: Job) {
+    let (lk, cv) = pool();
+    let mut p = lk.lock().unwrap_or_else(|e| e.into_inner());
+    p.jobs.push_back(job);
+    if p.idle == 0 {
+        drop(p);
+        std::thread::Builder::new()
+            .name("schedtest-worker".to_string())
+            .spawn(pool_worker)
+            .expect("spawn schedtest worker");
+    } else {
+        cv.notify_one();
+    }
+}
+
+fn pool_worker() {
+    let (lk, cv) = pool();
+    loop {
+        let job = {
+            let mut p = lk.lock().unwrap_or_else(|e| e.into_inner());
+            loop {
+                if let Some(j) = p.jobs.pop_front() {
+                    break j;
+                }
+                p.idle += 1;
+                p = cv.wait(p).unwrap_or_else(|e| e.into_inner());
+                p.idle -= 1;
+            }
+        };
+        job();
+    }
+}

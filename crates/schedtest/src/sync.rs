@@ -1,0 +1,574 @@
+//! Virtual synchronization primitives, API-compatible with the
+//! `parking_lot` shim (plus the atomics and `Arc` the runtime crates use).
+//!
+//! Inside a model run (the calling OS thread hosts a registered vthread)
+//! every operation first declares itself to the scheduler and parks until
+//! chosen; mutual exclusion is *decided* by the virtual object table and
+//! merely *mirrored* by an underlying `std::sync` lock, which is only ever
+//! touched while the owning vthread holds the scheduling baton and is
+//! therefore uncontended. Outside a run the same types degrade to the
+//! plain `std::sync`-backed behaviour of the shim, so code paths that mix
+//! model and non-model threads (test harness setup, leaked statics) stay
+//! correct.
+
+use crate::rt::{self, ObjId, ObjKind, Op, StepOutcome};
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, Mutex as StdMutex};
+use std::time::{Duration, Instant};
+
+pub use std::sync::Arc;
+
+pub mod atomic;
+
+/// Lazily-assigned per-run virtual object id. Ids are allocated in first-
+/// use order within a run, which is deterministic under a fixed schedule
+/// prefix — the property sleep sets and replay rely on.
+struct VirtualId {
+    slot: StdMutex<(u64, ObjId)>,
+    kind: ObjKind,
+}
+
+impl VirtualId {
+    const fn new(kind: ObjKind) -> Self {
+        VirtualId {
+            slot: StdMutex::new((0, 0)),
+            kind,
+        }
+    }
+
+    /// The object's id in the current run, or `None` when the caller is
+    /// not a registered vthread (fallback path).
+    fn get(&self) -> Option<ObjId> {
+        let (gen, _) = rt::current_vthread()?;
+        let mut s = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if s.0 != gen {
+            *s = (gen, rt::register_object(gen, self.kind));
+        }
+        Some(s.1)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// Virtualized mutex with the parking_lot-style panic-free `lock()` API.
+pub struct Mutex<T: ?Sized> {
+    vid: VirtualId,
+    inner: sync::Mutex<T>,
+}
+
+/// RAII guard returned by [`Mutex::lock`]. Holds a back-reference to the
+/// mutex so [`Condvar::wait`] can release and reacquire it in place.
+pub struct MutexGuard<'a, T: ?Sized> {
+    lock: &'a Mutex<T>,
+    inner: Option<sync::MutexGuard<'a, T>>,
+    /// `Some(id)`: acquired through the virtual scheduler; drop must
+    /// declare the unlock as a scheduling point.
+    vid: Option<ObjId>,
+}
+
+impl<T> Mutex<T> {
+    /// Create a new mutex holding `value`.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            vid: VirtualId::new(ObjKind::Mutex),
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Consume the mutex, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    fn lock_real(&self) -> sync::MutexGuard<'_, T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+
+    /// Acquire the lock. In a model run this is a scheduling point that
+    /// blocks (virtually) until the scheduler grants ownership.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.vid.get() {
+            Some(id) => {
+                rt::yield_op(Op::Lock(id));
+                // The scheduler granted virtual ownership, so the real
+                // lock is free (its holder released it before its next
+                // scheduling point).
+                MutexGuard {
+                    lock: self,
+                    inner: Some(self.lock_real()),
+                    vid: Some(id),
+                }
+            }
+            None => MutexGuard {
+                lock: self,
+                inner: Some(self.lock_real()),
+                vid: None,
+            },
+        }
+    }
+
+    /// Attempt to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.vid.get() {
+            Some(id) => match rt::yield_op(Op::TryLock(id)) {
+                StepOutcome::TryResult(true) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(self.lock_real()),
+                    vid: Some(id),
+                }),
+                StepOutcome::TryResult(false) => None,
+                _ => unreachable!("TryLock reports TryResult"),
+            },
+            None => match self.inner.try_lock() {
+                Ok(g) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(g),
+                    vid: None,
+                }),
+                Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
+                    lock: self,
+                    inner: Some(p.into_inner()),
+                    vid: None,
+                }),
+                Err(sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Mutably borrow the underlying data (`&mut self` proves uniqueness).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> From<T> for Mutex<T> {
+    fn from(value: T) -> Self {
+        Mutex::new(value)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
+            Err(sync::TryLockError::Poisoned(p)) => f
+                .debug_struct("Mutex")
+                .field("data", &&*p.into_inner())
+                .finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.vid {
+            // Release the real lock only after the scheduler has processed
+            // the unlock? No: declare first would let another vthread be
+            // granted the virtual lock while we still hold the real one.
+            // Order matters the other way: the baton is ours until the
+            // yield below *returns*, so dropping the real guard first is
+            // invisible to every other vthread.
+            self.inner = None;
+            if rt::current_vthread().is_some() {
+                rt::yield_op(Op::Unlock(id));
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner
+            .as_ref()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner
+            .as_mut()
+            .expect("guard present outside Condvar::wait")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed wait: reports whether the deadline passed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WaitTimeoutResult {
+    timed_out: bool,
+}
+
+impl WaitTimeoutResult {
+    /// True iff the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.timed_out
+    }
+}
+
+/// Virtualized condition variable. In a model run, waiting is two
+/// scheduling points (release + enqueue, then reacquire-after-notify);
+/// timed waits stay schedulable while queued, so the explorer covers both
+/// the notified and the timed-out branch. No spurious wakeups are
+/// injected.
+pub struct Condvar {
+    vid: VirtualId,
+    inner: sync::Condvar,
+}
+
+impl Condvar {
+    /// Create a new condition variable.
+    pub fn new() -> Self {
+        Condvar {
+            vid: VirtualId::new(ObjKind::Cond),
+            inner: sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically release the guarded mutex and block until notified;
+    /// re-acquires the lock before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        self.wait_inner(guard, None);
+    }
+
+    /// [`Condvar::wait`] with an absolute deadline.
+    pub fn wait_until<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        deadline: Instant,
+    ) -> WaitTimeoutResult {
+        match guard.vid {
+            Some(_) if rt::current_vthread().is_some() => {
+                self.wait_inner(guard, Some(())).expect("timed wait result")
+            }
+            _ => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                self.real_wait_for(guard, timeout)
+            }
+        }
+    }
+
+    /// [`Condvar::wait`] with a relative timeout.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        match guard.vid {
+            Some(_) if rt::current_vthread().is_some() => {
+                self.wait_inner(guard, Some(())).expect("timed wait result")
+            }
+            _ => self.real_wait_for(guard, timeout),
+        }
+    }
+
+    fn wait_inner<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timed: Option<()>,
+    ) -> Option<WaitTimeoutResult> {
+        match (guard.vid, self.vid.get()) {
+            (Some(m), Some(cv)) => {
+                rt::yield_op(Op::CondWait { cv, m });
+                // Virtually released and queued; mirror on the real lock.
+                guard.inner = None;
+                let out = rt::yield_op(Op::Reacquire {
+                    cv,
+                    m,
+                    timed: timed.is_some(),
+                });
+                guard.inner = Some(guard.lock.lock_real());
+                match out {
+                    StepOutcome::TimedOut(t) => Some(WaitTimeoutResult { timed_out: t }),
+                    _ => unreachable!("Reacquire reports TimedOut"),
+                }
+            }
+            _ => {
+                // Fallback: behave like the std-backed shim.
+                let inner = guard.inner.take().expect("guard not already waiting");
+                guard.inner = Some(
+                    self.inner
+                        .wait(inner)
+                        .unwrap_or_else(sync::PoisonError::into_inner),
+                );
+                None
+            }
+        }
+    }
+
+    fn real_wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.inner.take().expect("guard not already waiting");
+        let (g, res) = self
+            .inner
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(sync::PoisonError::into_inner);
+        guard.inner = Some(g);
+        WaitTimeoutResult {
+            timed_out: res.timed_out(),
+        }
+    }
+
+    /// Wake one waiting thread (the longest-waiting, deterministically,
+    /// in a model run).
+    pub fn notify_one(&self) {
+        match self.vid.get() {
+            Some(id) => {
+                rt::yield_op(Op::Notify(id));
+            }
+            None => self.inner.notify_one(),
+        }
+    }
+
+    /// Wake all waiting threads.
+    pub fn notify_all(&self) {
+        match self.vid.get() {
+            Some(id) => {
+                rt::yield_op(Op::NotifyAll(id));
+            }
+            None => self.inner.notify_all(),
+        }
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.pad("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Virtualized reader-writer lock with the parking_lot API.
+pub struct RwLock<T: ?Sized> {
+    vid: VirtualId,
+    inner: sync::RwLock<T>,
+}
+
+/// Shared-read RAII guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockReadGuard<'a, T>>,
+    vid: Option<ObjId>,
+}
+
+/// Exclusive-write RAII guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    inner: Option<sync::RwLockWriteGuard<'a, T>>,
+    vid: Option<ObjId>,
+}
+
+impl<T> RwLock<T> {
+    /// Create a new reader-writer lock holding `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            vid: VirtualId::new(ObjKind::Rw),
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Consume the lock, returning the protected value.
+    pub fn into_inner(self) -> T {
+        self.inner
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        let vid = self.vid.get();
+        if let Some(id) = vid {
+            rt::yield_op(Op::RwRead(id));
+        }
+        RwLockReadGuard {
+            inner: Some(
+                self.inner
+                    .read()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+            ),
+            vid,
+        }
+    }
+
+    /// Acquire exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        let vid = self.vid.get();
+        if let Some(id) = vid {
+            rt::yield_op(Op::RwWrite(id));
+        }
+        RwLockWriteGuard {
+            inner: Some(
+                self.inner
+                    .write()
+                    .unwrap_or_else(sync::PoisonError::into_inner),
+            ),
+            vid,
+        }
+    }
+
+    /// Attempt shared read access without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.vid.get() {
+            Some(id) => match rt::yield_op(Op::TryRwRead(id)) {
+                StepOutcome::TryResult(true) => Some(RwLockReadGuard {
+                    inner: Some(
+                        self.inner
+                            .read()
+                            .unwrap_or_else(sync::PoisonError::into_inner),
+                    ),
+                    vid: Some(id),
+                }),
+                StepOutcome::TryResult(false) => None,
+                _ => unreachable!("TryRwRead reports TryResult"),
+            },
+            None => match self.inner.try_read() {
+                Ok(g) => Some(RwLockReadGuard {
+                    inner: Some(g),
+                    vid: None,
+                }),
+                Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
+                    inner: Some(p.into_inner()),
+                    vid: None,
+                }),
+                Err(sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Attempt exclusive write access without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.vid.get() {
+            Some(id) => match rt::yield_op(Op::TryRwWrite(id)) {
+                StepOutcome::TryResult(true) => Some(RwLockWriteGuard {
+                    inner: Some(
+                        self.inner
+                            .write()
+                            .unwrap_or_else(sync::PoisonError::into_inner),
+                    ),
+                    vid: Some(id),
+                }),
+                StepOutcome::TryResult(false) => None,
+                _ => unreachable!("TryRwWrite reports TryResult"),
+            },
+            None => match self.inner.try_write() {
+                Ok(g) => Some(RwLockWriteGuard {
+                    inner: Some(g),
+                    vid: None,
+                }),
+                Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
+                    inner: Some(p.into_inner()),
+                    vid: None,
+                }),
+                Err(sync::TryLockError::WouldBlock) => None,
+            },
+        }
+    }
+
+    /// Mutably borrow the underlying data without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner
+            .get_mut()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.vid {
+            self.inner = None;
+            if rt::current_vthread().is_some() {
+                rt::yield_op(Op::RwUnlockRead(id));
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Drop for RwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        if let Some(id) = self.vid {
+            self.inner = None;
+            if rt::current_vthread().is_some() {
+                rt::yield_op(Op::RwUnlockWrite(id));
+            }
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("read guard live")
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("write guard live")
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("write guard live")
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.inner.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
+            Err(sync::TryLockError::Poisoned(p)) => f
+                .debug_struct("RwLock")
+                .field("data", &&*p.into_inner())
+                .finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Virtualized atomics. Each access is a scheduling point declared to the
+//! explorer (loads commute with loads; everything else on the same cell is
+//! dependent); the value itself lives in a real `std` atomic, touched only
+//! while the owning vthread holds the baton.
+
+use crate::rt::{self, ObjId, ObjKind, Op};
+use std::sync::atomic as std_atomic;
+use std::sync::Mutex as StdMutex;
+
+pub use std_atomic::Ordering;
+
+macro_rules! virtual_atomic {
+    ($name:ident, $std:ty, $int:ty) => {
+        /// Virtualized counterpart of the std atomic of the same name.
+        pub struct $name {
+            vid: StdMutex<(u64, ObjId)>,
+            inner: $std,
+        }
+
+        impl $name {
+            /// Create a new atomic with the given initial value.
+            pub const fn new(v: $int) -> Self {
+                $name {
+                    vid: StdMutex::new((0, 0)),
+                    inner: <$std>::new(v),
+                }
+            }
+
+            fn declare(&self, rmw: bool) {
+                let Some((gen, _)) = rt::current_vthread() else {
+                    return;
+                };
+                let id = {
+                    let mut s = self.vid.lock().unwrap_or_else(|p| p.into_inner());
+                    if s.0 != gen {
+                        *s = (gen, rt::register_object(gen, ObjKind::Atomic));
+                    }
+                    s.1
+                };
+                rt::yield_op(if rmw {
+                    Op::AtomicRmw(id)
+                } else {
+                    Op::AtomicLoad(id)
+                });
+            }
+
+            /// Load the value.
+            pub fn load(&self, order: Ordering) -> $int {
+                self.declare(false);
+                self.inner.load(order)
+            }
+
+            /// Store a value.
+            pub fn store(&self, v: $int, order: Ordering) {
+                self.declare(true);
+                self.inner.store(v, order)
+            }
+
+            /// Swap in a value, returning the previous one.
+            pub fn swap(&self, v: $int, order: Ordering) -> $int {
+                self.declare(true);
+                self.inner.swap(v, order)
+            }
+
+            /// Compare-and-exchange.
+            pub fn compare_exchange(
+                &self,
+                current: $int,
+                new: $int,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$int, $int> {
+                self.declare(true);
+                self.inner.compare_exchange(current, new, success, failure)
+            }
+
+            /// Mutably borrow the value (`&mut self` proves uniqueness).
+            pub fn get_mut(&mut self) -> &mut $int {
+                self.inner.get_mut()
+            }
+
+            /// Consume the atomic, returning the value.
+            pub fn into_inner(self) -> $int {
+                self.inner.into_inner()
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                f.debug_tuple(stringify!($name))
+                    .field(&self.inner.load(Ordering::SeqCst))
+                    .finish()
+            }
+        }
+    };
+}
+
+virtual_atomic!(AtomicUsize, std_atomic::AtomicUsize, usize);
+virtual_atomic!(AtomicU64, std_atomic::AtomicU64, u64);
+virtual_atomic!(AtomicBool, std_atomic::AtomicBool, bool);
+
+macro_rules! arith_ops {
+    ($name:ident, $int:ty) => {
+        impl $name {
+            /// Add, returning the previous value.
+            pub fn fetch_add(&self, v: $int, order: Ordering) -> $int {
+                self.declare(true);
+                self.inner.fetch_add(v, order)
+            }
+
+            /// Subtract, returning the previous value.
+            pub fn fetch_sub(&self, v: $int, order: Ordering) -> $int {
+                self.declare(true);
+                self.inner.fetch_sub(v, order)
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::new(0)
+            }
+        }
+    };
+}
+
+arith_ops!(AtomicUsize, usize);
+arith_ops!(AtomicU64, u64);
+
+impl AtomicBool {
+    /// Logical-or, returning the previous value.
+    pub fn fetch_or(&self, v: bool, order: Ordering) -> bool {
+        self.declare(true);
+        self.inner.fetch_or(v, order)
+    }
+
+    /// Logical-and, returning the previous value.
+    pub fn fetch_and(&self, v: bool, order: Ordering) -> bool {
+        self.declare(true);
+        self.inner.fetch_and(v, order)
+    }
+}
+
+impl Default for AtomicBool {
+    fn default() -> Self {
+        Self::new(false)
+    }
+}

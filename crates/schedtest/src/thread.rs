@@ -1,0 +1,131 @@
+//! Virtualized `std::thread` subset. Inside a model run, `spawn` registers
+//! a vthread with the scheduler (thread indices are creation order — the
+//! replay string's alphabet) and `join` is a scheduling point enabled once
+//! the child has terminated. Outside a run everything delegates to real
+//! `std::thread`, so the same call sites work in both build modes.
+
+use crate::rt::{self, panic_message, Op, Tid};
+use std::any::Any;
+use std::sync::{Arc, Mutex as StdMutex};
+use std::time::Duration;
+
+/// Same shape as `std::thread::Result`.
+pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+enum Inner<T> {
+    Virtual {
+        tid: Tid,
+        slot: Arc<StdMutex<Option<Result<T>>>>,
+    },
+    Real(std::thread::JoinHandle<T>),
+}
+
+/// Handle to a (possibly virtual) spawned thread.
+pub struct JoinHandle<T>(Inner<T>);
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish and collect its result. In a model
+    /// run this is a scheduling point enabled once the child terminated.
+    pub fn join(self) -> Result<T> {
+        match self.0 {
+            Inner::Virtual { tid, slot } => {
+                rt::yield_op(Op::Join(tid));
+                slot.lock()
+                    .unwrap_or_else(|p| p.into_inner())
+                    .take()
+                    .expect("joined vthread delivered a result")
+            }
+            Inner::Real(h) => h.join(),
+        }
+    }
+}
+
+/// Spawn a thread running `f`.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match rt::current_vthread() {
+        Some((gen, _)) => {
+            // Two concurrent spawns race for the next thread index, so the
+            // registration itself is a declared scheduling point.
+            rt::yield_op(Op::Spawn);
+            let slot: Arc<StdMutex<Option<Result<T>>>> = Arc::new(StdMutex::new(None));
+            let slot2 = slot.clone();
+            let tid = rt::register_child(
+                gen,
+                Box::new(move || {
+                    let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                    if let Err(p) = &r {
+                        // Any uncaught vthread panic fails the whole run —
+                        // model tests assert inside producers/consumers.
+                        rt::record_failure(
+                            gen,
+                            format!("spawned vthread panicked: {}", panic_message(p.as_ref())),
+                        );
+                    }
+                    *slot2.lock().unwrap_or_else(|p| p.into_inner()) = Some(r);
+                }),
+            );
+            JoinHandle(Inner::Virtual { tid, slot })
+        }
+        None => JoinHandle(Inner::Real(std::thread::spawn(f))),
+    }
+}
+
+/// Builder mirroring `std::thread::Builder` (the name is recorded only on
+/// the real-thread path; vthreads are identified by index).
+#[derive(Default, Debug)]
+pub struct Builder {
+    name: Option<String>,
+}
+
+impl Builder {
+    /// Create a builder with default settings.
+    pub fn new() -> Self {
+        Builder::default()
+    }
+
+    /// Name the thread (used by the OS-thread path only).
+    pub fn name(mut self, name: String) -> Self {
+        self.name = Some(name);
+        self
+    }
+
+    /// Spawn the thread. The virtual path is infallible.
+    pub fn spawn<F, T>(self, f: F) -> std::io::Result<JoinHandle<T>>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        if rt::current_vthread().is_some() {
+            return Ok(spawn(f));
+        }
+        let mut b = std::thread::Builder::new();
+        if let Some(n) = self.name {
+            b = b.name(n);
+        }
+        b.spawn(f).map(|h| JoinHandle(Inner::Real(h)))
+    }
+}
+
+/// Hand the baton back to the scheduler (a plain scheduling point); a real
+/// `yield_now` outside a run.
+pub fn yield_now() {
+    if rt::current_vthread().is_some() {
+        rt::yield_op(Op::Yield);
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// Virtual time: inside a run this is just a scheduling point (duration is
+/// ignored — the explorer covers the orderings a real delay could select).
+pub fn sleep(dur: Duration) {
+    if rt::current_vthread().is_some() {
+        rt::yield_op(Op::Yield);
+    } else {
+        std::thread::sleep(dur);
+    }
+}

@@ -1,0 +1,207 @@
+//! Property tests for the explorer itself.
+//!
+//! The load-bearing property is *pruning soundness*: sleep sets are
+//! allowed to skip schedules, never outcomes. On random 2-thread programs
+//! over shared virtual atomics the pruned DFS must observe exactly the
+//! same set of terminal states as the brute-force DFS that enumerates
+//! every interleaving (`Config { sleep_sets: false }`). Brute force on
+//! 3-thread programs is not enumerable (a single racy op per thread
+//! already yields ~570 000 interleavings), so there the bound flips:
+//! random *sampling* must never surface a terminal state the pruned DFS
+//! missed.
+//!
+//! Alongside: replay strings round-trip through format/parse, and a
+//! failure schedule reported against a randomly chosen "illegal" terminal
+//! state replays to the identical failure.
+
+use schedtest::sync::atomic::{AtomicUsize, Ordering};
+use schedtest::sync::Arc;
+use schedtest::{explore, format_schedule, parse_schedule, thread, Config, Mode, Tid};
+use std::collections::BTreeSet;
+use std::sync::Mutex as StdMutex;
+use tinyprop::prelude::*;
+use tinyprop::ProptestConfig;
+
+/// One straight-line instruction over two shared cells. `Add` is a single
+/// atomic RMW (one scheduling point); the `Racy*` forms are a load
+/// followed by a dependent store (two scheduling points), which is what
+/// makes distinct interleavings produce distinct terminal states.
+#[derive(Clone, Copy, Debug)]
+enum MiniOp {
+    Add(usize, usize),
+    RacyAdd(usize, usize),
+    RacyMul(usize, usize),
+}
+
+impl MiniOp {
+    fn apply(self, cells: &(AtomicUsize, AtomicUsize)) {
+        let cell = |i: usize| if i == 0 { &cells.0 } else { &cells.1 };
+        match self {
+            MiniOp::Add(c, k) => {
+                cell(c).fetch_add(k, Ordering::SeqCst);
+            }
+            MiniOp::RacyAdd(c, k) => {
+                let v = cell(c).load(Ordering::SeqCst);
+                cell(c).store(v + k, Ordering::SeqCst);
+            }
+            MiniOp::RacyMul(c, k) => {
+                let v = cell(c).load(Ordering::SeqCst);
+                cell(c).store(v * k, Ordering::SeqCst);
+            }
+        }
+    }
+}
+
+/// A program: one op list per spawned thread.
+type Program = Vec<Vec<MiniOp>>;
+
+fn op_strategy() -> BoxedStrategy<MiniOp> {
+    prop_oneof![
+        (0usize..2, 1usize..4).prop_map(|(c, k)| MiniOp::Add(c, k)),
+        (0usize..2, 1usize..4).prop_map(|(c, k)| MiniOp::RacyAdd(c, k)),
+        (0usize..2, 2usize..4).prop_map(|(c, k)| MiniOp::RacyMul(c, k)),
+    ]
+    .boxed()
+}
+
+/// 2 threads of 1–2 ops each: the brute-force interleaving count tops out
+/// around 3 500, so full enumeration stays cheap.
+fn two_thread_program() -> BoxedStrategy<Program> {
+    tinyprop::collection::vec(tinyprop::collection::vec(op_strategy(), 1..=2), 2..=2).boxed()
+}
+
+/// 3 threads of exactly 1 op each: only the pruned DFS can drain this.
+fn three_thread_program() -> BoxedStrategy<Program> {
+    tinyprop::collection::vec(tinyprop::collection::vec(op_strategy(), 1..=1), 3..=3).boxed()
+}
+
+/// Run `program` once inside the model and return the terminal cell
+/// values after all threads joined.
+fn execute(program: &Program) -> (usize, usize) {
+    let cells = Arc::new((AtomicUsize::new(1), AtomicUsize::new(1)));
+    let handles: Vec<_> = program
+        .iter()
+        .map(|ops| {
+            let cells = cells.clone();
+            let ops = ops.clone();
+            thread::spawn(move || {
+                for op in ops {
+                    op.apply(&cells);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    (
+        cells.0.load(Ordering::SeqCst),
+        cells.1.load(Ordering::SeqCst),
+    )
+}
+
+/// Explore `program` under `cfg`, collecting the terminal state of every
+/// executed schedule. `require_complete` asserts the space was drained
+/// (meaningless for sampling).
+fn terminal_states(
+    name: &str,
+    cfg: &Config,
+    program: &Program,
+    require_complete: bool,
+) -> (BTreeSet<(usize, usize)>, usize) {
+    let states = Arc::new(StdMutex::new(BTreeSet::new()));
+    let sink = states.clone();
+    let prog = program.clone();
+    let report = explore(name, cfg, move || {
+        let t = execute(&prog);
+        sink.lock().unwrap().insert(t);
+    });
+    assert!(
+        report.failure.is_none(),
+        "program body has no assertions, yet: {:?}",
+        report.failure
+    );
+    if require_complete {
+        assert!(
+            report.complete,
+            "space not drained for {program:?}: {report:?}"
+        );
+    }
+    let set = states.lock().unwrap().clone();
+    (set, report.explored_schedules)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Sleep-set pruning soundness, exact: pruned and unpruned DFS agree
+    /// on the reachable terminal states, and pruning never explores more.
+    #[test]
+    fn pruned_dfs_reaches_same_terminal_states(program in two_thread_program()) {
+        let pruned_cfg = Config::default();
+        let unpruned_cfg = Config { sleep_sets: false, ..Config::default() };
+        let (pruned, pruned_n) = terminal_states("props_pruned", &pruned_cfg, &program, true);
+        let (unpruned, unpruned_n) =
+            terminal_states("props_unpruned", &unpruned_cfg, &program, true);
+        prop_assert_eq!(
+            &pruned, &unpruned,
+            "terminal-state sets diverged on {:?}", program
+        );
+        prop_assert!(
+            pruned_n <= unpruned_n,
+            "pruning explored more ({} > {}) on {:?}", pruned_n, unpruned_n, program
+        );
+    }
+
+    /// Sleep-set pruning soundness, one-sided: on 3-thread programs random
+    /// sampling never finds a terminal state the pruned DFS missed.
+    #[test]
+    fn sampling_never_beats_pruned_dfs(program in three_thread_program(), seed in 0u64..1 << 32) {
+        let pruned_cfg = Config::default();
+        let sample_cfg = Config {
+            mode: Mode::Sample { seed, runs: 500 },
+            ..Config::default()
+        };
+        let (pruned, _) = terminal_states("props_pruned3", &pruned_cfg, &program, true);
+        let (sampled, _) = terminal_states("props_sampled3", &sample_cfg, &program, false);
+        prop_assert!(
+            sampled.is_subset(&pruned),
+            "sampling found {:?} outside pruned {:?} on {:?}", sampled, pruned, program
+        );
+    }
+
+    /// Replay strings round-trip: format → parse is the identity.
+    #[test]
+    fn replay_strings_round_trip(raw in tinyprop::collection::vec(0usize..7, 1..40)) {
+        let schedule: Vec<Tid> = raw;
+        let s = format_schedule(&schedule);
+        prop_assert_eq!(parse_schedule(&s).unwrap(), schedule);
+    }
+
+    /// Semantic replay: declare one reachable terminal state illegal; the
+    /// explorer reports a failing schedule, and replaying that schedule
+    /// deterministically reproduces the same failure.
+    #[test]
+    fn failure_schedules_replay_to_the_same_outcome(program in two_thread_program()) {
+        let (states, _) = terminal_states("props_seed", &Config::default(), &program, true);
+        let illegal = *states.iter().next().unwrap();
+        let run_with = |cfg: &Config| {
+            let prog = program.clone();
+            explore("props_illegal", cfg, move || {
+                let t = execute(&prog);
+                assert_ne!(t, illegal, "illegal terminal state reached");
+            })
+        };
+        let report = run_with(&Config::default());
+        let failure = report.failure.expect("a reachable state must be found");
+        let replay_cfg = Config {
+            mode: Mode::Replay(parse_schedule(&failure.schedule).unwrap()),
+            ..Config::default()
+        };
+        let replayed = run_with(&replay_cfg);
+        let refailure = replayed.failure.expect("replay must reproduce the failure");
+        prop_assert_eq!(replayed.explored_schedules, 1);
+        prop_assert_eq!(refailure.schedule, failure.schedule);
+        prop_assert_eq!(refailure.message, failure.message);
+    }
+}

@@ -1,413 +1,64 @@
-//! Hermetic in-tree shim for [`parking_lot`](https://docs.rs/parking_lot).
+//! Hermetic in-tree shim for [`parking_lot`](https://docs.rs/parking_lot)
+//! — and the single swap point for schedule exploration.
 //!
-//! The real crate lives on crates.io; this workspace must build with
-//! `--offline` and zero registry dependencies (see DESIGN.md § "Hermetic
-//! build"), so the subset of the API this repo uses is reimplemented here
-//! over `std::sync`. Differences from `std`, matching parking_lot:
+//! Two build modes (see DESIGN.md § "Schedule exploration"):
 //!
-//! * `lock()` / `read()` / `write()` return guards directly, not
-//!   `LockResult`s — poisoning is swallowed (`PoisonError::into_inner`),
-//!   which is also parking_lot's semantics (its locks never poison);
-//! * `Condvar::wait` takes `&mut MutexGuard` instead of consuming the
-//!   guard;
-//! * `Condvar::wait_until` takes an `Instant` deadline and returns a
-//!   [`WaitTimeoutResult`] with a `timed_out()` accessor.
+//! * **Normal** (tier-1): the `std::sync`-backed reimplementation in
+//!   [`std_impl`] — parking_lot's panic-free guard API over real OS
+//!   locks. This is what production code gets.
+//! * **Model-checked** (`RUSTFLAGS="--cfg schedtest"`): every type is
+//!   re-exported from the `schedtest` crate's virtual scheduler instead,
+//!   so `blockingq`, `pipes`, and `exec` run *unmodified* under the
+//!   exhaustive interleaving explorer. Outside an active exploration the
+//!   virtual types degrade to real locks, so mixed binaries stay correct.
 //!
-//! Fairness, eventual fairness, and the `const fn` constructors of the real
-//! crate are *not* reproduced; nothing in this workspace relies on them.
+//! The [`thread`] and [`sync`] modules extend the same swap to thread
+//! spawning/joining and the atomics, which the runtime crates route
+//! through here (instead of `std::thread`/`std::sync::atomic`) for the
+//! same reason.
 
-use std::fmt;
-use std::ops::{Deref, DerefMut};
-use std::sync;
-use std::time::{Duration, Instant};
+#[cfg(not(schedtest))]
+mod std_impl;
 
-// ---------------------------------------------------------------------------
-// Mutex
-// ---------------------------------------------------------------------------
+#[cfg(not(schedtest))]
+pub use std_impl::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
 
-/// A mutual-exclusion primitive with parking_lot's panic-free `lock()` API.
-#[derive(Default)]
-pub struct Mutex<T: ?Sized> {
-    inner: sync::Mutex<T>,
-}
+#[cfg(schedtest)]
+pub use schedtest::sync::{
+    Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard, WaitTimeoutResult,
+};
 
-/// RAII guard returned by [`Mutex::lock`].
+/// Thread spawning/joining, virtualized under `--cfg schedtest`.
 ///
-/// Wraps the std guard in an `Option` so [`Condvar::wait`] can temporarily
-/// take ownership (std's `wait` consumes the guard) and put it back.
-pub struct MutexGuard<'a, T: ?Sized> {
-    inner: Option<sync::MutexGuard<'a, T>>,
+/// The subset the runtime crates use: `spawn`, `Builder::new().name(..)
+/// .spawn(..)`, `JoinHandle::join`, `Result`, `yield_now`, `sleep`.
+pub mod thread {
+    #[cfg(not(schedtest))]
+    pub use std::thread::{sleep, spawn, yield_now, Builder, JoinHandle, Result};
+
+    #[cfg(schedtest)]
+    pub use schedtest::thread::{sleep, spawn, yield_now, Builder, JoinHandle, Result};
 }
 
-impl<T> Mutex<T> {
-    /// Create a new mutex holding `value`.
-    pub fn new(value: T) -> Self {
-        Mutex {
-            inner: sync::Mutex::new(value),
-        }
-    }
+/// `Arc` and the atomics, virtualized under `--cfg schedtest`.
+pub mod sync {
+    pub use std::sync::Arc;
 
-    /// Consume the mutex, returning the protected value.
-    pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(sync::PoisonError::into_inner)
-    }
-}
+    /// Atomic integer types whose every access is a scheduling point
+    /// under the explorer.
+    pub mod atomic {
+        #[cfg(not(schedtest))]
+        pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 
-impl<T: ?Sized> Mutex<T> {
-    /// Acquire the lock, blocking until available. Never returns `Err`:
-    /// a poisoned lock (a panic while held) is swallowed, as in
-    /// parking_lot where locks cannot poison.
-    pub fn lock(&self) -> MutexGuard<'_, T> {
-        MutexGuard {
-            inner: Some(
-                self.inner
-                    .lock()
-                    .unwrap_or_else(sync::PoisonError::into_inner),
-            ),
-        }
-    }
-
-    /// Attempt to acquire the lock without blocking.
-    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(g) => Some(MutexGuard { inner: Some(g) }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(MutexGuard {
-                inner: Some(p.into_inner()),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Mutably borrow the underlying data (no locking needed: `&mut self`
-    /// proves unique access).
-    pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(sync::PoisonError::into_inner)
+        #[cfg(schedtest)]
+        pub use schedtest::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
     }
 }
 
-impl<T> From<T> for Mutex<T> {
-    fn from(value: T) -> Self {
-        Mutex::new(value)
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.try_lock() {
-            Some(g) => f.debug_struct("Mutex").field("data", &&*g).finish(),
-            None => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
-        }
-    }
-}
-
-impl<T: ?Sized> Deref for MutexGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        self.inner
-            .as_ref()
-            .expect("guard present outside Condvar::wait")
-    }
-}
-
-impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        self.inner
-            .as_mut()
-            .expect("guard present outside Condvar::wait")
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        fmt::Debug::fmt(&**self, f)
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Condvar
-// ---------------------------------------------------------------------------
-
-/// Result of a timed wait: reports whether the deadline passed.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct WaitTimeoutResult {
-    timed_out: bool,
-}
-
-impl WaitTimeoutResult {
-    /// True iff the wait ended because the timeout elapsed.
-    pub fn timed_out(&self) -> bool {
-        self.timed_out
-    }
-}
-
-/// A condition variable whose `wait` re-borrows the guard in place
-/// (parking_lot style) instead of consuming it (std style).
-#[derive(Default)]
-pub struct Condvar {
-    inner: sync::Condvar,
-}
-
-impl Condvar {
-    /// Create a new condition variable.
-    pub fn new() -> Self {
-        Condvar {
-            inner: sync::Condvar::new(),
-        }
-    }
-
-    /// Atomically release the guarded mutex and block until notified;
-    /// re-acquires the lock before returning. Spurious wakeups possible.
-    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
-        let inner = guard.inner.take().expect("guard not already waiting");
-        guard.inner = Some(
-            self.inner
-                .wait(inner)
-                .unwrap_or_else(sync::PoisonError::into_inner),
-        );
-    }
-
-    /// [`Condvar::wait`] with an absolute deadline.
-    pub fn wait_until<T>(
-        &self,
-        guard: &mut MutexGuard<'_, T>,
-        deadline: Instant,
-    ) -> WaitTimeoutResult {
-        let timeout = deadline.saturating_duration_since(Instant::now());
-        self.wait_for(guard, timeout)
-    }
-
-    /// [`Condvar::wait`] with a relative timeout.
-    pub fn wait_for<T>(
-        &self,
-        guard: &mut MutexGuard<'_, T>,
-        timeout: Duration,
-    ) -> WaitTimeoutResult {
-        let inner = guard.inner.take().expect("guard not already waiting");
-        let (g, res) = self
-            .inner
-            .wait_timeout(inner, timeout)
-            .unwrap_or_else(sync::PoisonError::into_inner);
-        guard.inner = Some(g);
-        WaitTimeoutResult {
-            timed_out: res.timed_out(),
-        }
-    }
-
-    /// Wake one waiting thread.
-    pub fn notify_one(&self) {
-        self.inner.notify_one();
-    }
-
-    /// Wake all waiting threads.
-    pub fn notify_all(&self) {
-        self.inner.notify_all();
-    }
-}
-
-impl fmt::Debug for Condvar {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.pad("Condvar")
-    }
-}
-
-// ---------------------------------------------------------------------------
-// RwLock
-// ---------------------------------------------------------------------------
-
-/// Reader-writer lock with parking_lot's panic-free `read()`/`write()` API.
-#[derive(Default)]
-pub struct RwLock<T: ?Sized> {
-    inner: sync::RwLock<T>,
-}
-
-/// Shared-read RAII guard returned by [`RwLock::read`].
-pub struct RwLockReadGuard<'a, T: ?Sized> {
-    inner: sync::RwLockReadGuard<'a, T>,
-}
-
-/// Exclusive-write RAII guard returned by [`RwLock::write`].
-pub struct RwLockWriteGuard<'a, T: ?Sized> {
-    inner: sync::RwLockWriteGuard<'a, T>,
-}
-
-impl<T> RwLock<T> {
-    /// Create a new reader-writer lock holding `value`.
-    pub fn new(value: T) -> Self {
-        RwLock {
-            inner: sync::RwLock::new(value),
-        }
-    }
-
-    /// Consume the lock, returning the protected value.
-    pub fn into_inner(self) -> T {
-        self.inner
-            .into_inner()
-            .unwrap_or_else(sync::PoisonError::into_inner)
-    }
-}
-
-impl<T: ?Sized> RwLock<T> {
-    /// Acquire shared read access, blocking until available.
-    pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        RwLockReadGuard {
-            inner: self
-                .inner
-                .read()
-                .unwrap_or_else(sync::PoisonError::into_inner),
-        }
-    }
-
-    /// Acquire exclusive write access, blocking until available.
-    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        RwLockWriteGuard {
-            inner: self
-                .inner
-                .write()
-                .unwrap_or_else(sync::PoisonError::into_inner),
-        }
-    }
-
-    /// Attempt shared read access without blocking.
-    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(g) => Some(RwLockReadGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockReadGuard {
-                inner: p.into_inner(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Attempt exclusive write access without blocking.
-    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(g) => Some(RwLockWriteGuard { inner: g }),
-            Err(sync::TryLockError::Poisoned(p)) => Some(RwLockWriteGuard {
-                inner: p.into_inner(),
-            }),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
-    }
-
-    /// Mutably borrow the underlying data without locking.
-    pub fn get_mut(&mut self) -> &mut T {
-        self.inner
-            .get_mut()
-            .unwrap_or_else(sync::PoisonError::into_inner)
-    }
-}
-
-impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.inner
-    }
-}
-
-impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
-    type Target = T;
-    fn deref(&self) -> &T {
-        &self.inner
-    }
-}
-
-impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
-    fn deref_mut(&mut self) -> &mut T {
-        &mut self.inner
-    }
-}
-
-impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self.try_read() {
-            Some(g) => f.debug_struct("RwLock").field("data", &&*g).finish(),
-            None => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Arc;
-    use std::thread;
-
-    #[test]
-    fn mutex_basic_lock_unlock() {
-        let m = Mutex::new(1);
-        *m.lock() += 1;
-        assert_eq!(*m.lock(), 2);
-        assert_eq!(m.into_inner(), 2);
-    }
-
-    #[test]
-    fn mutex_try_lock_contended() {
-        let m = Mutex::new(0);
-        let g = m.lock();
-        assert!(m.try_lock().is_none());
-        drop(g);
-        assert!(m.try_lock().is_some());
-    }
-
-    #[test]
-    fn mutex_swallows_poison() {
-        let m = Arc::new(Mutex::new(0));
-        let m2 = m.clone();
-        let _ = thread::spawn(move || {
-            let _g = m2.lock();
-            panic!("poison the lock");
-        })
-        .join();
-        // parking_lot semantics: a panic while holding the lock must not
-        // make subsequent lock() calls fail.
-        *m.lock() += 1;
-        assert_eq!(*m.lock(), 1);
-    }
-
-    #[test]
-    fn condvar_wait_notify() {
-        let pair = Arc::new((Mutex::new(false), Condvar::new()));
-        let pair2 = pair.clone();
-        let h = thread::spawn(move || {
-            let (lock, cvar) = &*pair2;
-            let mut ready = lock.lock();
-            while !*ready {
-                cvar.wait(&mut ready);
-            }
-            true
-        });
-        thread::sleep(Duration::from_millis(10));
-        *pair.0.lock() = true;
-        pair.1.notify_all();
-        assert!(h.join().expect("waiter ok"));
-    }
-
-    #[test]
-    fn condvar_wait_until_times_out() {
-        let m = Mutex::new(());
-        let cv = Condvar::new();
-        let mut g = m.lock();
-        let res = cv.wait_until(&mut g, Instant::now() + Duration::from_millis(5));
-        assert!(res.timed_out());
-        // The guard is usable again after the timed-out wait.
-        drop(g);
-        assert!(m.try_lock().is_some());
-    }
-
-    #[test]
-    fn rwlock_many_readers_one_writer() {
-        let l = RwLock::new(7);
-        {
-            let r1 = l.read();
-            let r2 = l.read();
-            assert_eq!((*r1, *r2), (7, 7));
-            assert!(l.try_write().is_none());
-        }
-        *l.write() = 8;
-        assert_eq!(*l.read(), 8);
-    }
-}
+// Keep the dependency edge unconditional: cargo cannot gate a dependency
+// on a custom --cfg, and schedtest is std-only, so the normal build just
+// carries an unused (tiny) rlib.
+#[cfg(schedtest)]
+extern crate schedtest;

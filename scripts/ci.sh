@@ -11,7 +11,10 @@
 #                                 unification hides the latter in
 #                                 workspace-wide builds);
 #   5. scripts/examples_smoke.sh — every example runs, fail-fast;
-#   6. bench smoke + gates      — a fast figure6 run emitting
+#   6. schedtest smoke          — the deterministic schedule-exploration
+#                                 model suites under --cfg schedtest,
+#                                 summarized to SCHEDTEST_ci.json;
+#   7. bench smoke + gates      — a fast figure6 run emitting
 #                                 BENCH_ci.json, criterion smokes via the
 #                                 TINYBENCH_* knobs, then the regression
 #                                 gates (`bench --bin gates`, tested in
@@ -46,10 +49,10 @@ loud_skip() {
     fi
 }
 
-step "[1/6] tier-1 verify (hermetic guard + build + test)"
+step "[1/7] tier-1 verify (hermetic guard + build + test)"
 scripts/verify.sh
 
-step "[2/6] cargo fmt --check"
+step "[2/7] cargo fmt --check"
 if command -v rustfmt > /dev/null 2>&1; then
     cargo fmt --all -- --check
     echo "   ok: formatting clean"
@@ -57,7 +60,7 @@ else
     loud_skip "rustfmt is not installed (rustup component add rustfmt)"
 fi
 
-step "[3/6] cargo clippy --workspace --all-targets -- -D warnings"
+step "[3/7] cargo clippy --workspace --all-targets -- -D warnings"
 if cargo clippy --version > /dev/null 2>&1; then
     cargo clippy --workspace --all-targets --offline -- -D warnings
     echo "   ok: clippy clean"
@@ -65,7 +68,7 @@ else
     loud_skip "clippy is not installed (rustup component add clippy)"
 fi
 
-step "[4/6] obs feature matrix (on + isolated off)"
+step "[4/7] obs feature matrix (on + isolated off)"
 # With the feature: the whole workspace, all targets (bench + root
 # already default it on, but be explicit for the instrumented crates).
 OBS_CRATES=(gde blockingq exec pipes mapreduce wordcount)
@@ -83,10 +86,28 @@ for crate in "${OBS_CRATES[@]}" coexpr junicon bigint obs; do
 done
 echo "   ok: uninstrumented builds + tests (obs off)"
 
-step "[5/6] examples smoke"
+step "[5/7] examples smoke"
 scripts/examples_smoke.sh
 
-step "[6/6] bench smoke -> BENCH_ci.json, then the regression gates"
+step "[6/7] schedtest smoke -> SCHEDTEST_ci.json (schedule-exploration model tests)"
+# The deterministic schedule-exploration suites (crates/schedtest/tests/
+# model_*.rs) under the virtual scheduler: RUSTFLAGS="--cfg schedtest"
+# swaps the parking_lot shim to virtual primitives, so the build lands in
+# its own target dir rather than thrashing the main cache. The budget is
+# a backstop well above the largest committed exhaustive test (~25k
+# schedules): a test that suddenly needs more fails its own `complete`
+# assertion loudly instead of burning CI minutes. Each explore() call
+# appends one summary line to SCHEDTEST_ci.json; the schedtest gate below
+# checks the smoke actually explored schedules.
+rm -f SCHEDTEST_ci.json
+RUSTFLAGS="--cfg schedtest" CARGO_TARGET_DIR=target/schedtest \
+    SCHEDTEST_BUDGET=50000 SCHEDTEST_JSON="$PWD/SCHEDTEST_ci.json" \
+    cargo test --offline -q -p schedtest \
+    --test model_blockingq --test model_pipes --test model_exec \
+    -- --test-threads=1
+echo "   ok: model suites green ($(wc -l < SCHEDTEST_ci.json) explorations summarized)"
+
+step "[7/7] bench smoke -> BENCH_ci.json, then the regression gates"
 # Small corpus + few iterations: this is a wiring check (does the
 # harness run, do the gates hold), not a measurement. BENCH_baseline.json
 # is the committed full-size run.
@@ -130,6 +151,9 @@ TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
 #
 #   schema          BENCH_ci.json is a well-formed figure6-v2 snapshot —
 #                   renamed keys FAIL loudly instead of skipping;
+#   schedtest       SCHEDTEST_ci.json (step 6) sums to explored_schedules
+#                   > 0 with no failing exploration — the model smoke
+#                   genuinely ran under the virtual scheduler;
 #   contention      blocked_takes/takes <= 0.0747, the pre-batching seed
 #                   baseline (28262/378288; scale-free, see DESIGN.md §
 #                   Batched transport);
@@ -149,6 +173,7 @@ TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
 GATE_FLAGS=(--json BENCH_ci.json
     --max-blocked-take-ratio 0.0747
     --max-seq-lw-ratio 1.76
+    --schedtest-json SCHEDTEST_ci.json
     --baseline BENCH_baseline.json)
 if [ "$STRICT" = "1" ]; then
     GATE_FLAGS+=(--strict)
