@@ -284,6 +284,7 @@ impl FusedPlan {
                     factory: Arc::clone(factory),
                     f: Arc::clone(f),
                     cur: None,
+                    live: false,
                 }),
             };
         }
@@ -331,31 +332,46 @@ pub struct FlatFused {
     left: BoxGen,
     factory: Arc<dyn Fn(&Value) -> BoxGen + Send + Sync>,
     f: FusedFn,
+    /// The sub-generator for the current (or, between outer values, the
+    /// previous) `left` suspension. An exhausted generator is kept so a
+    /// [`Gen::rebind`]-capable one can be recycled for the next outer
+    /// value instead of paying a factory call + box per value.
     cur: Option<BoxGen>,
+    /// Whether `cur` is bound to a not-yet-exhausted `left` value.
+    live: bool,
 }
 
 impl Gen for FlatFused {
     fn resume(&mut self) -> Step {
         loop {
-            if self.cur.is_none() {
+            if !self.live {
                 match self.left.resume() {
-                    Step::Suspend(lv) => self.cur = Some((self.factory)(&lv)),
+                    Step::Suspend(lv) => {
+                        let recycled = match self.cur.as_mut() {
+                            Some(g) => g.rebind(&lv),
+                            None => false,
+                        };
+                        if !recycled {
+                            self.cur = Some((self.factory)(&lv));
+                        }
+                        self.live = true;
+                    }
                     Step::Fail => return Step::Fail,
                 }
             }
-            match self.cur.as_mut().expect("just set").resume() {
+            match self.cur.as_mut().expect("live implies cur").resume() {
                 Step::Suspend(rv) => {
                     if let Some(out) = (self.f)(&rv) {
                         return Step::Suspend(out);
                     }
                 }
-                Step::Fail => self.cur = None,
+                Step::Fail => self.live = false,
             }
         }
     }
     fn restart(&mut self) {
         self.left.restart();
-        self.cur = None;
+        self.live = false;
     }
 }
 

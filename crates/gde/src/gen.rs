@@ -45,6 +45,19 @@ pub trait Gen: Send {
     fn resume(&mut self) -> Step;
     /// Reset to the initial state (the next `resume` starts over).
     fn restart(&mut self);
+    /// Rebind this generator to a fresh source value in place, as if the
+    /// flat-stage factory had just constructed it over `v`. Returns
+    /// `false` (the default) when in-place rebinding is unsupported, in
+    /// which case the caller builds a fresh generator instead.
+    ///
+    /// Flat barriers ([`crate::comb::fuse::FlatFused`]) construct one
+    /// sub-generator per outer value — for a line/word pipeline that is
+    /// one heap allocation per *line*. A factory-built generator that
+    /// implements `rebind` lets the barrier recycle the previous
+    /// allocation across outer values instead.
+    fn rebind(&mut self, _v: &Value) -> bool {
+        false
+    }
 }
 
 /// The ubiquitous owned generator type.
@@ -56,6 +69,9 @@ impl Gen for BoxGen {
     }
     fn restart(&mut self) {
         (**self).restart()
+    }
+    fn rebind(&mut self, v: &Value) -> bool {
+        (**self).rebind(v)
     }
 }
 

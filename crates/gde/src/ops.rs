@@ -12,9 +12,12 @@
 //!   producing 5*, `5 < 4` fails. This is what lets comparisons chain and
 //!   filter inside generator products, e.g. `1 <= x <= 10`.
 
+use crate::strbuf;
+use crate::sym::Symbol;
 use crate::value::Value;
 use bigint::BigInt;
 use std::cmp::Ordering;
+use std::fmt::Write as _;
 use std::sync::Arc;
 
 /// A numeric view of a value after coercion.
@@ -33,7 +36,7 @@ pub fn to_num(v: &Value) -> Option<Num> {
         Value::Int(i) => Some(Num::Int(i)),
         Value::Big(b) => Some(Num::Big((*b).clone())),
         Value::Real(r) => Some(Num::Real(r)),
-        s @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_)) => {
+        s @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_) | Value::Built(_)) => {
             let s = s.as_str().expect("string form").trim();
             if let Ok(i) = s.parse::<i64>() {
                 Some(Num::Int(i))
@@ -219,6 +222,127 @@ pub fn num_ne(a: &Value, b: &Value) -> Option<Value> {
     }
 }
 
+/// A stack-first scratch buffer for numeric→string coercion: 40 bytes
+/// inline (room for any `i64` and the shortest-round-trip image of any
+/// `f64` that fits it), spilling to a heap `String` only when a value's
+/// image genuinely overflows (full decimal expansions of huge reals,
+/// big integers). This is what lets [`to_text`], the lexical
+/// comparisons, and [`concat`] coerce numbers without allocating on the
+/// hot path.
+pub struct NumBuf {
+    bytes: [u8; 40],
+    len: usize,
+    spill: Option<String>,
+}
+
+impl Default for NumBuf {
+    fn default() -> Self {
+        NumBuf::new()
+    }
+}
+
+impl NumBuf {
+    pub fn new() -> NumBuf {
+        NumBuf {
+            bytes: [0; 40],
+            len: 0,
+            spill: None,
+        }
+    }
+
+    pub fn as_str(&self) -> &str {
+        match &self.spill {
+            Some(s) => s,
+            None => std::str::from_utf8(&self.bytes[..self.len]).expect("NumBuf holds UTF-8"),
+        }
+    }
+
+    /// True iff the image stayed in the stack buffer (no allocation).
+    fn on_stack(&self) -> bool {
+        self.spill.is_none()
+    }
+}
+
+impl std::fmt::Write for NumBuf {
+    fn write_str(&mut self, s: &str) -> std::fmt::Result {
+        if let Some(sp) = &mut self.spill {
+            sp.push_str(s);
+        } else if self.len + s.len() <= self.bytes.len() {
+            self.bytes[self.len..self.len + s.len()].copy_from_slice(s.as_bytes());
+            self.len += s.len();
+        } else {
+            let mut sp = String::with_capacity(self.len + s.len());
+            sp.push_str(std::str::from_utf8(&self.bytes[..self.len]).expect("UTF-8"));
+            sp.push_str(s);
+            self.spill = Some(sp);
+        }
+        Ok(())
+    }
+}
+
+/// Borrowed string coercion: string forms hand back their own text,
+/// numbers format into the caller's [`NumBuf`]. No allocation unless the
+/// image spills (see [`NumBuf`]). Fails for non-scalar values. Reified
+/// variables are *not* dereferenced here (a borrowed result cannot
+/// outlive a temporary) — callers deref first.
+pub fn to_text<'a>(v: &'a Value, buf: &'a mut NumBuf) -> Option<&'a str> {
+    match v {
+        Value::Str(s) => Some(s),
+        Value::Sym(s) => Some(s.as_str()),
+        Value::Slice(s) => Some(s.as_str()),
+        Value::Built(s) => Some(s.as_str()),
+        Value::Int(i) => {
+            write!(buf, "{i}").ok()?;
+            obs_on!(crate::obs_hot::coerce_cached().inc());
+            Some(buf.as_str())
+        }
+        Value::Real(r) => {
+            format_real_into(*r, buf);
+            if buf.on_stack() {
+                obs_on!(crate::obs_hot::coerce_cached().inc());
+            }
+            Some(buf.as_str())
+        }
+        Value::Big(b) => {
+            write!(buf, "{b}").ok()?;
+            Some(buf.as_str())
+        }
+        _ => None,
+    }
+}
+
+/// Dereference a reified variable into `slot` so its value can be
+/// borrowed from; pass non-refs through untouched.
+fn deref_into<'a>(v: &'a Value, slot: &'a mut Option<Value>) -> &'a Value {
+    match v {
+        Value::Ref(_) => slot.insert(v.deref()),
+        other => other,
+    }
+}
+
+/// Interned handles for the small-integer images (`"0"`..`"255"`):
+/// table-key coercions and `word=count` formatting hit these constantly,
+/// so they resolve to canonical immortal symbols instead of fresh
+/// allocations.
+fn small_int_sym(i: i64) -> Option<Symbol> {
+    use std::sync::OnceLock;
+    static SMALL: OnceLock<Vec<Symbol>> = OnceLock::new();
+    if !(0..=255).contains(&i) {
+        return None;
+    }
+    let table = SMALL.get_or_init(|| {
+        let mut buf = NumBuf::new();
+        (0..=255i64)
+            .map(|n| {
+                buf.len = 0;
+                let _ = write!(buf, "{n}");
+                Symbol::new(buf.as_str())
+            })
+            .collect()
+    });
+    Some(table[i as usize])
+}
+
 /// Coerce to a string (Icon's implicit string conversion).
 pub fn to_str(v: &Value) -> Option<Arc<str>> {
     match v.deref() {
@@ -226,23 +350,131 @@ pub fn to_str(v: &Value) -> Option<Arc<str>> {
         // Interned handles already own a canonical shared allocation.
         Value::Sym(s) => Some(s.arc()),
         Value::Slice(s) => Some(Arc::from(s.as_str())),
-        Value::Int(i) => Some(Arc::from(i.to_string().as_str())),
+        Value::Built(s) => Some(Arc::from(s.as_str())),
+        Value::Int(i) => Some(int_arc(i)),
         Value::Big(b) => Some(Arc::from(b.to_string().as_str())),
-        Value::Real(r) => Some(Arc::from(format_real(r).as_str())),
+        Value::Real(r) => {
+            let mut buf = NumBuf::new();
+            format_real_into(r, &mut buf);
+            if buf.on_stack() {
+                obs_on!(crate::obs_hot::coerce_cached().inc());
+            }
+            Some(Arc::from(buf.as_str()))
+        }
         _ => None,
     }
 }
 
-fn format_real(r: f64) -> String {
+/// An integer's string image as a shared allocation: small ints replay
+/// the canonical interned symbol (zero allocation), larger ones format
+/// on the stack and take a single `Arc` copy (down from the old
+/// `String` + `Arc` pair).
+fn int_arc(i: i64) -> Arc<str> {
+    if let Some(sym) = small_int_sym(i) {
+        obs_on!(crate::obs_hot::coerce_cached().inc());
+        return sym.arc();
+    }
+    let mut buf = NumBuf::new();
+    let _ = write!(buf, "{i}");
+    Arc::from(buf.as_str())
+}
+
+/// Icon's image of a real: integral finite values show one decimal
+/// (`3.0`), everything else the shortest round-trip form.
+fn format_real_into(r: f64, buf: &mut NumBuf) {
     if r == r.trunc() && r.is_finite() && r.abs() < 1e15 {
-        format!("{r:.1}")
+        let _ = write!(buf, "{r:.1}");
     } else {
-        format!("{r}")
+        let _ = write!(buf, "{r}");
     }
 }
 
-/// String concatenation (`||`) with coercion.
+/// String concatenation (`||`) with coercion, backed by the builder
+/// arena ([`crate::strbuf`]). Three regimes, cheapest first:
+///
+/// * both operands are windows of the same owner and textually adjacent
+///   → the result is a *wider window*, nothing copied (`concat_slices`);
+/// * the left operand is the last published window of this thread's
+///   builder chunk → only the right operand's bytes are appended and the
+///   window widens over both (`concat_slices`) — this is what makes
+///   left-leaning concat chains (`((a || b) || c) || …`) linear instead
+///   of quadratic;
+/// * otherwise both coerced texts are appended into the arena and the
+///   result windows over the pair (`concat_copies`).
+///
+/// The result is a borrowed [`Value::Built`] (or widened
+/// [`Value::Slice`]) handle: it pins its chunk and promotes at every
+/// escape route, exactly like the line-arena slices. For an owned result
+/// (the pre-arena behaviour) use [`concat_owned`].
 pub fn concat(a: &Value, b: &Value) -> Option<Value> {
+    let (mut da, mut db) = (None, None);
+    let a = deref_into(a, &mut da);
+    let b = deref_into(b, &mut db);
+    if let Some(widened) = try_widen(a, b) {
+        return Some(widened);
+    }
+    if let Value::Built(x) = a {
+        // Tail extension: `x` ends exactly at the current chunk's
+        // published length, so appending `b` widens it in place.
+        let mut bbuf = NumBuf::new();
+        let btext = to_text(b, &mut bbuf)?;
+        if let Some(w) = strbuf::with_builder(|bl| bl.try_extend(&x.window(), btext)) {
+            obs_on!(crate::obs_hot::concat_slices().inc());
+            return Some(Value::built(w));
+        }
+        obs_on!(crate::obs_hot::concat_copies().inc());
+        return Some(Value::built(strbuf::with_builder(|bl| {
+            bl.push_concat(x.as_str(), btext)
+        })));
+    }
+    let (mut abuf, mut bbuf) = (NumBuf::new(), NumBuf::new());
+    let x = to_text(a, &mut abuf)?;
+    let y = to_text(b, &mut bbuf)?;
+    obs_on!(crate::obs_hot::concat_copies().inc());
+    Some(Value::built(strbuf::with_builder(|bl| {
+        bl.push_concat(x, y)
+    })))
+}
+
+/// The adjacency fast path: two windows of the same owner where `a` ends
+/// exactly where `b` starts merge into one wider window of that owner —
+/// zero bytes copied. (The test-only `strbuf::ADJACENCY_SKEW` hook
+/// shortens the widened window by one byte so the differential suite can
+/// prove an off-by-one here is caught.)
+fn try_widen(a: &Value, b: &Value) -> Option<Value> {
+    let skew = |len: u32| {
+        if strbuf::adjacency_skew() {
+            len.saturating_sub(1)
+        } else {
+            len
+        }
+    };
+    match (a, b) {
+        (Value::Slice(x), Value::Slice(y)) if Arc::ptr_eq(x.owner(), y.owner()) => {
+            let ((xs, xl), (ys, yl)) = (x.bounds(), y.bounds());
+            if xs + xl == ys {
+                obs_on!(crate::obs_hot::concat_slices().inc());
+                return Some(Value::Slice(x.with_bounds(xs, skew(xl + yl))));
+            }
+            None
+        }
+        (Value::Built(x), Value::Built(y)) if Arc::ptr_eq(x.owner(), y.owner()) => {
+            let ((xs, xl), (ys, yl)) = (x.bounds(), y.bounds());
+            if xs + xl == ys {
+                obs_on!(crate::obs_hot::concat_slices().inc());
+                return Some(Value::Built(x.with_bounds(xs, skew(xl + yl))));
+            }
+            None
+        }
+        _ => None,
+    }
+}
+
+/// String concatenation into a fresh owned `String` — the pre-arena
+/// implementation, kept as the reference ("builder off") side of the
+/// boxed-vs-builder differential suite and for callers that genuinely
+/// want an owned result.
+pub fn concat_owned(a: &Value, b: &Value) -> Option<Value> {
     let (x, y) = (to_str(a)?, to_str(b)?);
     let mut s = String::with_capacity(x.len() + y.len());
     s.push_str(&x);
@@ -250,13 +482,24 @@ pub fn concat(a: &Value, b: &Value) -> Option<Value> {
     Some(Value::from(s))
 }
 
+/// Lexical three-way comparison over coerced texts, allocation-free for
+/// every scalar whose image fits the stack buffers.
+fn text_cmp(a: &Value, b: &Value) -> Option<Ordering> {
+    let (mut da, mut db) = (None, None);
+    let a = deref_into(a, &mut da);
+    let b = deref_into(b, &mut db);
+    let (mut abuf, mut bbuf) = (NumBuf::new(), NumBuf::new());
+    let x = to_text(a, &mut abuf)?;
+    let y = to_text(b, &mut bbuf)?;
+    Some(x.cmp(y))
+}
+
 macro_rules! str_cmp_op {
     ($name:ident, $($ord:pat_param)|+) => {
         /// Goal-directed lexical comparison: succeeds producing the right
         /// operand or fails.
         pub fn $name(a: &Value, b: &Value) -> Option<Value> {
-            let (x, y) = (to_str(a)?, to_str(b)?);
-            match x.as_ref().cmp(y.as_ref()) {
+            match text_cmp(a, b)? {
                 $($ord)|+ => Some(b.deref()),
                 _ => None,
             }
@@ -272,11 +515,9 @@ str_cmp_op!(str_eq, Ordering::Equal);
 
 /// Goal-directed lexical inequality.
 pub fn str_ne(a: &Value, b: &Value) -> Option<Value> {
-    let (x, y) = (to_str(a)?, to_str(b)?);
-    if x == y {
-        None
-    } else {
-        Some(b.deref())
+    match text_cmp(a, b)? {
+        Ordering::Equal => None,
+        _ => Some(b.deref()),
     }
 }
 
@@ -291,12 +532,50 @@ pub fn equiv(a: &Value, b: &Value) -> Option<Value> {
 
 /// Subscript `x[i]` with Icon's 1-based, negative-from-end indexing for
 /// strings and lists, and key lookup (with default) for tables.
+///
+/// String subscripts are byte-indexed: the old per-call `Vec<char>`
+/// collect is gone. ASCII text (the hot case) resolves the character in
+/// O(1); other text takes a single `char_indices` walk with early exit
+/// at the target. Negative and zero indices need the character count —
+/// replayed from the [`BuiltStr`](crate::BuiltStr) cache or counted with
+/// the ASCII fast path. The result is a *window into the subscripted
+/// value's own owner* (its line buffer, arena chunk, or interner node) —
+/// no allocation on any string path.
 pub fn index(x: &Value, i: &Value) -> Option<Value> {
     match x.deref() {
-        s @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_)) => {
-            let chars: Vec<char> = s.as_str().expect("string form").chars().collect();
-            let idx = icon_index(i, chars.len())?;
-            Some(Value::from(chars[idx].to_string()))
+        ref sv @ (Value::Str(_) | Value::Sym(_) | Value::Slice(_) | Value::Built(_)) => {
+            let text = sv.as_str().expect("string form");
+            let raw = raw_icon_index(i)?;
+            let idx = if raw > 0 {
+                (raw - 1) as usize
+            } else {
+                let chars = match sv {
+                    Value::Built(s) => s.char_len(),
+                    Value::Slice(s) => s.char_len(),
+                    _ => crate::value::str_char_len(text),
+                };
+                let adj = chars as i64 + raw - 1;
+                if adj < 0 {
+                    return None;
+                }
+                adj as usize
+            };
+            let (bs, be) = char_window(text, idx)?;
+            Some(match sv {
+                Value::Slice(s) => {
+                    let (start, _) = s.bounds();
+                    Value::Slice(s.with_bounds(start + bs as u32, (be - bs) as u32))
+                }
+                Value::Built(s) => {
+                    let (start, _) = s.bounds();
+                    Value::Built(s.with_bounds(start + bs as u32, (be - bs) as u32))
+                }
+                Value::Str(s) => Value::slice(s.clone(), bs, be),
+                // A symbol's text is a canonical immortal allocation:
+                // windowing it costs one refcount, no interner walk.
+                Value::Sym(s) => Value::slice(s.arc(), bs, be),
+                _ => unreachable!("string form"),
+            })
         }
         Value::List(l) => {
             let l = l.lock();
@@ -337,14 +616,36 @@ pub fn index_assign(x: &Value, i: &Value, v: Value) -> Option<Value> {
     }
 }
 
-/// Convert an Icon subscript (1-based; 0 or negative count from the end in
-/// Unicon style) to a 0-based offset, failing when out of range.
+/// The byte window of the `idx`-th (0-based) character of `text`:
+/// all-ASCII text resolves in O(1), otherwise one `char_indices` walk
+/// stopping at the target. `None` when `idx` is past the end.
+fn char_window(text: &str, idx: usize) -> Option<(usize, usize)> {
+    if text.is_ascii() {
+        if idx < text.len() {
+            Some((idx, idx + 1))
+        } else {
+            None
+        }
+    } else {
+        let (start, c) = text.char_indices().nth(idx)?;
+        Some((start, start + c.len_utf8()))
+    }
+}
+
+/// The raw Icon subscript value (1-based; 0 or negative count from the
+/// end in Unicon style), before length adjustment.
+fn raw_icon_index(i: &Value) -> Option<i64> {
+    match to_num(i)? {
+        Num::Int(v) => Some(v),
+        Num::Big(b) => b.to_i64(),
+        Num::Real(r) => Some(r as i64),
+    }
+}
+
+/// Convert an Icon subscript to a 0-based offset, failing when out of
+/// range.
 fn icon_index(i: &Value, len: usize) -> Option<usize> {
-    let raw = match to_num(i)? {
-        Num::Int(v) => v,
-        Num::Big(b) => b.to_i64()?,
-        Num::Real(r) => r as i64,
-    };
+    let raw = raw_icon_index(i)?;
     let idx = if raw > 0 {
         raw - 1
     } else {
@@ -456,6 +757,162 @@ mod tests {
         assert_eq!(str_ne(&s("x"), &s("x")), None);
         // Numeric strings compare lexically under string ops.
         assert_eq!(str_gt(&s("9"), &s("10")), Some(s("10")));
+    }
+
+    #[test]
+    fn concat_yields_arena_windows() {
+        let v = concat(&s("ab"), &s("cd")).unwrap();
+        assert!(
+            matches!(v, Value::Built(_)),
+            "fresh concat lands in the arena"
+        );
+        assert_eq!(v.as_str(), Some("abcd"));
+        // A left-leaning chain tail-extends: every link shares one chunk
+        // window with the previous result.
+        let chain = concat(&concat(&v, &s("-")).unwrap(), &i(7)).unwrap();
+        assert_eq!(chain.as_str(), Some("abcd-7"));
+        if let (Value::Built(a), Value::Built(b)) = (&v, &chain) {
+            assert!(
+                Arc::ptr_eq(a.owner(), b.owner()),
+                "chain must stay in one chunk"
+            );
+        } else {
+            panic!("chain result must be Built");
+        }
+    }
+
+    #[test]
+    fn concat_widens_adjacent_slices_without_copying() {
+        let line: Arc<str> = Arc::from("hello world");
+        let a = Value::slice(line.clone(), 0, 5);
+        let b = Value::slice(line.clone(), 5, 11);
+        let joined = concat(&a, &b).unwrap();
+        match &joined {
+            Value::Slice(w) => {
+                assert!(
+                    Arc::ptr_eq(w.owner(), &line),
+                    "widening must reuse the owner"
+                );
+                assert_eq!(w.as_str(), "hello world");
+            }
+            other => panic!("adjacent slices must widen, got {other:?}"),
+        }
+        // Non-adjacent windows of the same owner fall back to a copy.
+        let c = Value::slice(line.clone(), 0, 5);
+        let d = Value::slice(line.clone(), 6, 11);
+        let copied = concat(&c, &d).unwrap();
+        assert!(matches!(copied, Value::Built(_)));
+        assert_eq!(copied.as_str(), Some("helloworld"));
+    }
+
+    #[test]
+    fn concat_owned_matches_builder_concat() {
+        let line: Arc<str> = Arc::from("one two three");
+        let cases = [
+            (s("a"), s("b")),
+            (s(""), s("xy")),
+            (
+                Value::slice(line.clone(), 0, 3),
+                Value::slice(line.clone(), 3, 7),
+            ),
+            (Value::interned("k"), i(255)),
+            (i(-4), Value::from(2.5)),
+            (s("r="), Value::from(3.0)),
+        ];
+        for (a, b) in cases {
+            let owned = concat_owned(&a, &b);
+            let built = concat(&a, &b);
+            assert_eq!(owned, built, "{a:?} || {b:?} diverged");
+        }
+        assert_eq!(concat(&Value::list(vec![]), &s("x")), None);
+        assert_eq!(concat(&s("x"), &Value::list(vec![])), None);
+    }
+
+    #[test]
+    fn small_int_images_are_interned() {
+        let a = to_str(&i(42)).unwrap();
+        let b = to_str(&i(42)).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "small-int images must share the cache");
+        assert_eq!(a.as_ref(), "42");
+        assert_eq!(to_str(&i(0)).unwrap().as_ref(), "0");
+        assert_eq!(to_str(&i(255)).unwrap().as_ref(), "255");
+        // Outside the cache: still correct, single allocation.
+        assert_eq!(to_str(&i(256)).unwrap().as_ref(), "256");
+        assert_eq!(
+            to_str(&i(i64::MIN)).unwrap().as_ref(),
+            "-9223372036854775808"
+        );
+    }
+
+    #[test]
+    fn to_text_borrows_without_allocating() {
+        let mut buf = NumBuf::new();
+        assert_eq!(to_text(&s("plain"), &mut buf), Some("plain"));
+        let mut buf = NumBuf::new();
+        assert_eq!(to_text(&i(-17), &mut buf), Some("-17"));
+        let mut buf = NumBuf::new();
+        assert_eq!(to_text(&Value::from(2.5), &mut buf), Some("2.5"));
+        let mut buf = NumBuf::new();
+        assert_eq!(to_text(&Value::from(3.0), &mut buf), Some("3.0"));
+        // A huge real's full decimal expansion spills to the heap but
+        // stays correct.
+        let mut buf = NumBuf::new();
+        let huge = Value::from(1e300);
+        let long = to_text(&huge, &mut buf).unwrap();
+        assert_eq!(long.len(), 301);
+        assert!(long.starts_with('1'));
+        let mut buf = NumBuf::new();
+        assert_eq!(to_text(&Value::list(vec![]), &mut buf), None);
+    }
+
+    #[test]
+    fn str_cmp_coerces_through_refs_and_numbers() {
+        use crate::var::Var;
+        let r = Value::Ref(Var::new(s("abc")));
+        assert_eq!(str_lt(&r, &s("abd")), Some(s("abd")));
+        assert_eq!(str_eq(&i(12), &s("12")), Some(s("12")));
+        assert_eq!(str_lt(&i(12), &i(3)), Some(i(3))); // lexical: "12" < "3"
+    }
+
+    #[test]
+    fn index_returns_windows_into_the_owner() {
+        let line: Arc<str> = Arc::from("alpha beta");
+        let word = Value::slice(line.clone(), 0, 5);
+        let c = index(&word, &i(2)).unwrap();
+        match &c {
+            Value::Slice(w) => {
+                assert!(
+                    Arc::ptr_eq(w.owner(), &line),
+                    "subscript must window the owner"
+                );
+                assert_eq!(w.as_str(), "l");
+            }
+            other => panic!("expected a slice window, got {other:?}"),
+        }
+        // Built subscripts window the chunk.
+        let built = concat(&s("wi"), &s("de")).unwrap();
+        let d = index(&built, &i(4)).unwrap();
+        assert!(matches!(d, Value::Built(_)));
+        assert_eq!(d.as_str(), Some("e"));
+        // Sym subscripts window the canonical interner allocation.
+        let sym = Value::interned("symbolic");
+        assert_eq!(index(&sym, &i(3)).unwrap().as_str(), Some("m"));
+    }
+
+    #[test]
+    fn index_multibyte_and_negative() {
+        let v = s("héllo");
+        assert_eq!(index(&v, &i(1)).unwrap().as_str(), Some("h"));
+        assert_eq!(index(&v, &i(2)).unwrap().as_str(), Some("é"));
+        assert_eq!(index(&v, &i(5)).unwrap().as_str(), Some("o"));
+        assert_eq!(index(&v, &i(6)), None);
+        assert_eq!(index(&v, &i(0)).unwrap().as_str(), Some("o"));
+        assert_eq!(index(&v, &i(-1)).unwrap().as_str(), Some("l"));
+        assert_eq!(index(&v, &i(-5)), None);
+        // ASCII fast path hits the same answers.
+        let a = s("hello");
+        assert_eq!(index(&a, &i(-1)).unwrap().as_str(), Some("l"));
+        assert_eq!(index(&a, &i(0)).unwrap().as_str(), Some("o"));
     }
 
     #[test]

@@ -65,7 +65,7 @@ impl Var {
     pub fn update(&self, f: impl FnOnce(&mut Value)) {
         let mut guard = self.cell.lock();
         f(&mut guard);
-        if matches!(&*guard, Value::Slice(_)) {
+        if guard.is_borrowed() {
             let v = std::mem::take(&mut *guard);
             *guard = v.promote();
         }

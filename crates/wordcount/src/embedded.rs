@@ -43,22 +43,28 @@ fn word_stream(lines: Value) -> BoxGen {
 /// the run *after* it fuses into the barrier node itself
 /// ([`gde::comb::fuse::FlatFused`]).
 fn word_split_factory(line: &Value) -> BoxGen {
+    match line_buffer(line) {
+        Some(line) => Box::new(WordSplit {
+            line,
+            pos: 0,
+            pending: 0,
+        }) as BoxGen,
+        None => Box::new(fail()) as BoxGen,
+    }
+}
+
+/// The shared `Arc<str>` buffer behind a line value, for [`WordSplit`]
+/// to scan in place.
+fn line_buffer(line: &Value) -> Option<std::sync::Arc<str>> {
     match line {
-        Value::Str(s) => Box::new(WordSplit {
-            line: s.clone(),
-            pos: 0,
-        }) as BoxGen,
-        Value::Sym(s) => Box::new(WordSplit {
-            line: s.arc(),
-            pos: 0,
-        }) as BoxGen,
-        Value::Slice(s) => Box::new(WordSplit {
-            // A slice-of-a-slice would need nested offsets; re-own the
-            // window instead (lines arriving as slices are cold paths).
-            line: std::sync::Arc::from(s.as_str()),
-            pos: 0,
-        }) as BoxGen,
-        _ => Box::new(fail()) as BoxGen,
+        Value::Str(s) => Some(s.clone()),
+        Value::Sym(s) => Some(s.arc()),
+        // A slice-of-a-slice would need nested offsets, and builder-arena
+        // lines would thread a second owner type through the splitter;
+        // both are cold here — re-own the window instead.
+        Value::Slice(s) => Some(std::sync::Arc::from(s.as_str())),
+        Value::Built(s) => Some(std::sync::Arc::from(s.as_str())),
+        _ => None,
     }
 }
 
@@ -70,28 +76,68 @@ fn word_split_factory(line: &Value) -> BoxGen {
 struct WordSplit {
     line: std::sync::Arc<str>,
     pos: usize,
+    /// Windows yielded since the last `gde.value.inline_hits` flush —
+    /// batched per line via [`Value::note_inline_windows`] so the
+    /// per-word loop pays a register increment, not an atomic RMW.
+    pending: u64,
+}
+
+impl WordSplit {
+    fn flush_obs(&mut self) {
+        Value::note_inline_windows(self.pending);
+        self.pending = 0;
+    }
+}
+
+impl Drop for WordSplit {
+    fn drop(&mut self) {
+        // A splitter abandoned mid-line still accounts for what it
+        // yielded.
+        self.flush_obs();
+    }
 }
 
 impl Gen for WordSplit {
     fn resume(&mut self) -> Step {
         let bytes = self.line.as_bytes();
-        let mut start = self.pos;
-        while start < bytes.len() && bytes[start].is_ascii_whitespace() {
-            start += 1;
-        }
-        if start >= bytes.len() {
-            self.pos = bytes.len();
-            return Step::Fail;
-        }
-        let mut end = start;
-        while end < bytes.len() && !bytes[end].is_ascii_whitespace() {
-            end += 1;
-        }
+        // Slice-then-iterate so the scan is bounds-check-free.
+        let start = match bytes[self.pos..]
+            .iter()
+            .position(|b| !b.is_ascii_whitespace())
+        {
+            Some(off) => self.pos + off,
+            None => {
+                self.pos = bytes.len();
+                self.flush_obs();
+                return Step::Fail;
+            }
+        };
+        let end = match bytes[start..].iter().position(|b| b.is_ascii_whitespace()) {
+            Some(off) => start + off,
+            None => bytes.len(),
+        };
         self.pos = end;
-        Step::Suspend(Value::slice(self.line.clone(), start, end))
+        self.pending += 1;
+        // Splitting at ASCII whitespace always lands on char boundaries,
+        // so the trusted constructor skips the per-word window check.
+        Step::Suspend(Value::slice_at_ascii_delims(self.line.clone(), start, end))
     }
     fn restart(&mut self) {
         self.pos = 0;
+        self.flush_obs();
+    }
+    /// Flat barriers recycle the splitter across lines: swap the buffer,
+    /// rewind, skip the per-line factory call + box (see [`Gen::rebind`]).
+    fn rebind(&mut self, v: &Value) -> bool {
+        match line_buffer(v) {
+            Some(line) => {
+                self.line = line;
+                self.pos = 0;
+                self.flush_obs();
+                true
+            }
+            None => false,
+        }
     }
 }
 
@@ -327,6 +373,57 @@ pub fn data_parallel_sized(corpus: &Corpus, weight: Weight, chunk_size: usize) -
     sum_gen(Box::new(hashes), 0.0)
 }
 
+/// Word-frequency report: one `word=count` line per distinct word, in
+/// first-appearance order — the string-plane twin of
+/// [`crate::native::frequency_report`].
+///
+/// This is the concat-heavy embedded program: counts accumulate in a
+/// dynamic table keyed by *borrowed* word handles (promoted to owned
+/// keys by [`Value::as_key`]), and each report line is built with the
+/// goal-directed `||` ([`gde::ops::concat`]) — `word || "=" || count` —
+/// so the first hop lands in the builder arena and the second extends
+/// that window in place (the `gde.value.concat_slices` tail-extension
+/// path), while the count image comes from the small-int coercion
+/// cache. Figure 6 runs it once, untimed, so the obs snapshot proves
+/// the arena is actually on the measured runtime's hot path.
+pub fn frequency_report(corpus: &Corpus) -> Vec<String> {
+    let counts = Value::table();
+    let Value::Table(table) = &counts else {
+        unreachable!("Value::table builds a table");
+    };
+    let mut words = word_stream(corpus.as_value());
+    while let Some(w) = words.next_value() {
+        let Some(key) = w.as_key() else { continue };
+        let mut t = table.lock();
+        let n = t.entries.get(&key).and_then(|v| v.as_int()).unwrap_or(0);
+        t.entries.insert(key, Value::from(n + 1));
+    }
+    // Second pass replays the stream in first-appearance order; writing
+    // a zero count back marks a word as already reported.
+    let eq = Value::interned("=");
+    let mut report = Vec::new();
+    let mut words = word_stream(corpus.as_value());
+    while let Some(w) = words.next_value() {
+        let Some(key) = w.as_key() else { continue };
+        let n = {
+            let mut t = table.lock();
+            let n = t.entries.get(&key).and_then(|v| v.as_int()).unwrap_or(0);
+            if n > 0 {
+                t.entries.insert(key, Value::from(0));
+            }
+            n
+        };
+        if n == 0 {
+            continue;
+        }
+        let line = gde::ops::concat(&w, &eq)
+            .and_then(|l| gde::ops::concat(&l, &Value::from(n)))
+            .expect("string forms concatenate");
+        report.push(line.to_string());
+    }
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -417,6 +514,21 @@ mod tests {
         let tiny = Corpus::generate(2, 4, 28);
         let seq = sequential(&tiny, Weight::Light);
         assert_eq!(seq, fan_in(&tiny, Weight::Light, 8, 8, 3));
+    }
+
+    #[test]
+    fn frequency_report_matches_native_bytewise() {
+        let c = Corpus::generate(30, 6, 31);
+        let native = crate::native::frequency_report(c.lines());
+        let embedded = frequency_report(&c);
+        assert!(!native.is_empty());
+        assert_eq!(native, embedded);
+    }
+
+    #[test]
+    fn frequency_report_counts_repeats() {
+        let c = Corpus::from_lines(vec!["ab cd ab".to_string(), "cd ab e".to_string()]);
+        assert_eq!(frequency_report(&c), vec!["ab=3", "cd=2", "e=1"]);
     }
 
     #[test]

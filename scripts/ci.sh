@@ -144,6 +144,13 @@ echo "   -- value representation (Str vs Sym vs Slice):"
 TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
     cargo bench --offline -q -p bench --bench value_repr \
     | grep -E "value_repr/" | sed 's/^/      /'
+# String plane: builder-arena concat vs owned, coerced compares, and
+# byte-indexed subscripting, re-measured cheaply every run (see DESIGN.md
+# § String builder arena).
+echo "   -- string plane (builder vs owned concat, coercions, subscripts):"
+TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
+    cargo bench --offline -q -p bench --bench str_ops \
+    | grep -E "str_ops/" | sed 's/^/      /'
 
 # The regression gates, extracted from the inline grep/awk blocks that
 # used to live here into a tested binary (crates/bench/src/gates.rs;
@@ -161,18 +168,23 @@ TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
 #                   still reach the stage-fusion rewriter;
 #   compact-values  gde.value.inline_hits > 0 — the compact value
 #                   representation is still on the hot path;
+#   concat-slices   gde.value.concat_slices > 0 — concatenation still
+#                   reaches the builder arena's zero-copy regimes
+#                   (widening / tail extension);
 #   seq-lw-ratio    Junicon/Native Sequential-Lightweight median ratio.
-#                   The compact-value representation (arena slices +
-#                   interned symbols, ISSUE 7) brought the committed
-#                   full-size baseline to ~1.53x (from ~1.73x); gate at
-#                   baseline + 15% headroom = 1.76.
+#                   The allocation-free string plane (ISSUE 9: builder
+#                   arena, batched hot-loop instrumentation, generator
+#                   recycling at flat barriers) brought the committed
+#                   full-size baseline to ~1.40x (from ~1.53x after
+#                   ISSUE 7, ~1.73x at seed); gate at baseline + 15%
+#                   headroom = 1.61.
 #
 # The drift table against BENCH_baseline.json is report-only: smoke-size
 # medians are noisy, but the per-cell direction is worth a line in every
 # CI log.
 GATE_FLAGS=(--json BENCH_ci.json
     --max-blocked-take-ratio 0.0747
-    --max-seq-lw-ratio 1.76
+    --max-seq-lw-ratio 1.61
     --schedtest-json SCHEDTEST_ci.json
     --baseline BENCH_baseline.json)
 if [ "$STRICT" = "1" ]; then
