@@ -6,7 +6,8 @@
 //!         --max-blocked-take-ratio 0.0747 \
 //!         --max-seq-lw-ratio 1.53 \
 //!         [--strict] [--baseline BENCH_baseline.json] \
-//!         [--schedtest-json SCHEDTEST_ci.json]
+//!         [--schedtest-json SCHEDTEST_ci.json] \
+//!         [--faults-json FAULTS_ci.json]
 //!
 //! Exit code 1 on any FAIL, or on any SKIP under `--strict` (CI sets
 //! strict so an accidentally obs-less bench build cannot silently turn
@@ -15,7 +16,9 @@
 //! `--schedtest-json` points at the JSON-lines summary the schedule-
 //! exploration smoke appends (SCHEDTEST_JSON); without the flag that gate
 //! reports SKIP (strict CI turns the skip into a failure, so CI cannot
-//! quietly drop the smoke).
+//! quietly drop the smoke). `--faults-json` points at the `fault-smoke-v1`
+//! snapshot the `fault_smoke` binary writes; same SKIP-unless-passed
+//! contract, so CI cannot quietly drop the fault-plane smoke either.
 
 use bench::gates::{run_gates, GateStatus, Thresholds};
 use bench::json::Json;
@@ -24,7 +27,7 @@ use std::process::ExitCode;
 fn usage() -> ! {
     eprintln!(
         "usage: gates --json PATH --max-blocked-take-ratio R --max-seq-lw-ratio R \
-         [--strict] [--baseline PATH] [--schedtest-json PATH]"
+         [--strict] [--baseline PATH] [--schedtest-json PATH] [--faults-json PATH]"
     );
     std::process::exit(2);
 }
@@ -44,6 +47,7 @@ fn main() -> ExitCode {
     let mut json_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut schedtest_path: Option<String> = None;
+    let mut faults_path: Option<String> = None;
     let mut max_blocked_take_ratio: Option<f64> = None;
     let mut max_seq_lw_ratio: Option<f64> = None;
     let mut strict = false;
@@ -60,6 +64,7 @@ fn main() -> ExitCode {
             "--json" => json_path = Some(value("--json")),
             "--baseline" => baseline_path = Some(value("--baseline")),
             "--schedtest-json" => schedtest_path = Some(value("--schedtest-json")),
+            "--faults-json" => faults_path = Some(value("--faults-json")),
             "--max-blocked-take-ratio" => {
                 max_blocked_take_ratio = value("--max-blocked-take-ratio").parse().ok()
             }
@@ -100,6 +105,14 @@ fn main() -> ExitCode {
                 detail: format!("cannot read {path}: {e}"),
             },
         },
+    });
+    reports.push(match &faults_path {
+        None => bench::gates::GateReport {
+            name: "faults",
+            status: GateStatus::Skip,
+            detail: "no --faults-json (fault-plane smoke not run)".into(),
+        },
+        Some(path) => bench::gates::faults_gate(&load(path)),
     });
     let mut failed = false;
     let mut skipped = false;

@@ -326,6 +326,71 @@ pub fn schedtest_gate(text: &str) -> GateReport {
     )
 }
 
+/// Evaluate the fault-plane wiring gate on the `fault-smoke-v1` snapshot
+/// the `fault_smoke` binary writes (`FAULTS_ci.json`). The smoke run arms
+/// deterministic fault scenarios against every policy surface, so a
+/// healthy snapshot shows *every* fault counter non-zero: a zero (or a
+/// missing key — what a silent rename looks like) means that surface no
+/// longer reaches the fault plane and FAILs loudly. The only skip is the
+/// caller not passing a snapshot at all (`--faults-json` absent), which
+/// strict CI turns into a failure.
+pub fn faults_gate(doc: &Json) -> GateReport {
+    let name = "faults";
+    match doc.get("schema").and_then(Json::as_str) {
+        Some("fault-smoke-v1") => {}
+        other => {
+            return GateReport::fail(
+                name,
+                format!("schema {other:?}, expected \"fault-smoke-v1\""),
+            )
+        }
+    }
+    match doc.get("injected").and_then(Json::as_u64) {
+        Some(0) => {
+            return GateReport::fail(
+                name,
+                "injected = 0 — the smoke armed no faults (FAULTS mis-parsed \
+                 or the faultinj feature compiled out)"
+                    .into(),
+            )
+        }
+        Some(_) => {}
+        None => return GateReport::fail(name, "no integer \"injected\" total".into()),
+    }
+    // Every surface of the fault plane, by its committed counter key.
+    // All must be present AND non-zero after the smoke scenarios.
+    let mut details = Vec::new();
+    for metric in [
+        "faults.injected",
+        "pipes.faults.propagated",
+        "pipes.faults.retries",
+        "pipes.faults.degraded_sources",
+        "blockingq.close.failed",
+    ] {
+        match counter(doc, metric) {
+            Ok(None) => {
+                return GateReport::fail(
+                    name,
+                    "no obs snapshot (fault_smoke built without the obs feature)".into(),
+                )
+            }
+            Err(e) => return GateReport::fail(name, e),
+            Ok(Some(0)) => {
+                return GateReport::fail(
+                    name,
+                    format!(
+                        "{metric} = 0 — this fault surface no longer fires under \
+                         the smoke scenarios (DESIGN.md § Fault propagation and \
+                         injection)"
+                    ),
+                )
+            }
+            Ok(Some(v)) => details.push(format!("{metric} = {v}")),
+        }
+    }
+    GateReport::pass(name, details.join(", "))
+}
+
 /// A counter-must-be-nonzero wiring gate (fusion, compact values).
 fn wiring_gate(
     doc: &Json,

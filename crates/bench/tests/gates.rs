@@ -272,6 +272,85 @@ fn schedtest_malformed_line_fails_with_line_number() {
     assert!(r.detail.contains("line 2"), "{}", r.detail);
 }
 
+// --- fault-plane smoke gate --------------------------------------------------
+//
+// `faults_gate` reads the `fault-smoke-v1` snapshot the fault_smoke
+// binary writes: every fault counter must be present AND non-zero after
+// the smoke scenarios, so a rename and a dead surface both FAIL loudly.
+
+use bench::gates::faults_gate;
+
+fn faults_on(fixture: &str) -> GateReport {
+    faults_gate(&Json::parse(fixture).expect("fixture parses"))
+}
+
+#[test]
+fn faults_smoke_snapshot_passes_and_lists_counters() {
+    let r = faults_on(include_str!("fixtures/faults_passing.json"));
+    assert_eq!(r.status, GateStatus::Pass, "{}", r.detail);
+    for key in [
+        "faults.injected",
+        "pipes.faults.propagated",
+        "pipes.faults.retries",
+        "pipes.faults.degraded_sources",
+        "blockingq.close.failed",
+    ] {
+        assert!(r.detail.contains(key), "detail lists {key}: {}", r.detail);
+    }
+}
+
+#[test]
+fn faults_renamed_counter_fails_loudly() {
+    // `pipes.faults.retries` renamed: an obs snapshot is present, so the
+    // missing key is a rename/unregistration bug, never a skip.
+    let fixture = include_str!("fixtures/faults_passing.json")
+        .replace("pipes.faults.retries", "pipes.faults.retry_count");
+    let r = faults_on(&fixture);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("pipes.faults.retries"), "{}", r.detail);
+}
+
+#[test]
+fn faults_dead_surface_fails() {
+    // A counter stuck at zero means that recovery surface no longer
+    // reaches the fault plane under the smoke scenarios.
+    let fixture = include_str!("fixtures/faults_passing.json").replace(
+        "\"pipes.faults.degraded_sources\": {\"kind\": \"counter\", \"value\": 1}",
+        "\"pipes.faults.degraded_sources\": {\"kind\": \"counter\", \"value\": 0}",
+    );
+    let r = faults_on(&fixture);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(
+        r.detail.contains("pipes.faults.degraded_sources = 0"),
+        "{}",
+        r.detail
+    );
+}
+
+#[test]
+fn faults_zero_injected_fails() {
+    let fixture =
+        include_str!("fixtures/faults_passing.json").replace("\"injected\": 4", "\"injected\": 0");
+    let r = faults_on(&fixture);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("armed no faults"), "{}", r.detail);
+}
+
+#[test]
+fn faults_wrong_schema_or_missing_obs_fails() {
+    let wrong_schema =
+        include_str!("fixtures/faults_passing.json").replace("fault-smoke-v1", "fault-smoke-v2");
+    let r = faults_on(&wrong_schema);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("fault-smoke-v1"), "{}", r.detail);
+
+    // An obs-less fault_smoke build is a wiring failure, not a skip: the
+    // binary's whole point is producing the counters.
+    let r = faults_on(r#"{"schema": "fault-smoke-v1", "injected": 4, "obs": null}"#);
+    assert_eq!(r.status, GateStatus::Fail, "{}", r.detail);
+    assert!(r.detail.contains("obs"), "{}", r.detail);
+}
+
 #[test]
 fn schedtest_wrong_schema_or_missing_count_fails() {
     let wrong_schema = "{\"schema\":\"schedtest-v2\",\"explored_schedules\":5}\n";

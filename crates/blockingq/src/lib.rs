@@ -29,11 +29,39 @@ macro_rules! obs_on {
     ($($body:tt)*) => {};
 }
 
+/// A deterministic fault-injection site (see the `faultinj` crate).
+/// Compiles to nothing without the `faultinj` feature — the same
+/// zero-cost pattern as `obs_on!` — so production builds carry no
+/// injection code at all.
+#[cfg(feature = "faultinj")]
+macro_rules! faultpoint {
+    ($site:expr) => {
+        faultinj::hit($site)
+    };
+}
+#[cfg(not(feature = "faultinj"))]
+macro_rules! faultpoint {
+    ($site:expr) => {};
+}
+
+pub mod fault;
 mod mvar;
 mod queue;
 #[cfg(feature = "obs")]
 mod stats;
 pub mod testkit;
 
+pub use fault::{CloseCause, Fault};
 pub use mvar::{Future, MVar};
 pub use queue::{BlockingQueue, PutError, TimedOut, TryPutError, TryTakeError};
+
+/// Force-register this crate's obs metrics so snapshots carry explicit
+/// zeros (`blockingq.close.failed` in particular) even before any event
+/// fires. No-op without the `obs` feature.
+pub fn obs_register() {
+    #[cfg(feature = "obs")]
+    {
+        stats::queue();
+        stats::mvar();
+    }
+}

@@ -157,8 +157,14 @@ impl<T: Clone> MVar<T> {
 
 /// A write-once future: `set` may succeed at most once; `get` blocks until
 /// the value is available and then always returns a copy.
+///
+/// A future can also be *failed* ([`Future::fail`]) — the cause-carrying
+/// analogue of a queue's `close_with`. Without it, a producer that dies
+/// before resolving leaves every `get` blocked forever; failing the
+/// future wakes them with the [`Fault`] instead (surfaced as a panic
+/// from `get`, inspectable without panicking via [`Future::fault`]).
 pub struct Future<T> {
-    mvar: MVar<T>,
+    mvar: MVar<Result<T, crate::fault::Fault>>,
 }
 
 impl<T> Clone for Future<T> {
@@ -183,25 +189,73 @@ impl<T> Future<T> {
         }
     }
 
-    /// Resolve the future. Returns the value back if already resolved.
+    /// Resolve the future. Returns the value back if already resolved
+    /// (or failed).
     pub fn set(&self, v: T) -> Result<(), T> {
-        self.mvar.try_put(v)
+        self.mvar.try_put(Ok(v)).map_err(|r| match r {
+            Ok(v) => v,
+            Err(_) => unreachable!("refund is the rejected input"),
+        })
     }
 
-    /// True iff resolved.
+    /// Fail the future: every current and future `get` surfaces `fault`
+    /// instead of blocking forever. Returns the fault back if the future
+    /// was already resolved or failed (first outcome wins).
+    pub fn fail(&self, fault: crate::fault::Fault) -> Result<(), crate::fault::Fault> {
+        self.mvar.try_put(Err(fault)).map_err(|r| match r {
+            Err(f) => f,
+            Ok(_) => unreachable!("refund is the rejected input"),
+        })
+    }
+
+    /// True iff resolved or failed.
     pub fn is_set(&self) -> bool {
         self.mvar.is_full()
+    }
+
+    /// The fault, if the future was failed.
+    pub fn fault(&self) -> Option<crate::fault::Fault> {
+        let guard = self.mvar.slot.value.lock();
+        match guard.as_ref() {
+            Some(Err(f)) => Some(f.clone()),
+            _ => None,
+        }
     }
 }
 
 impl<T: Clone> Future<T> {
     /// Block until resolved and return a copy of the value.
+    ///
+    /// # Panics
+    ///
+    /// If the future was [failed](Future::fail): the producer's fault is
+    /// re-raised here rather than leaving the consumer blocked (or
+    /// handing it a fabricated value). Use [`Future::fault`] /
+    /// [`Future::try_result`] to observe failure without panicking.
     pub fn get(&self) -> T {
-        self.mvar.read()
+        match self.mvar.read() {
+            Ok(v) => v,
+            Err(fault) => panic!("future failed: {fault}"),
+        }
     }
 
     /// Return a copy of the value if resolved.
+    ///
+    /// # Panics
+    ///
+    /// If the future was failed (a failed future will never produce a
+    /// value; a perpetual `None` here would be the silent-truncation bug
+    /// in miniature). See [`Future::try_result`].
     pub fn try_get(&self) -> Option<T> {
+        self.try_result().map(|r| match r {
+            Ok(v) => v,
+            Err(fault) => panic!("future failed: {fault}"),
+        })
+    }
+
+    /// Non-blocking, non-panicking outcome: `None` while unresolved,
+    /// otherwise the value or the fault.
+    pub fn try_result(&self) -> Option<Result<T, crate::fault::Fault>> {
         let guard = self.mvar.slot.value.lock();
         guard.as_ref().cloned()
     }
@@ -285,6 +339,38 @@ mod tests {
         assert_eq!(f.set(11), Err(11));
         assert_eq!(f.get(), 10);
         assert_eq!(f.get(), 10); // repeatable
+    }
+
+    #[test]
+    fn future_fail_wakes_getters_with_the_fault() {
+        use crate::fault::Fault;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let f: Future<i32> = Future::new();
+        let f2 = f.clone();
+        let h = thread::spawn(move || catch_unwind(AssertUnwindSafe(|| f2.get())));
+        testkit::wait_until("reader parked", || f.mvar.waiters() == 1);
+        f.fail(Fault::new("producer", "boom")).unwrap();
+        // The blocked getter woke up and surfaced the fault as a panic
+        // instead of waiting forever.
+        assert!(h.join().unwrap().is_err());
+        assert!(f.is_set());
+        assert_eq!(f.fault().expect("failed").message(), "boom");
+        assert!(matches!(f.try_result(), Some(Err(_))));
+        // First outcome wins: the failed future rejects a late value.
+        assert_eq!(f.set(5), Err(5));
+        // And try_get surfaces the failure loudly, not as a quiet None.
+        assert!(catch_unwind(AssertUnwindSafe(|| f.try_get())).is_err());
+    }
+
+    #[test]
+    fn future_set_rejects_late_fail() {
+        use crate::fault::Fault;
+        let f: Future<i32> = Future::new();
+        f.set(1).unwrap();
+        let refund = f.fail(Fault::new("s", "late")).expect_err("already set");
+        assert_eq!(refund.message(), "late");
+        assert_eq!(f.get(), 1);
+        assert_eq!(f.fault(), None);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! A bounded MPMC blocking queue with close semantics and batch
 //! operations that amortize the per-element lock/condvar cost.
 
+use crate::fault::CloseCause;
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
 use std::fmt;
@@ -37,7 +38,9 @@ pub enum TryTakeError {
 
 struct State<T> {
     buf: VecDeque<T>,
-    closed: bool,
+    /// `Some(cause)` once closed. The first close wins: a later
+    /// `close`/`close_with` never overwrites a recorded cause.
+    cause: Option<CloseCause>,
     /// Threads currently parked waiting for space / for data. Maintained
     /// under the state lock (no extra synchronization); exposed through
     /// [`BlockingQueue::blocked_producers`]/[`BlockingQueue::blocked_consumers`]
@@ -62,7 +65,11 @@ struct Shared<T> {
 /// Closing the queue wakes all waiters: producers get their element back via
 /// [`PutError`]; consumers drain the remaining buffered elements and then
 /// observe end-of-stream (`None`). This is how a pipe signals that its
-/// underlying generator failed (terminated).
+/// underlying generator failed (terminated). The close carries a
+/// [`CloseCause`]: plain [`BlockingQueue::close`] records `Finished`
+/// (clean end-of-stream), while [`BlockingQueue::close_with`] can record
+/// `Failed(Fault)` so consumers — via the `*_with_cause` take variants or
+/// [`BlockingQueue::close_cause`] — can tell a crash from completion.
 pub struct BlockingQueue<T> {
     shared: Arc<Shared<T>>,
 }
@@ -83,7 +90,7 @@ impl<T> BlockingQueue<T> {
             shared: Arc::new(Shared {
                 state: Mutex::new(State {
                     buf: VecDeque::new(),
-                    closed: false,
+                    cause: None,
                     put_waiters: 0,
                     take_waiters: 0,
                 }),
@@ -100,7 +107,7 @@ impl<T> BlockingQueue<T> {
             shared: Arc::new(Shared {
                 state: Mutex::new(State {
                     buf: VecDeque::new(),
-                    closed: false,
+                    cause: None,
                     put_waiters: 0,
                     take_waiters: 0,
                 }),
@@ -128,7 +135,7 @@ impl<T> BlockingQueue<T> {
 
     /// True iff [`BlockingQueue::close`] has been called.
     pub fn is_closed(&self) -> bool {
-        self.shared.state.lock().closed
+        self.shared.state.lock().cause.is_some()
     }
 
     /// Number of threads currently parked in a blocking put waiting for
@@ -151,10 +158,11 @@ impl<T> BlockingQueue<T> {
     /// Returns `Err(PutError(v))` if the queue is (or becomes, while
     /// waiting) closed.
     pub fn put(&self, v: T) -> Result<(), PutError<T>> {
+        faultpoint!("blockingq.put");
         let mut st = self.shared.state.lock();
         obs_on!(let mut waited = false;);
         loop {
-            if st.closed {
+            if st.cause.is_some() {
                 return Err(PutError(v));
             }
             if st.buf.len() < self.shared.capacity {
@@ -183,7 +191,7 @@ impl<T> BlockingQueue<T> {
     /// Enqueue without blocking.
     pub fn try_put(&self, v: T) -> Result<(), TryPutError<T>> {
         let mut st = self.shared.state.lock();
-        if st.closed {
+        if st.cause.is_some() {
             return Err(TryPutError::Closed(v));
         }
         if st.buf.len() >= self.shared.capacity {
@@ -219,12 +227,13 @@ impl<T> BlockingQueue<T> {
         if items.is_empty() {
             return Ok(());
         }
+        faultpoint!("blockingq.put_all");
         obs_on!(let total = items.len(); let mut accepted = 0usize;);
         let mut iter = items.into_iter().peekable();
         let mut st = self.shared.state.lock();
         obs_on!(let mut waited = false;);
         loop {
-            if st.closed {
+            if st.cause.is_some() {
                 drop(st);
                 let rest: Vec<T> = iter.collect();
                 obs_on!({
@@ -279,7 +288,7 @@ impl<T> BlockingQueue<T> {
             return Ok(());
         }
         let mut st = self.shared.state.lock();
-        if st.closed {
+        if st.cause.is_some() {
             return Err(TryPutError::Closed(items));
         }
         let room = self.shared.capacity - st.buf.len();
@@ -309,8 +318,17 @@ impl<T> BlockingQueue<T> {
 
     /// Block until an element is available and dequeue it.
     ///
-    /// Returns `None` once the queue is closed *and* drained.
+    /// Returns `None` once the queue is closed *and* drained. Callers
+    /// that need to distinguish a clean end from a failure use
+    /// [`BlockingQueue::take_with_cause`].
     pub fn take(&self) -> Option<T> {
+        self.take_with_cause().ok()
+    }
+
+    /// Like [`BlockingQueue::take`], but end-of-stream returns the
+    /// recorded [`CloseCause`] instead of a bare `None`.
+    pub fn take_with_cause(&self) -> Result<T, CloseCause> {
+        faultpoint!("blockingq.take");
         let mut st = self.shared.state.lock();
         obs_on!(let mut waited = false;);
         loop {
@@ -318,10 +336,10 @@ impl<T> BlockingQueue<T> {
                 drop(st);
                 self.shared.not_full.notify_one();
                 obs_on!(crate::stats::queue().takes.inc(););
-                return Some(v);
+                return Ok(v);
             }
-            if st.closed {
-                return None;
+            if let Some(cause) = &st.cause {
+                return Err(cause.clone());
             }
             obs_on!(if !waited {
                 waited = true;
@@ -342,7 +360,7 @@ impl<T> BlockingQueue<T> {
             obs_on!(crate::stats::queue().takes.inc(););
             return Ok(v);
         }
-        if st.closed {
+        if st.cause.is_some() {
             Err(TryTakeError::Closed)
         } else {
             Err(TryTakeError::Empty)
@@ -356,9 +374,16 @@ impl<T> BlockingQueue<T> {
     /// `max == 0` yields an empty batch immediately, without blocking or
     /// consulting the queue (the degenerate no-op batch).
     pub fn take_batch(&self, max: usize) -> Option<Vec<T>> {
+        self.take_batch_with_cause(max).ok()
+    }
+
+    /// Like [`BlockingQueue::take_batch`], but end-of-stream returns the
+    /// recorded [`CloseCause`] instead of a bare `None`.
+    pub fn take_batch_with_cause(&self, max: usize) -> Result<Vec<T>, CloseCause> {
         if max == 0 {
-            return Some(Vec::new());
+            return Ok(Vec::new());
         }
+        faultpoint!("blockingq.take");
         let mut st = self.shared.state.lock();
         obs_on!(let mut waited = false;);
         loop {
@@ -368,10 +393,10 @@ impl<T> BlockingQueue<T> {
                 drop(st);
                 self.shared.not_full.notify_all();
                 obs_on!(record_batch_take(n););
-                return Some(out);
+                return Ok(out);
             }
-            if st.closed {
-                return None;
+            if let Some(cause) = &st.cause {
+                return Err(cause.clone());
             }
             obs_on!(if !waited {
                 waited = true;
@@ -394,7 +419,7 @@ impl<T> BlockingQueue<T> {
         }
         let mut st = self.shared.state.lock();
         if st.buf.is_empty() {
-            return if st.closed {
+            return if st.cause.is_some() {
                 Err(TryTakeError::Closed)
             } else {
                 Err(TryTakeError::Empty)
@@ -413,6 +438,13 @@ impl<T> BlockingQueue<T> {
     /// single mutex acquisition. Returns the number of elements moved;
     /// `0` means the queue is closed and drained (end-of-stream).
     pub fn drain_into(&self, out: &mut Vec<T>) -> usize {
+        self.drain_into_with_cause(out).unwrap_or(0)
+    }
+
+    /// Like [`BlockingQueue::drain_into`], but end-of-stream returns the
+    /// recorded [`CloseCause`] instead of a bare `0`. `Ok(moved)` is
+    /// always ≥ 1.
+    pub fn drain_into_with_cause(&self, out: &mut Vec<T>) -> Result<usize, CloseCause> {
         let mut st = self.shared.state.lock();
         obs_on!(let mut waited = false;);
         loop {
@@ -423,10 +455,10 @@ impl<T> BlockingQueue<T> {
                 drop(st);
                 self.shared.not_full.notify_all();
                 obs_on!(record_batch_take(n););
-                return n;
+                return Ok(n);
             }
-            if st.closed {
-                return 0;
+            if let Some(cause) = &st.cause {
+                return Err(cause.clone());
             }
             obs_on!(if !waited {
                 waited = true;
@@ -444,7 +476,7 @@ impl<T> BlockingQueue<T> {
     pub fn try_drain_into(&self, out: &mut Vec<T>) -> Result<usize, TryTakeError> {
         let mut st = self.shared.state.lock();
         if st.buf.is_empty() {
-            return if st.closed {
+            return if st.cause.is_some() {
                 Err(TryTakeError::Closed)
             } else {
                 Err(TryTakeError::Empty)
@@ -461,6 +493,13 @@ impl<T> BlockingQueue<T> {
 
     /// Like [`BlockingQueue::take`] but gives up after `timeout`,
     /// returning `Ok(None)` on end-of-stream and `Err(TimedOut)` on timeout.
+    ///
+    /// `Err(TimedOut)` is only returned when the queue is genuinely empty
+    /// and open when the wait ends: an element enqueued (or a close
+    /// recorded) at-or-before the deadline is returned even if the
+    /// condvar wait itself reports a timeout — a timed wake re-checks the
+    /// state before giving up, so a put that landed at the deadline is
+    /// never lost to a spurious `TimedOut`.
     pub fn take_timeout(&self, timeout: Duration) -> Result<Option<T>, TimedOut> {
         let deadline = std::time::Instant::now() + timeout;
         let mut st = self.shared.state.lock();
@@ -472,7 +511,7 @@ impl<T> BlockingQueue<T> {
                 obs_on!(crate::stats::queue().takes.inc(););
                 return Ok(Some(v));
             }
-            if st.closed {
+            if st.cause.is_some() {
                 return Ok(None);
             }
             obs_on!(if !waited {
@@ -487,22 +526,55 @@ impl<T> BlockingQueue<T> {
                 .timed_out();
             st.take_waiters -= 1;
             if timed_out {
+                // Timed out *and* raced a put/close: the state re-check
+                // wins over the timeout report.
+                if let Some(v) = st.buf.pop_front() {
+                    drop(st);
+                    self.shared.not_full.notify_one();
+                    obs_on!(crate::stats::queue().takes.inc(););
+                    return Ok(Some(v));
+                }
+                if st.cause.is_some() {
+                    return Ok(None);
+                }
                 return Err(TimedOut);
             }
         }
     }
 
     /// Close the queue: pending and future `put`s fail, consumers drain the
-    /// buffer and then observe end-of-stream. Idempotent.
+    /// buffer and then observe end-of-stream. Records `Finished` — the
+    /// clean end-of-stream cause. Idempotent; see
+    /// [`BlockingQueue::close_with`].
     pub fn close(&self) {
+        self.close_with(CloseCause::Finished);
+    }
+
+    /// Close the queue recording `cause`. The first close wins: if a
+    /// cause is already recorded, this is a no-op (so a producer's
+    /// close-on-exit guard running *after* a fault was recorded cannot
+    /// launder a `Failed` into a `Finished`, and vice versa a consumer
+    /// that already hung up keeps its `Finished`).
+    pub fn close_with(&self, cause: CloseCause) {
         let mut st = self.shared.state.lock();
-        obs_on!(if !st.closed {
+        if st.cause.is_some() {
+            return;
+        }
+        obs_on!({
             crate::stats::queue().closes.inc();
+            if cause.is_failed() {
+                crate::stats::queue().close_failed.inc();
+            }
         });
-        st.closed = true;
+        st.cause = Some(cause);
         drop(st);
         self.shared.not_empty.notify_all();
         self.shared.not_full.notify_all();
+    }
+
+    /// The recorded close cause, or `None` while the queue is open.
+    pub fn close_cause(&self) -> Option<CloseCause> {
+        self.shared.state.lock().cause.clone()
     }
 
     /// A blocking iterator over the queue: yields until end-of-stream.
@@ -548,7 +620,7 @@ impl<T> fmt::Debug for BlockingQueue<T> {
         f.debug_struct("BlockingQueue")
             .field("len", &st.buf.len())
             .field("capacity", &self.shared.capacity)
-            .field("closed", &st.closed)
+            .field("closed", &st.cause)
             .finish()
     }
 }
@@ -863,6 +935,78 @@ mod tests {
         }
         got.sort_unstable();
         assert_eq!(got, vec![0, 1, 10, 11, 12]);
+    }
+
+    #[test]
+    fn close_with_failed_surfaces_the_cause() {
+        use crate::fault::{CloseCause, Fault};
+        let q = BlockingQueue::bounded(4);
+        q.put_all(vec![1, 2]).unwrap();
+        q.close_with(CloseCause::Failed(Fault::new("stage-x", "boom")));
+        // The buffered prefix still drains...
+        assert_eq!(q.take_with_cause(), Ok(1));
+        assert_eq!(q.take_batch_with_cause(8), Ok(vec![2]));
+        // ...then every take shape reports the cause, repeatably.
+        let cause = q.take_with_cause().expect_err("ended");
+        assert!(cause.is_failed());
+        assert_eq!(cause.fault().unwrap().stage(), "stage-x");
+        assert_eq!(cause.fault().unwrap().message(), "boom");
+        assert_eq!(q.take_batch_with_cause(8).expect_err("ended"), cause);
+        let mut out = Vec::new();
+        assert_eq!(q.drain_into_with_cause(&mut out).expect_err("ended"), cause);
+        assert_eq!(q.close_cause(), Some(cause));
+        // The legacy shapes still see a plain end-of-stream.
+        assert_eq!(q.take(), None);
+        assert_eq!(q.take_batch(8), None);
+        assert_eq!(q.drain_into(&mut out), 0);
+    }
+
+    #[test]
+    fn first_close_cause_wins() {
+        use crate::fault::{CloseCause, Fault};
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
+        q.close_with(CloseCause::Failed(Fault::new("s", "first")));
+        q.close(); // the late Finished must not launder the failure
+        assert!(q.close_cause().unwrap().is_failed());
+
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
+        q.close();
+        q.close_with(CloseCause::Failed(Fault::new("s", "late")));
+        assert_eq!(q.close_cause(), Some(CloseCause::Finished));
+    }
+
+    #[test]
+    fn plain_close_reports_finished() {
+        use crate::fault::CloseCause;
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
+        assert_eq!(q.close_cause(), None);
+        q.close();
+        assert_eq!(q.take_with_cause(), Err(CloseCause::Finished));
+        assert_eq!(q.close_cause(), Some(CloseCause::Finished));
+    }
+
+    #[test]
+    fn blocked_takers_wake_with_the_cause() {
+        use crate::fault::{CloseCause, Fault};
+        let q: BlockingQueue<i32> = BlockingQueue::bounded(1);
+        let q2 = q.clone();
+        let h = thread::spawn(move || q2.take_with_cause());
+        testkit::wait_until("taker parked", || q.blocked_consumers() == 1);
+        q.close_with(CloseCause::Failed(Fault::new("producer", "died")));
+        let cause = h.join().unwrap().expect_err("ended");
+        assert_eq!(cause.fault().unwrap().message(), "died");
+    }
+
+    #[test]
+    fn take_timeout_prefers_item_over_concurrent_deadline() {
+        // Deterministic corner: an element already buffered is returned
+        // even when the deadline has long passed (a zero-length timeout
+        // with data present must not report TimedOut).
+        let q = BlockingQueue::bounded(2);
+        q.put(7).unwrap();
+        assert_eq!(q.take_timeout(Duration::from_millis(0)), Ok(Some(7)));
+        q.close();
+        assert_eq!(q.take_timeout(Duration::from_millis(0)), Ok(None));
     }
 
     #[test]

@@ -21,6 +21,9 @@ pub(crate) struct QueueStats {
     pub blocked_takes: Arc<obs::Counter>,
     /// `close` calls.
     pub closes: Arc<obs::Counter>,
+    /// Closes that recorded a `Failed(Fault)` cause (first close only —
+    /// later closes of an already-closed queue are no-ops).
+    pub close_failed: Arc<obs::Counter>,
     /// High-water buffered depth across all queues.
     pub depth_highwater: Arc<obs::Gauge>,
     /// Batch-put transactions (`put_all` / `try_put_all` moving ≥ 1
@@ -43,6 +46,7 @@ pub(crate) fn queue() -> &'static QueueStats {
         blocked_puts: obs::counter("blockingq.queue.blocked_puts"),
         blocked_takes: obs::counter("blockingq.queue.blocked_takes"),
         closes: obs::counter("blockingq.queue.closes"),
+        close_failed: obs::counter("blockingq.close.failed"),
         depth_highwater: obs::gauge("blockingq.queue.depth_highwater"),
         batch_puts: obs::counter("blockingq.queue.batch_puts"),
         batch_takes: obs::counter("blockingq.queue.batch_takes"),

@@ -18,8 +18,30 @@ macro_rules! obs_on {
     ($($body:tt)*) => {};
 }
 
+/// A deterministic fault-injection site (see the `faultinj` crate): a
+/// no-op unless this crate's `faultinj` feature is on *and* the site is
+/// armed. Armed sites panic; the worker's containment turns that into a
+/// counted contained panic instead of a dead worker.
+#[cfg(feature = "faultinj")]
+macro_rules! faultpoint {
+    ($site:expr) => {
+        faultinj::hit($site)
+    };
+}
+#[cfg(not(feature = "faultinj"))]
+macro_rules! faultpoint {
+    ($site:expr) => {};
+}
+
 mod pool;
 #[cfg(feature = "obs")]
 mod stats;
 
-pub use pool::{global, global_threads, Task, ThreadPool};
+pub use pool::{global, global_threads, SubmitError, Task, ThreadPool};
+
+/// Force-create this crate's metric family so snapshots carry explicit
+/// zeros before any pool runs. No-op without the `obs` feature.
+pub fn obs_register() {
+    #[cfg(feature = "obs")]
+    stats::pool();
+}

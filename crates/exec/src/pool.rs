@@ -18,6 +18,34 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub struct ThreadPool {
     queue: BlockingQueue<Job>,
     workers: Vec<JoinHandle<()>>,
+    /// Job panics contained by the workers (see [`ThreadPool::execute`]).
+    contained: std::sync::Arc<parking_lot::sync::atomic::AtomicU64>,
+}
+
+/// A job rejected by [`ThreadPool::try_submit`]: the pool is shut down.
+///
+/// Carries the boxed job and its [`Task`] handle so no work is lost —
+/// [`SubmitError::run_inline`] executes the job on the calling thread and
+/// the handle resolves exactly as if a worker had run it.
+pub struct SubmitError<T> {
+    job: Job,
+    task: Task<T>,
+}
+
+impl<T> SubmitError<T> {
+    /// Run the rejected job on the calling thread and return its task
+    /// handle (already resolved; a job panic is captured and re-raised by
+    /// [`Task::join`], not here).
+    pub fn run_inline(self) -> Task<T> {
+        (self.job)();
+        self.task
+    }
+}
+
+impl<T> std::fmt::Debug for SubmitError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SubmitError(\"pool is shut down\")")
+    }
 }
 
 impl ThreadPool {
@@ -25,23 +53,43 @@ impl ThreadPool {
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
         let queue: BlockingQueue<Job> = BlockingQueue::unbounded();
+        let contained = std::sync::Arc::new(parking_lot::sync::atomic::AtomicU64::new(0));
         let workers = (0..threads)
             .map(|i| {
                 let queue = queue.clone();
+                let contained = contained.clone();
                 obs_on!(crate::stats::pool().workers_spawned.inc(););
                 parking_lot::thread::Builder::new()
                     .name(format!("exec-worker-{i}"))
                     .spawn(move || {
                         while let Some(job) = queue.take() {
                             obs_on!(let _busy = crate::stats::pool().busy.start(););
-                            job();
+                            // Contain job panics: a panicking `execute`
+                            // job must not kill the worker and silently
+                            // shrink the pool for the rest of the
+                            // process. (`submit` jobs already route their
+                            // payload through the Task slot and never
+                            // unwind out of the wrapper.)
+                            let run =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                    faultpoint!("exec.worker.job");
+                                    job()
+                                }));
+                            if run.is_err() {
+                                contained.fetch_add(1, parking_lot::sync::atomic::Ordering::AcqRel);
+                                obs_on!(crate::stats::pool().contained_panics.inc(););
+                            }
                             obs_on!(crate::stats::pool().tasks_run.inc(););
                         }
                     })
                     .expect("failed to spawn pool worker")
             })
             .collect();
-        ThreadPool { queue, workers }
+        ThreadPool {
+            queue,
+            workers,
+            contained,
+        }
     }
 
     /// Number of worker threads.
@@ -49,7 +97,19 @@ impl ThreadPool {
         self.workers.len()
     }
 
+    /// Job panics contained by workers so far (each one a fire-and-forget
+    /// `execute` job that would otherwise have killed its worker).
+    pub fn contained_panics(&self) -> u64 {
+        self.contained
+            .load(parking_lot::sync::atomic::Ordering::Acquire)
+    }
+
     /// Enqueue a fire-and-forget job.
+    ///
+    /// # Panics
+    ///
+    /// If the pool has been shut down ("pool is shut down"). Use
+    /// [`ThreadPool::try_submit`] to handle rejection without panicking.
     pub fn execute<F: FnOnce() + Send + 'static>(&self, job: F) {
         self.queue
             .put(Box::new(job))
@@ -61,18 +121,50 @@ impl ThreadPool {
     ///
     /// If the job panics the panic payload is captured and re-raised in
     /// [`Task::join`], mirroring `std::thread::JoinHandle`.
+    ///
+    /// # Panics
+    ///
+    /// If the pool has been shut down, like [`ThreadPool::execute`]. Use
+    /// [`ThreadPool::try_submit`] for the non-panicking variant.
     pub fn submit<T, F>(&self, job: F) -> Task<T>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> T + Send + 'static,
+    {
+        match self.try_submit(job) {
+            Ok(task) => task,
+            Err(_) => panic!("pool is shut down"),
+        }
+    }
+
+    /// Enqueue a job, or hand it back if the pool is shut down.
+    ///
+    /// The rejection carries the (boxed) job and its task handle, so the
+    /// caller can degrade gracefully — most simply by running the job on
+    /// its own thread via [`SubmitError::run_inline`], which is how the
+    /// mapreduce/wordcount drivers stay alive across a shut-down global
+    /// pool instead of panicking mid-reduction.
+    pub fn try_submit<T, F>(&self, job: F) -> Result<Task<T>, SubmitError<T>>
     where
         T: Send + 'static,
         F: FnOnce() -> T + Send + 'static,
     {
         let slot: MVar<std::thread::Result<T>> = MVar::empty();
         let slot2 = slot.clone();
-        self.execute(move || {
+        let wrapped: Job = Box::new(move || {
             let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
             slot2.put(result);
         });
-        Task { slot }
+        match self.queue.put(wrapped) {
+            Ok(()) => {
+                obs_on!(crate::stats::pool().tasks_queued.inc(););
+                Ok(Task { slot })
+            }
+            Err(blockingq::PutError(job)) => Err(SubmitError {
+                job,
+                task: Task { slot },
+            }),
+        }
     }
 
     /// Drain all queued jobs and stop the workers, blocking until done.
@@ -97,6 +189,14 @@ impl Drop for ThreadPool {
 /// Handle to a submitted job's eventual result.
 pub struct Task<T> {
     slot: MVar<std::thread::Result<T>>,
+}
+
+impl<T> std::fmt::Debug for Task<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Task")
+            .field("done", &self.is_done())
+            .finish()
+    }
 }
 
 impl<T> Task<T> {
@@ -251,6 +351,60 @@ mod tests {
         assert!(global_threads() >= 1);
         std::env::remove_var("EXEC_THREADS");
         assert!(global_threads() >= 1);
+    }
+
+    #[test]
+    fn try_submit_rejected_job_runs_inline() {
+        let pool = ThreadPool::new(1);
+        assert_eq!(pool.try_submit(|| 11).expect("pool live").join(), 11);
+        pool.shutdown();
+        // Shutdown consumed the pool; build another and shut it down while
+        // keeping the handle to exercise the rejection path.
+        let pool = ThreadPool::new(1);
+        pool.queue.close();
+        let rejected = pool.try_submit(|| 6 * 7).expect_err("pool shut down");
+        assert_eq!(
+            format!("{rejected:?}"),
+            "SubmitError(\"pool is shut down\")"
+        );
+        // No work lost: the job runs on this thread, the handle resolves.
+        let task = rejected.run_inline();
+        assert!(task.is_done());
+        assert_eq!(task.join(), 42);
+    }
+
+    #[test]
+    fn run_inline_captures_job_panics_for_join() {
+        let pool = ThreadPool::new(1);
+        pool.queue.close();
+        let task: Task<()> = pool
+            .try_submit(|| panic!("inline boom"))
+            .expect_err("rejected")
+            .run_inline();
+        // The panic is deferred to join, exactly like a worker run.
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| task.join())).is_err());
+    }
+
+    #[test]
+    fn submit_panics_when_pool_is_shut_down() {
+        let pool = ThreadPool::new(1);
+        pool.queue.close();
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = pool.submit(|| 1);
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<&str>().expect("str payload");
+        assert!(msg.contains("pool is shut down"), "{msg}");
+    }
+
+    #[test]
+    fn worker_survives_panicking_execute_job() {
+        // Pre-containment, a panicking fire-and-forget job killed its
+        // worker: a 1-thread pool would then never run another job.
+        let pool = ThreadPool::new(1);
+        pool.execute(|| panic!("fire-and-forget boom"));
+        assert_eq!(pool.submit(|| 5).join(), 5, "worker still alive");
+        assert_eq!(pool.contained_panics(), 1);
     }
 
     #[test]

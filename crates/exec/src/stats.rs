@@ -17,6 +17,8 @@ pub(crate) struct PoolStats {
     pub tasks_run: Arc<obs::Counter>,
     /// Per-job busy time on workers (count, total, and latency window).
     pub busy: Arc<obs::Timer>,
+    /// Job panics contained by workers (the worker survived).
+    pub contained_panics: Arc<obs::Counter>,
 }
 
 pub(crate) fn pool() -> &'static PoolStats {
@@ -26,5 +28,6 @@ pub(crate) fn pool() -> &'static PoolStats {
         tasks_queued: obs::counter("exec.pool.tasks_queued"),
         tasks_run: obs::counter("exec.pool.tasks_run"),
         busy: obs::timer("exec.pool.busy"),
+        contained_panics: obs::counter("exec.pool.contained_panics"),
     })
 }

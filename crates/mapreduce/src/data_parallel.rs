@@ -129,7 +129,17 @@ impl MapReduceGen {
                     .as_ref()
                     .map(|(r, i)| (Arc::clone(r), i.clone()));
                 obs_on!(crate::stats::mr().chunks.inc(););
-                tasks.push_back(self.pool.submit(move || run_chunk(&chunk, &map, reduce)));
+                // try_submit: a shut-down (global) pool degrades to
+                // inline execution instead of panicking mid-launch.
+                tasks.push_back(
+                    match self
+                        .pool
+                        .try_submit(move || run_chunk(&chunk, &map, reduce))
+                    {
+                        Ok(task) => task,
+                        Err(rejected) => rejected.run_inline(),
+                    },
+                );
             }
             if source_done {
                 break;

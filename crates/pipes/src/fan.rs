@@ -11,10 +11,12 @@
 //!   source in turn (skipping exhausted ones), the ordered analogue of
 //!   alternately activating co-expressions with `@`.
 
-use blockingq::BlockingQueue;
+use blockingq::{BlockingQueue, CloseCause, Fault};
 #[cfg(test)]
 use gde::GenExt;
 use gde::{BoxGen, Gen, Step, Value};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 
 /// Fairness cap on the per-source transport batch in [`merge`]: however
 /// large a batch is requested, no single source may move more than this
@@ -22,6 +24,25 @@ use gde::{BoxGen, Gen, Step, Value};
 /// monopolize arbitrarily long runs of the arrival-order stream while the
 /// others are starved of queue space.
 pub const MERGE_BATCH_FAIRNESS_CAP: usize = 8;
+
+/// What a [`merge`] fan-in does when one of its source producers faults
+/// (panics). Either way the panic is contained in the source's thread and
+/// the source's clean prefix is still delivered.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum FanPolicy {
+    /// Default: the first fault cancels the whole fan-in — the shared
+    /// queue closes `Failed(Fault)` (cancelling the sibling producers,
+    /// whose next put fails) and the consumer's next `resume` surfaces
+    /// the fault by panicking.
+    #[default]
+    FailFast,
+    /// Drop the faulted source and keep merging the survivors: the
+    /// stream ends cleanly when the remaining sources are exhausted, and
+    /// [`Merge::degraded_sources`] (plus the
+    /// `pipes.faults.degraded_sources` counter) reports how many sources
+    /// were lost.
+    Degrade,
+}
 
 /// Merge several generator factories into one generator, each running on
 /// its own producer thread, values in arrival order. The stream ends when
@@ -35,7 +56,10 @@ pub fn merge(sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>, capacity: usiz
         sources,
         capacity,
         batch: 1,
+        policy: FanPolicy::default(),
         state: None,
+        fault: None,
+        failed: false,
     }
 }
 
@@ -43,14 +67,19 @@ pub struct Merge {
     sources: Vec<Box<dyn Fn() -> BoxGen + Send + Sync>>,
     capacity: usize,
     batch: usize,
+    policy: FanPolicy,
     state: Option<MergeState>,
+    /// The fault that cancelled the fan-in (`FailFast` only).
+    fault: Option<Fault>,
+    /// Set once a fault has been surfaced: later resumes report
+    /// end-of-stream instead of re-spawning the producers.
+    failed: bool,
 }
 
 struct MergeState {
     queue: BlockingQueue<Value>,
-    /// Producer count tracking lives in the threads: each decrements and
-    /// the last closes the queue.
-    _marker: (),
+    /// Sources dropped by [`FanPolicy::Degrade`] in this run.
+    degraded: Arc<parking_lot::sync::atomic::AtomicUsize>,
 }
 
 impl Merge {
@@ -78,6 +107,41 @@ impl Merge {
         self.batch
     }
 
+    /// Builder-style fault policy. Takes effect on the next (re)spawn:
+    /// like [`Merge::with_batch`], setting it after the producers are
+    /// running closes the stale state so the next `resume` restarts the
+    /// stream under the new policy.
+    pub fn with_policy(mut self, policy: FanPolicy) -> Merge {
+        self.policy = policy;
+        if let Some(st) = self.state.take() {
+            st.queue.close();
+        }
+        self
+    }
+
+    /// The fault policy in effect.
+    pub fn policy(&self) -> FanPolicy {
+        self.policy
+    }
+
+    /// The fault that cancelled the fan-in, if any (`FailFast` only;
+    /// `Degrade` never cancels). Reset by [`Gen::restart`].
+    pub fn fault(&self) -> Option<&Fault> {
+        self.fault.as_ref()
+    }
+
+    /// Sources dropped by [`FanPolicy::Degrade`] since the last
+    /// (re)spawn.
+    pub fn degraded_sources(&self) -> usize {
+        self.state
+            .as_ref()
+            .map(|st| {
+                st.degraded
+                    .load(parking_lot::sync::atomic::Ordering::Acquire)
+            })
+            .unwrap_or(0)
+    }
+
     fn start(&mut self) -> &MergeState {
         if self.state.is_none() {
             let queue = BlockingQueue::bounded(self.capacity.max(1));
@@ -86,80 +150,139 @@ impl Merge {
             let remaining = std::sync::Arc::new(parking_lot::sync::atomic::AtomicUsize::new(
                 self.sources.len(),
             ));
+            let degraded = std::sync::Arc::new(parking_lot::sync::atomic::AtomicUsize::new(0));
             if self.sources.is_empty() {
                 queue.close();
             }
             let batch = self.batch.min(self.capacity.max(1)).max(1);
-            for src in &self.sources {
+            for (idx, src) in self.sources.iter().enumerate() {
                 let mut g = src();
                 let q = queue.clone();
                 let remaining = remaining.clone();
+                let degraded = degraded.clone();
+                let policy = self.policy;
+                let label: Arc<str> = Arc::from(format!("merge-source-{idx}"));
                 obs_on!(crate::stats::fan().merge_sources.inc(););
                 parking_lot::thread::Builder::new()
-                    .name("fan-merge-producer".into())
+                    .name(format!("fan-merge-producer-{idx}"))
                     .spawn(move || {
-                        // Last producer out closes the queue, even on panic.
-                        // With obs on, each departing producer records its
-                        // forwarded-item count (the fairness distribution).
+                        // Departure guard: flushes the source's clean
+                        // prefix, then settles the close protocol — a
+                        // faulted source either cancels the whole fan-in
+                        // (`FailFast`: close `Failed`, first cause wins)
+                        // or just departs (`Degrade`: counted, and the
+                        // last producer out closes `Finished`). Runs even
+                        // on panic, so a crashed source can never leave
+                        // the consumer hanging or miscount `remaining`.
+                        // With obs on, each departing producer records
+                        // its forwarded-item count (the fairness
+                        // distribution).
                         struct Depart {
                             remaining: std::sync::Arc<parking_lot::sync::atomic::AtomicUsize>,
                             queue: BlockingQueue<Value>,
+                            chunk: Vec<Value>,
+                            fault: Option<Fault>,
+                            policy: FanPolicy,
+                            degraded: std::sync::Arc<parking_lot::sync::atomic::AtomicUsize>,
+                            label: Arc<str>,
                             #[cfg(feature = "obs")]
                             forwarded: u64,
                         }
+                        impl Depart {
+                            /// Move the accumulated chunk across the
+                            /// queue. `false` means the fan-in hung up.
+                            fn flush(&mut self) -> bool {
+                                if self.chunk.is_empty() {
+                                    return true;
+                                }
+                                obs_on!(let n = self.chunk.len(););
+                                if self.queue.put_all(std::mem::take(&mut self.chunk)).is_err() {
+                                    return false;
+                                }
+                                obs_on!({
+                                    self.forwarded += n as u64;
+                                    crate::stats::fan().merge_items.add(n as u64);
+                                    crate::stats::fan().merge_flushes.inc();
+                                });
+                                true
+                            }
+                        }
                         impl Drop for Depart {
                             fn drop(&mut self) {
+                                // Contain a transport fault in the final
+                                // flush too: the departure protocol below
+                                // must always run.
+                                if let Err(payload) =
+                                    catch_unwind(AssertUnwindSafe(|| self.flush()))
+                                {
+                                    if self.fault.is_none() {
+                                        self.fault =
+                                            Some(Fault::from_panic(&self.label, &*payload));
+                                    }
+                                }
                                 obs_on!(crate::stats::fan()
                                     .items_per_source
                                     .record(self.forwarded););
-                                if self
-                                    .remaining
-                                    .fetch_sub(1, parking_lot::sync::atomic::Ordering::AcqRel)
-                                    == 1
-                                {
-                                    self.queue.close();
+                                use parking_lot::sync::atomic::Ordering;
+                                match self.fault.take() {
+                                    Some(fault) if self.policy == FanPolicy::FailFast => {
+                                        // First close wins: the Failed
+                                        // cause cancels the siblings
+                                        // (their next put fails) and is
+                                        // what the consumer observes.
+                                        self.queue.close_with(CloseCause::Failed(fault));
+                                        self.remaining.fetch_sub(1, Ordering::AcqRel);
+                                    }
+                                    departed => {
+                                        if departed.is_some() {
+                                            self.degraded.fetch_add(1, Ordering::AcqRel);
+                                            obs_on!(crate::stats::fan()
+                                                .degraded_sources
+                                                .inc(););
+                                        }
+                                        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                                            self.queue.close();
+                                        }
+                                    }
                                 }
                             }
                         }
-                        #[allow(unused_mut)]
                         let mut guard = Depart {
                             remaining,
                             queue: q,
+                            chunk: Vec::with_capacity(batch),
+                            fault: None,
+                            policy,
+                            degraded,
+                            label: Arc::clone(&label),
                             #[cfg(feature = "obs")]
                             forwarded: 0,
                         };
                         // Chunked transport, fairness-capped: at most
-                        // `batch` values per queue transaction per source.
-                        let mut chunk: Vec<Value> = Vec::with_capacity(batch);
-                        while let Step::Suspend(v) = g.resume() {
-                            chunk.push(v.deep_copy());
-                            if chunk.len() >= batch {
-                                obs_on!(let n = chunk.len(););
-                                if guard.queue.put_all(std::mem::take(&mut chunk)).is_err() {
-                                    return;
+                        // `batch` values per queue transaction per
+                        // source. The drive loop runs under catch_unwind
+                        // so a source panic becomes a Fault, not a
+                        // vanished producer.
+                        let run = catch_unwind(AssertUnwindSafe(|| loop {
+                            faultpoint!("pipes.merge.resume");
+                            match g.resume() {
+                                Step::Suspend(v) => {
+                                    guard.chunk.push(v.deep_copy());
+                                    if guard.chunk.len() >= batch && !guard.flush() {
+                                        return;
+                                    }
                                 }
-                                obs_on!({
-                                    guard.forwarded += n as u64;
-                                    crate::stats::fan().merge_items.add(n as u64);
-                                    crate::stats::fan().merge_flushes.inc();
-                                });
+                                Step::Fail => return,
                             }
+                        }));
+                        if let Err(payload) = run {
+                            guard.fault = Some(Fault::from_panic(&label, &*payload));
                         }
-                        if !chunk.is_empty() {
-                            obs_on!(let n = chunk.len(););
-                            if guard.queue.put_all(chunk).is_err() {
-                                return;
-                            }
-                            obs_on!({
-                                guard.forwarded += n as u64;
-                                crate::stats::fan().merge_items.add(n as u64);
-                                crate::stats::fan().merge_flushes.inc();
-                            });
-                        }
+                        // guard drops here: flush + departure protocol.
                     })
                     .expect("spawn merge producer");
             }
-            self.state = Some(MergeState { queue, _marker: () });
+            self.state = Some(MergeState { queue, degraded });
         }
         self.state.as_ref().expect("just set")
     }
@@ -167,16 +290,35 @@ impl Merge {
 
 impl Gen for Merge {
     fn resume(&mut self) -> Step {
+        if self.failed {
+            return Step::Fail;
+        }
         self.start();
-        match self.state.as_ref().expect("started").queue.take() {
-            Some(v) => Step::Suspend(v),
-            None => Step::Fail,
+        match self
+            .state
+            .as_ref()
+            .expect("started")
+            .queue
+            .take_with_cause()
+        {
+            Ok(v) => Step::Suspend(v),
+            Err(CloseCause::Finished) => Step::Fail,
+            Err(CloseCause::Failed(fault)) => {
+                obs_on!(crate::stats::pipe().faults_propagated.inc(););
+                // failed first: a caught propagation followed by another
+                // resume must observe end-of-stream, not a respawn.
+                self.failed = true;
+                self.fault = Some(fault.clone());
+                panic!("merge failed: {fault}");
+            }
         }
     }
     fn restart(&mut self) {
         if let Some(st) = self.state.take() {
             st.queue.close();
         }
+        self.fault = None;
+        self.failed = false;
     }
 }
 
@@ -437,6 +579,79 @@ mod tests {
             .collect();
         assert_eq!(&got[..6], &[1, 10, 2, 11, 3, 12]);
         assert_eq!(got.len(), 3 + 41);
+    }
+
+    /// A source factory that panics when its generator is about to yield
+    /// `panic_at` (yields `lo..` until then).
+    fn faulty_source(lo: i64, panic_at: i64) -> Box<dyn Fn() -> BoxGen + Send + Sync> {
+        Box::new(move || {
+            let counter = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(lo));
+            Box::new(gde::comb::repeat_alt(gde::comb::thunk(move || {
+                let n = counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                assert!(n != panic_at, "injected merge-source failure");
+                Some(Value::from(n))
+            }))) as BoxGen
+        })
+    }
+
+    #[test]
+    fn fail_fast_merge_surfaces_the_fault_not_clean_eos() {
+        // Fan-in analogue of the producer-panic regression: a faulted
+        // source must yield Failed(..) to the consumer under the default
+        // FailFast policy — never a clean end-of-stream.
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut m = merge(
+            vec![
+                faulty_source(0, 2), // yields 0, 1, then panics
+                Box::new(|| Box::new(to_range(100, 200, 1)) as BoxGen),
+            ],
+            4,
+        );
+        let err = catch_unwind(AssertUnwindSafe(|| m.collect_values())).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("merge-source-0"), "names the source: {msg}");
+        let fault = m.fault().expect("fault recorded");
+        assert_eq!(fault.stage(), "merge-source-0");
+        assert!(fault.message().contains("injected merge-source failure"));
+        // After a caught propagation the stream reports end-of-stream
+        // (and does not respawn the producers).
+        assert_eq!(m.resume(), Step::Fail);
+    }
+
+    #[test]
+    fn degrade_merge_drops_faulted_source_and_keeps_merging() {
+        let m = merge(
+            vec![
+                faulty_source(0, 0), // panics before yielding anything
+                Box::new(|| Box::new(to_range(1, 10, 1)) as BoxGen),
+                Box::new(|| Box::new(to_range(11, 20, 1)) as BoxGen),
+            ],
+            8,
+        )
+        .with_policy(FanPolicy::Degrade);
+        let mut m = m;
+        let mut got: Vec<i64> = m
+            .collect_values()
+            .iter()
+            .filter_map(|v| v.as_int())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, (1..=20).collect::<Vec<_>>(), "survivors fully merged");
+        assert_eq!(m.degraded_sources(), 1);
+        assert!(m.fault().is_none(), "degrade never cancels the fan-in");
+    }
+
+    #[test]
+    fn merge_restart_clears_fault_state() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let mut m = merge(vec![faulty_source(0, 0)], 4);
+        assert!(catch_unwind(AssertUnwindSafe(|| m.collect_values())).is_err());
+        assert!(m.fault().is_some());
+        m.restart();
+        assert!(m.fault().is_none());
+        // The faulty source faults again on the fresh run; the restarted
+        // fan-in surfaces it again rather than reporting clean EOS.
+        assert!(catch_unwind(AssertUnwindSafe(|| m.resume())).is_err());
     }
 
     #[test]

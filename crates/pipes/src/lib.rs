@@ -33,12 +33,41 @@ macro_rules! obs_on {
     ($($body:tt)*) => {};
 }
 
+/// A deterministic fault-injection site (see the `faultinj` crate): a
+/// no-op unless this crate's `faultinj` feature is on *and* the site is
+/// armed, in which case it panics and the panic takes the normal
+/// containment path (producer `catch_unwind` → `Failed(Fault)` close).
+#[cfg(feature = "faultinj")]
+macro_rules! faultpoint {
+    ($site:expr) => {
+        faultinj::hit($site)
+    };
+}
+#[cfg(not(feature = "faultinj"))]
+macro_rules! faultpoint {
+    ($site:expr) => {};
+}
+
 mod fan;
 mod pipe;
 #[cfg(feature = "obs")]
 mod stats;
 
-pub use fan::{merge, round_robin, Merge, RoundRobin, MERGE_BATCH_FAIRNESS_CAP};
+pub use blockingq::{CloseCause, Fault};
+pub use fan::{merge, round_robin, FanPolicy, Merge, RoundRobin, MERGE_BATCH_FAIRNESS_CAP};
 pub use pipe::{
-    drain, pipe, pipe_coexpr, pipe_value, spawn_future, Pipe, DEFAULT_BATCH, DEFAULT_CAPACITY,
+    drain, pipe, pipe_coexpr, pipe_value, spawn_future, FaultPolicy, Pipe, DEFAULT_BATCH,
+    DEFAULT_CAPACITY,
 };
+
+/// Force-create this crate's metric families (and the queue substrate's)
+/// so snapshots carry explicit zeros before any pipe runs. No-op without
+/// the `obs` feature.
+pub fn obs_register() {
+    #[cfg(feature = "obs")]
+    {
+        stats::pipe();
+        stats::fan();
+    }
+    blockingq::obs_register();
+}

@@ -1,9 +1,11 @@
 //! The pipe proxy itself.
 
-use blockingq::BlockingQueue;
+use blockingq::{BlockingQueue, CloseCause, Fault};
 use gde::{BoxGen, CoRef, Gen, GenExt, Step, Value};
 use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Default output-queue capacity for pipes.
 ///
@@ -28,6 +30,38 @@ pub const DEFAULT_BATCH: usize = 128;
 
 type GenFactory = Arc<dyn Fn() -> BoxGen + Send + Sync>;
 
+/// What the consumer side of a pipe does when the producer *faults*
+/// (its generator — or the transport under fault injection — panics).
+///
+/// The producer always contains the panic (`catch_unwind`), flushes the
+/// clean prefix of results it had already accumulated, and closes the
+/// queue with `Failed(Fault)`; the policy decides what the consumer's
+/// next take does with that cause.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub enum FaultPolicy {
+    /// Default: the consumer's next `resume` surfaces the fault by
+    /// panicking with the producer's stage label and message. A crashed
+    /// producer is never reported as clean end-of-stream.
+    #[default]
+    Propagate,
+    /// Pre-fault-plane behavior, now opt-in: the stream simply ends
+    /// after the clean prefix. The fault is still recorded
+    /// ([`Pipe::fault`]) and counted — truncated, but never *silently*.
+    Truncate,
+    /// Respawn the producer from its factory (the restart `^` machinery)
+    /// up to `limit` times, sleeping `backoff` before each respawn, and
+    /// resume the stream via clean-prefix replay: the fresh run's first
+    /// `produced`-so-far results are discarded, so a deterministic
+    /// generator replays bitwise-identically to an unfaulted run. A
+    /// fault past the last retry propagates.
+    Retry {
+        /// Maximum respawns before the fault propagates.
+        limit: u32,
+        /// Sleep before each respawn (virtual time under schedtest).
+        backoff: Duration,
+    },
+}
+
 /// A multithreaded generator proxy.
 ///
 /// Construction spawns a producer thread that drives the underlying
@@ -49,6 +83,17 @@ pub struct Pipe {
     buf: VecDeque<Value>,
     done: bool,
     produced: u64,
+    /// Stage label stamped into faults (and the producer thread name).
+    label: Arc<str>,
+    policy: FaultPolicy,
+    /// Last fault observed from the producer (terminal under
+    /// `Propagate`/`Truncate`; most recent recovered one under `Retry`).
+    fault: Option<Fault>,
+    /// Respawns consumed by the `Retry` policy so far.
+    retries: u32,
+    /// During a retry replay: results of the fresh run still to discard
+    /// before the stream continues where the consumer left off.
+    replay_skip: u64,
 }
 
 impl Pipe {
@@ -81,7 +126,8 @@ impl Pipe {
     ) -> Pipe {
         let factory: GenFactory = Arc::new(make);
         let batch = effective_batch(batch, capacity);
-        let queue = spawn_producer(Arc::clone(&factory), capacity, batch);
+        let label: Arc<str> = Arc::from("pipe");
+        let queue = spawn_producer(Arc::clone(&factory), capacity, batch, Arc::clone(&label));
         Pipe {
             factory,
             capacity,
@@ -90,6 +136,11 @@ impl Pipe {
             buf: VecDeque::new(),
             done: false,
             produced: 0,
+            label,
+            policy: FaultPolicy::default(),
+            fault: None,
+            retries: 0,
+            replay_skip: 0,
         }
     }
 
@@ -124,9 +175,49 @@ impl Pipe {
         self
     }
 
+    /// Builder-style fault policy override. Purely consumer-side: it
+    /// does not respawn the producer and may be set at any point before
+    /// the fault is observed.
+    pub fn with_policy(mut self, policy: FaultPolicy) -> Pipe {
+        self.policy = policy;
+        self
+    }
+
+    /// Builder-style stage label for fault attribution (also names the
+    /// producer thread). Respawns the producer, exactly like a restart,
+    /// so call it before consuming.
+    pub fn with_label(mut self, label: impl AsRef<str>) -> Pipe {
+        self.label = Arc::from(label.as_ref());
+        Gen::restart(&mut self);
+        self
+    }
+
     /// The transport batch actually in effect (post-clamping).
     pub fn batch(&self) -> usize {
         self.batch
+    }
+
+    /// The fault policy in effect.
+    pub fn policy(&self) -> &FaultPolicy {
+        &self.policy
+    }
+
+    /// The stage label stamped into this pipe's faults.
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The last fault observed from the producer, if any: terminal under
+    /// `Propagate`/`Truncate`, the most recently *recovered* one under
+    /// `Retry`. Reset by [`Gen::restart`].
+    pub fn fault(&self) -> Option<&Fault> {
+        self.fault.as_ref()
+    }
+
+    /// Producer respawns consumed by the `Retry` policy since the last
+    /// restart.
+    pub fn retries(&self) -> u32 {
+        self.retries
     }
 
     /// The output blocking queue, exposed for further manipulation
@@ -148,7 +239,12 @@ fn effective_batch(batch: usize, capacity: usize) -> usize {
     batch.clamp(1, capacity.max(1))
 }
 
-fn spawn_producer(factory: GenFactory, capacity: usize, batch: usize) -> BlockingQueue<Value> {
+fn spawn_producer(
+    factory: GenFactory,
+    capacity: usize,
+    batch: usize,
+    label: Arc<str>,
+) -> BlockingQueue<Value> {
     let queue = BlockingQueue::bounded(capacity);
     let out = queue.clone();
     let batch = effective_batch(batch, capacity);
@@ -156,22 +252,58 @@ fn spawn_producer(factory: GenFactory, capacity: usize, batch: usize) -> Blockin
     // Through the parking_lot shim so the producer is a virtual thread
     // under --cfg schedtest (see DESIGN.md § "Schedule exploration").
     parking_lot::thread::Builder::new()
-        .name("pipe-producer".into())
+        .name(format!("pipe-producer:{label}"))
         .spawn(move || {
-            // Close the queue even if the generator panics: a consumer
-            // blocked in take() must observe end-of-stream, never hang.
-            // With obs on, the same guard records the producer's lifetime
-            // and forwarded-item count as it exits.
+            // Close the queue no matter how the producer exits: a
+            // consumer blocked in take() must observe end-of-stream,
+            // never hang. The guard owns the in-flight chunk so the
+            // clean prefix accumulated before a panic is still flushed,
+            // and carries the close cause (`Finished` unless a caught
+            // panic upgraded it to `Failed`). With obs on, it also
+            // records the producer's lifetime and forwarded-item count.
             struct CloseOnExit {
                 queue: BlockingQueue<Value>,
+                chunk: Vec<Value>,
+                cause: CloseCause,
+                label: Arc<str>,
                 #[cfg(feature = "obs")]
                 forwarded: u64,
                 #[cfg(feature = "obs")]
                 started: std::time::Instant,
             }
+            impl CloseOnExit {
+                /// Move the accumulated chunk across the queue. `false`
+                /// means the consumer hung up (restart/drop) — stop.
+                fn flush(&mut self) -> bool {
+                    if self.chunk.is_empty() {
+                        return true;
+                    }
+                    obs_on!(let n = self.chunk.len(););
+                    if self.queue.put_all(std::mem::take(&mut self.chunk)).is_err() {
+                        return false;
+                    }
+                    obs_on!({
+                        self.forwarded += n as u64;
+                        crate::stats::pipe().items.add(n as u64);
+                        crate::stats::pipe().flushes.inc();
+                    });
+                    true
+                }
+            }
             impl Drop for CloseOnExit {
                 fn drop(&mut self) {
-                    self.queue.close();
+                    // The final flush can itself panic (fault injection
+                    // arms the transport sites too); contain it so the
+                    // close below *always* runs — an unclosed queue
+                    // would hang the consumer forever.
+                    if let Err(payload) = catch_unwind(AssertUnwindSafe(|| self.flush())) {
+                        if !self.cause.is_failed() {
+                            self.cause =
+                                CloseCause::Failed(Fault::from_panic(&*self.label, &*payload));
+                        }
+                    }
+                    self.queue
+                        .close_with(std::mem::replace(&mut self.cause, CloseCause::Finished));
                     obs_on!({
                         let stats = crate::stats::pipe();
                         stats.producer_wall.observe(self.started.elapsed());
@@ -179,57 +311,98 @@ fn spawn_producer(factory: GenFactory, capacity: usize, batch: usize) -> Blockin
                     });
                 }
             }
-            // (mut is only exercised by the obs-feature item accounting)
-            #[allow(unused_mut)]
             let mut guard = CloseOnExit {
                 queue: out,
+                chunk: Vec::with_capacity(batch),
+                cause: CloseCause::Finished,
+                label: Arc::clone(&label),
                 #[cfg(feature = "obs")]
                 forwarded: 0,
                 #[cfg(feature = "obs")]
                 started: std::time::Instant::now(),
             };
-            let mut g = factory();
-            // Chunked transport: accumulate up to `batch` results locally,
-            // flushing on size and on generator failure (the guard's close
-            // still runs even if the generator panics mid-chunk — the
-            // chunk accumulated so far is then dropped with the thread,
-            // exactly as a single pending `put` was pre-batching).
-            let mut chunk: Vec<Value> = Vec::with_capacity(batch);
-            while let Step::Suspend(v) = g.resume() {
-                // Deep-copy at the thread boundary; a failed put means the
-                // consumer restarted or dropped the pipe — stop producing.
-                chunk.push(v.deep_copy());
-                if chunk.len() >= batch {
-                    obs_on!(let n = chunk.len(););
-                    if guard.queue.put_all(std::mem::take(&mut chunk)).is_err() {
-                        return;
-                    }
-                    obs_on!({
-                        guard.forwarded += n as u64;
-                        crate::stats::pipe().items.add(n as u64);
-                        crate::stats::pipe().flushes.inc();
-                    });
-                    if chunk.capacity() < batch {
-                        chunk.reserve(batch);
+            // Chunked transport: accumulate up to `batch` results
+            // locally, flushing on size; the guard flushes the partial
+            // chunk and closes on every exit path. The whole drive loop
+            // runs under catch_unwind: a generator panic becomes a
+            // `Failed(Fault)` close cause instead of a silent truncation.
+            let run = catch_unwind(AssertUnwindSafe(|| {
+                let mut g = factory();
+                loop {
+                    faultpoint!("pipes.producer.resume");
+                    match g.resume() {
+                        Step::Suspend(v) => {
+                            // Deep-copy at the thread boundary.
+                            guard.chunk.push(v.deep_copy());
+                            if guard.chunk.len() >= batch {
+                                if !guard.flush() {
+                                    return;
+                                }
+                                if guard.chunk.capacity() < batch {
+                                    guard.chunk.reserve(batch);
+                                }
+                            }
+                        }
+                        Step::Fail => return,
                     }
                 }
+            }));
+            if let Err(payload) = run {
+                guard.cause = CloseCause::Failed(Fault::from_panic(&*label, &*payload));
             }
-            // Generator failed: flush the partial chunk, then the guard
-            // closes the queue (end-of-stream).
-            if !chunk.is_empty() {
-                obs_on!(let n = chunk.len(););
-                if guard.queue.put_all(chunk).is_err() {
-                    return;
-                }
-                obs_on!({
-                    guard.forwarded += n as u64;
-                    crate::stats::pipe().items.add(n as u64);
-                    crate::stats::pipe().flushes.inc();
-                });
-            }
+            // guard drops here: flushes the clean prefix, closes with
+            // the recorded cause.
         })
         .expect("failed to spawn pipe producer");
     queue
+}
+
+impl Pipe {
+    /// Policy dispatch on a `Failed` close cause. `None` means the fault
+    /// was recovered (`Retry` respawned the producer) and the consumer
+    /// should take again; `Some(step)` ends the stream; `Propagate` (and
+    /// an exhausted `Retry`) panics with the fault instead.
+    fn handle_fault(&mut self, fault: Fault) -> Option<Step> {
+        match self.policy {
+            FaultPolicy::Retry { limit, backoff } if self.retries < limit => {
+                self.retries += 1;
+                obs_on!(crate::stats::pipe().faults_retried.inc(););
+                self.fault = Some(fault);
+                if !backoff.is_zero() {
+                    // Virtual time under --cfg schedtest.
+                    parking_lot::thread::sleep(backoff);
+                }
+                // Clean-prefix replay: anything still in the local buffer
+                // belongs to the dead run; the fresh run re-produces the
+                // whole stream and the consumer discards the first
+                // `produced` results it has already handed out.
+                self.buf.clear();
+                self.replay_skip = self.produced;
+                self.queue = spawn_producer(
+                    Arc::clone(&self.factory),
+                    self.capacity,
+                    self.batch,
+                    Arc::clone(&self.label),
+                );
+                None
+            }
+            FaultPolicy::Truncate => {
+                // Pre-fault-plane behavior: end the stream after the
+                // clean prefix, but keep the fault inspectable.
+                self.fault = Some(fault);
+                self.done = true;
+                Some(Step::Fail)
+            }
+            _ => {
+                obs_on!(crate::stats::pipe().faults_propagated.inc(););
+                // done first: a caught propagation followed by another
+                // resume must observe end-of-stream, not re-take.
+                self.done = true;
+                self.fault = Some(fault.clone());
+                panic!("pipe `{}` failed: {fault}", self.label);
+            }
+        }
+    }
 }
 
 impl Gen for Pipe {
@@ -242,17 +415,33 @@ impl Gen for Pipe {
             return Step::Fail;
         }
         // Local buffer dry: refill with up to a whole batch in one queue
-        // transaction (blocking until the producer delivers a chunk).
-        match self.queue.take_batch(self.batch) {
-            Some(chunk) => {
-                self.buf = VecDeque::from(chunk);
-                let v = self.buf.pop_front().expect("take_batch(n>=1) is non-empty");
-                self.produced += 1;
-                Step::Suspend(v)
-            }
-            None => {
-                self.done = true;
-                Step::Fail
+        // transaction (blocking until the producer delivers a chunk). The
+        // loop re-takes after a retry respawn or an all-replay chunk.
+        loop {
+            match self.queue.take_batch_with_cause(self.batch) {
+                Ok(mut chunk) => {
+                    if self.replay_skip > 0 {
+                        let skip = (self.replay_skip as usize).min(chunk.len());
+                        chunk.drain(..skip);
+                        self.replay_skip -= skip as u64;
+                        if chunk.is_empty() {
+                            continue;
+                        }
+                    }
+                    self.buf = VecDeque::from(chunk);
+                    let v = self.buf.pop_front().expect("non-empty after replay skip");
+                    self.produced += 1;
+                    return Step::Suspend(v);
+                }
+                Err(CloseCause::Finished) => {
+                    self.done = true;
+                    return Step::Fail;
+                }
+                Err(CloseCause::Failed(fault)) => {
+                    if let Some(step) = self.handle_fault(fault) {
+                        return step;
+                    }
+                }
             }
         }
     }
@@ -260,12 +449,21 @@ impl Gen for Pipe {
     fn restart(&mut self) {
         // Abandon the old producer (it exits on its next put) and start a
         // fresh one: restart re-evaluates the piped expression. Locally
-        // buffered results belong to the abandoned run and are discarded.
+        // buffered results belong to the abandoned run and are discarded,
+        // and the fault/retry state starts over with the fresh run.
         self.queue.close();
-        self.queue = spawn_producer(Arc::clone(&self.factory), self.capacity, self.batch);
+        self.queue = spawn_producer(
+            Arc::clone(&self.factory),
+            self.capacity,
+            self.batch,
+            Arc::clone(&self.label),
+        );
         self.buf.clear();
         self.done = false;
         self.produced = 0;
+        self.fault = None;
+        self.retries = 0;
+        self.replay_skip = 0;
     }
 }
 
@@ -284,7 +482,8 @@ impl gde::Coroutine for Pipe {
         let factory = Arc::clone(&self.factory);
         let capacity = self.capacity;
         let batch = self.batch;
-        let queue = spawn_producer(Arc::clone(&factory), capacity, batch);
+        let label = Arc::clone(&self.label);
+        let queue = spawn_producer(Arc::clone(&factory), capacity, batch, Arc::clone(&label));
         Some(std::sync::Arc::new(parking_lot::Mutex::new(Pipe {
             factory,
             capacity,
@@ -293,6 +492,11 @@ impl gde::Coroutine for Pipe {
             buf: VecDeque::new(),
             done: false,
             produced: 0,
+            label,
+            policy: self.policy.clone(),
+            fault: None,
+            retries: 0,
+            replay_skip: 0,
         })))
     }
     fn produced(&self) -> u64 {
@@ -337,6 +541,10 @@ pub fn pipe_coexpr(c: CoRef, capacity: usize) -> Pipe {
 
 /// The singleton pipe: spawn `f` and return a future for its one result
 /// ("a singleton piped iterator that produces one result forms a future").
+///
+/// A panic in `f` is contained and *fails* the future — a blocked
+/// [`get`](blockingq::Future::get) wakes up and re-raises the producer's
+/// fault instead of waiting forever.
 pub fn spawn_future(
     f: impl FnOnce() -> Option<Value> + Send + 'static,
 ) -> blockingq::Future<Value> {
@@ -345,8 +553,17 @@ pub fn spawn_future(
     parking_lot::thread::Builder::new()
         .name("pipe-future".into())
         .spawn(move || {
-            if let Some(v) = f() {
-                let _ = fut2.set(v.deep_copy());
+            match catch_unwind(AssertUnwindSafe(|| {
+                faultpoint!("pipes.future.run");
+                f()
+            })) {
+                Ok(Some(v)) => {
+                    let _ = fut2.set(v.deep_copy());
+                }
+                Ok(None) => {}
+                Err(payload) => {
+                    let _ = fut2.fail(Fault::from_panic("pipe-future", &*payload));
+                }
             }
         })
         .expect("failed to spawn future");
@@ -560,24 +777,141 @@ mod tests {
         // queue, which fails the pending put and reaps the producer.
     }
 
-    #[test]
-    fn panicking_producer_ends_the_stream() {
-        // Failure injection: the producer's generator panics mid-stream;
-        // the consumer must see the values so far and then end-of-stream,
-        // never a hang.
-        let counter = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
-        let c2 = counter.clone();
-        let mut p = pipe(move || {
-            let c = c2.clone();
+    /// A source that yields `0..` but panics when it is about to yield
+    /// `panic_at` — on its first `runs_before_clean` runs only, so retry
+    /// respawns eventually see a clean pass.
+    fn faulty_src(
+        panic_at: i64,
+        runs_before_clean: usize,
+        end: i64,
+    ) -> impl Fn() -> BoxGen + Send + Sync + 'static {
+        let runs = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        move || {
+            let run = runs.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            let counter = std::sync::Arc::new(std::sync::atomic::AtomicI64::new(0));
+            let faulty = run < runs_before_clean;
             Box::new(gde::comb::repeat_alt(thunk(move || {
-                let n = c.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                assert!(n < 3, "injected producer failure");
+                let n = counter.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+                if faulty {
+                    assert!(n != panic_at, "injected producer failure");
+                }
+                if n > end {
+                    return None;
+                }
                 Some(Value::from(n))
-            })))
-        });
+            }))) as BoxGen
+        }
+    }
+
+    #[test]
+    fn panicking_producer_fails_the_stream_not_clean_eos() {
+        // The satellite regression: a producer that panics mid-stream
+        // must yield `Failed(..)` to the consumer — under the default
+        // `Propagate` policy that surfaces as a labelled panic from
+        // resume, never as a clean end-of-stream (and never a hang).
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let src = faulty_src(3, usize::MAX, 10);
+        let mut p = pipe(move || src()).with_label("flaky");
+        // With the default batch the clean prefix 0..=2 arrives in the
+        // chunk flushed by the producer's exit path.
+        let err = catch_unwind(AssertUnwindSafe(|| p.collect_values())).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("flaky"), "panic names the stage: {msg}");
+        let fault = p.fault().expect("fault recorded");
+        assert_eq!(fault.stage(), "flaky");
+        assert!(fault.message().contains("injected producer failure"));
+        // The cause on the queue itself is Failed, not Finished.
+        assert!(p.queue().close_cause().expect("closed").is_failed());
+        // After a caught propagation the stream reports end-of-stream.
+        assert_eq!(p.resume(), Step::Fail);
+    }
+
+    #[test]
+    fn truncate_policy_keeps_clean_prefix_and_records_fault() {
+        let src = faulty_src(3, usize::MAX, 10);
+        let mut p = pipe(move || src())
+            .with_policy(FaultPolicy::Truncate)
+            .with_label("truncated");
         let got = ints(&p.collect_values());
-        assert!(got.len() <= 3, "got {got:?}");
+        assert_eq!(got, vec![0, 1, 2], "clean prefix only");
+        assert_eq!(p.fault().expect("fault recorded").stage(), "truncated");
         assert_eq!(p.resume(), Step::Fail); // stream is closed, not hung
+    }
+
+    #[test]
+    fn retry_policy_replays_bitwise_identically() {
+        // Differential fixture: a deterministic source that faults on its
+        // first run must, under Retry, deliver exactly the sequence an
+        // unfaulted run would have — clean-prefix replay discards the
+        // fresh run's already-delivered prefix.
+        for batch in [1, 2, 128] {
+            // Two pre-consumption spawns (construction + the with_label
+            // restart) burn runs 0 and 1; the consumer's first observed
+            // run is 1 (faulty), the retry respawn is run 2 (clean).
+            let src = faulty_src(3, 2, 9);
+            let p = Pipe::batched(move || src(), 16, batch)
+                .with_policy(FaultPolicy::Retry {
+                    limit: 2,
+                    backoff: Duration::ZERO,
+                })
+                .with_label("retried");
+            let mut p = p;
+            let got = ints(&p.collect_values());
+            assert_eq!(got, (0..=9).collect::<Vec<_>>(), "batch {batch}");
+            assert_eq!(p.retries(), 1);
+            // The recovered fault stays inspectable.
+            assert_eq!(p.fault().expect("recovered fault").stage(), "retried");
+        }
+    }
+
+    #[test]
+    fn retry_exhaustion_propagates() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        // Faults on every run: two respawns are consumed, then the third
+        // fault propagates.
+        let src = faulty_src(2, usize::MAX, 9);
+        let mut p = pipe(move || src())
+            .with_policy(FaultPolicy::Retry {
+                limit: 2,
+                backoff: Duration::ZERO,
+            })
+            .with_label("doomed");
+        let err = catch_unwind(AssertUnwindSafe(|| p.collect_values())).unwrap_err();
+        let msg = err.downcast_ref::<String>().expect("string payload");
+        assert!(msg.contains("doomed"), "{msg}");
+        assert_eq!(p.retries(), 2, "both respawns consumed");
+        assert_eq!(p.resume(), Step::Fail);
+    }
+
+    #[test]
+    fn restart_resets_fault_state() {
+        // As above: construction + with_label burn runs 0 and 1.
+        let src = faulty_src(3, 2, 5);
+        let mut p = pipe(move || src())
+            .with_policy(FaultPolicy::Retry {
+                limit: 1,
+                backoff: Duration::ZERO,
+            })
+            .with_label("reset");
+        assert_eq!(ints(&p.collect_values()), (0..=5).collect::<Vec<_>>());
+        assert_eq!(p.retries(), 1);
+        Gen::restart(&mut p);
+        assert_eq!(p.retries(), 0);
+        assert!(p.fault().is_none());
+        // The source is clean from run 1 on; the restarted stream is too.
+        assert_eq!(ints(&p.collect_values()), (0..=5).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn spawn_future_contains_panics_as_faults() {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        let f = spawn_future(|| panic!("future producer died"));
+        // fail() resolves the future, so this does not hang…
+        blockingq::testkit::wait_until("future failed", || f.is_set());
+        let fault = f.fault().expect("failed future carries the fault");
+        assert!(fault.message().contains("future producer died"));
+        // …and get surfaces the fault loudly instead of blocking.
+        assert!(catch_unwind(AssertUnwindSafe(|| f.get())).is_err());
     }
 
     #[test]

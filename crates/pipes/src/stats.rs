@@ -22,6 +22,11 @@ pub(crate) struct PipeStats {
     /// Producer-side chunk flushes (one `put_all` transaction each);
     /// `items / flushes` is the realized transport amortization.
     pub flushes: Arc<obs::Counter>,
+    /// Producer faults surfaced to the consumer (`Propagate`, including
+    /// exhausted retries).
+    pub faults_propagated: Arc<obs::Counter>,
+    /// Producer respawns consumed by `FaultPolicy::Retry`.
+    pub faults_retried: Arc<obs::Counter>,
 }
 
 pub(crate) fn pipe() -> &'static PipeStats {
@@ -32,6 +37,8 @@ pub(crate) fn pipe() -> &'static PipeStats {
         producer_wall: obs::timer("pipes.pipe.producer_wall"),
         items_per_producer: obs::histogram("pipes.pipe.items_per_producer"),
         flushes: obs::counter("pipes.pipe.batch_flushes"),
+        faults_propagated: obs::counter("pipes.faults.propagated"),
+        faults_retried: obs::counter("pipes.faults.retries"),
     })
 }
 
@@ -51,6 +58,8 @@ pub(crate) struct FanStats {
     pub rr_items: Arc<obs::Counter>,
     /// Round-robin visits to already-exhausted sources (skips).
     pub rr_skips: Arc<obs::Counter>,
+    /// Merge sources dropped by `FanPolicy::Degrade` after a fault.
+    pub degraded_sources: Arc<obs::Counter>,
 }
 
 pub(crate) fn fan() -> &'static FanStats {
@@ -62,5 +71,6 @@ pub(crate) fn fan() -> &'static FanStats {
         merge_flushes: obs::counter("pipes.fan.merge_batch_flushes"),
         rr_items: obs::counter("pipes.fan.rr_items"),
         rr_skips: obs::counter("pipes.fan.rr_skips"),
+        degraded_sources: obs::counter("pipes.faults.degraded_sources"),
     })
 }

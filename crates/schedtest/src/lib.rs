@@ -15,10 +15,15 @@
 //!
 //! # Model
 //!
-//! Time is virtual: `thread::sleep` is a plain yield point and timed waits
-//! (`Condvar::wait_for`/`wait_until`) are modeled as *may time out* — the
-//! waiter stays schedulable while waiting, and scheduling it before a
-//! notify **is** the timeout branch, so both outcomes are explored.
+//! Time is virtual: `thread::sleep` is a yield point that advances a
+//! per-run virtual clock ([`time::now`]) without real waiting, and timed
+//! waits (`Condvar::wait_for`/`wait_until`) are modeled as *may time out* —
+//! the waiter stays schedulable while waiting, and scheduling it before a
+//! notify **is** the timeout branch (which also charges the consumed
+//! timeout to the clock), so both outcomes are explored. No enabledness
+//! ever depends on the clock — it is pure observability, so model
+//! assertions should use accounting (items delivered/refunded), not
+//! wall-clock arithmetic.
 //! Spurious condvar wakeups are not injected. A run ends when every
 //! spawned thread has terminated; a panic in any thread, or a state where
 //! live threads exist but none is enabled (deadlock), fails the run.
@@ -48,6 +53,19 @@ mod explore;
 mod rt;
 pub mod sync;
 pub mod thread;
+
+/// The per-run virtual clock.
+pub mod time {
+    use std::time::Duration;
+
+    /// Nanoseconds of virtual time elapsed in the current model run: the
+    /// sum of every `thread::sleep` and every consumed timed-wait timeout
+    /// executed so far, in schedule order. Zero outside a run. Purely
+    /// observational — no enabledness depends on it.
+    pub fn now() -> Duration {
+        Duration::from_nanos(crate::rt::clock_ns())
+    }
+}
 
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 

@@ -53,10 +53,16 @@ pub enum Op {
     /// Atomically release mutex `m` and join `cv`'s waiter queue
     /// (always enabled; the *wait* happens via the follow-up op).
     CondWait { cv: ObjId, m: ObjId },
-    /// Reacquire `m` after a wait on `cv`. Untimed: enabled iff notified
-    /// (dequeued) and `m` free. Timed: enabled whenever `m` is free —
-    /// scheduling it while still queued *is* the timeout branch.
-    Reacquire { cv: ObjId, m: ObjId, timed: bool },
+    /// Reacquire `m` after a wait on `cv`. Untimed (`timeout_ns: None`):
+    /// enabled iff notified (dequeued) and `m` free. Timed: enabled
+    /// whenever `m` is free — scheduling it while still queued *is* the
+    /// timeout branch, which also advances the virtual clock by the
+    /// consumed timeout.
+    Reacquire {
+        cv: ObjId,
+        m: ObjId,
+        timeout_ns: Option<u64>,
+    },
     /// Wake the longest-waiting thread on `cv`, if any. A yield point:
     /// dependent with a concurrent wait-begin on the same condvar.
     Notify(ObjId),
@@ -71,8 +77,13 @@ pub enum Op {
     Spawn,
     /// Wait for a child to terminate (enabled iff it has).
     Join(Tid),
-    /// Plain scheduling point (`yield_now`, virtual `sleep`).
+    /// Plain scheduling point (`yield_now`).
     Yield,
+    /// Virtual `thread::sleep`: a scheduling point that also advances the
+    /// run's virtual clock by the slept nanoseconds. Always enabled — the
+    /// explorer covers every ordering a real delay could select, without
+    /// real waiting.
+    Sleep(u64),
     /// Final op of every vthread (always enabled; marks it terminated).
     Terminate,
 }
@@ -85,7 +96,7 @@ impl Op {
             | TryRwWrite(o) | RwUnlockRead(o) | RwUnlockWrite(o) | Notify(o) | NotifyAll(o)
             | AtomicLoad(o) | AtomicRmw(o) => (Some(o), None),
             CondWait { cv, m } | Reacquire { cv, m, .. } => (Some(cv), Some(m)),
-            Start | Spawn | Join(_) | Yield | Terminate => (None, None),
+            Start | Spawn | Join(_) | Yield | Sleep(_) | Terminate => (None, None),
         }
     }
 }
@@ -156,6 +167,11 @@ struct Rt {
     threads: Vec<VThread>,
     objects: Vec<ObjState>,
     failure: Option<String>,
+    /// Virtual clock, reset per run: the sum of every `Sleep` duration
+    /// and consumed wait timeout executed so far. No enabledness depends
+    /// on it — timeouts fire by scheduling choice — so it is pure
+    /// observability ([`crate::time::now`]).
+    now_ns: u64,
 }
 
 fn global() -> &'static (StdMutex<Rt>, StdCondvar) {
@@ -168,6 +184,7 @@ fn global() -> &'static (StdMutex<Rt>, StdCondvar) {
                 threads: Vec::new(),
                 objects: Vec::new(),
                 failure: None,
+                now_ns: 0,
             }),
             StdCondvar::new(),
         )
@@ -312,6 +329,10 @@ fn perform(g: &mut Rt, me: Tid, op: &Op) -> StepOutcome {
         Start | Yield | Spawn | Join(_) | Terminate | AtomicLoad(_) | AtomicRmw(_) => {
             StepOutcome::Proceed
         }
+        Sleep(ns) => {
+            g.now_ns = g.now_ns.saturating_add(ns);
+            StepOutcome::Proceed
+        }
         Lock(o) => {
             let ObjState::Mutex { owner } = &mut g.objects[o] else {
                 unreachable!("lock on non-mutex object")
@@ -405,20 +426,27 @@ fn perform(g: &mut Rt, me: Tid, op: &Op) -> StepOutcome {
             waiters.push_back(me);
             StepOutcome::Proceed
         }
-        Reacquire { cv, m, timed } => {
+        Reacquire { cv, m, timeout_ns } => {
             let still_queued = {
                 let ObjState::Cond { waiters } = &mut g.objects[cv] else {
                     unreachable!("reacquire on non-condvar object")
                 };
                 match waiters.iter().position(|&t| t == me) {
                     Some(pos) => {
-                        debug_assert!(timed, "untimed reacquire scheduled while queued");
+                        debug_assert!(
+                            timeout_ns.is_some(),
+                            "untimed reacquire scheduled while queued"
+                        );
                         waiters.remove(pos);
                         true
                     }
                     None => false,
                 }
             };
+            if still_queued {
+                // The timeout branch consumed its full wait.
+                g.now_ns = g.now_ns.saturating_add(timeout_ns.unwrap_or(0));
+            }
             let ObjState::Mutex { owner } = &mut g.objects[m] else {
                 unreachable!("reacquire of a non-mutex")
             };
@@ -463,12 +491,12 @@ fn enabled(g: &Rt, t: Tid) -> bool {
             ObjState::Rw { writer, readers } => writer.is_none() && readers.is_empty(),
             _ => unreachable!(),
         },
-        Reacquire { cv, m, timed } => {
+        Reacquire { cv, m, timeout_ns } => {
             let queued = match &g.objects[cv] {
                 ObjState::Cond { waiters } => waiters.contains(&t),
                 _ => unreachable!(),
             };
-            mutex_free(m) && (timed || !queued)
+            mutex_free(m) && (timeout_ns.is_some() || !queued)
         }
         Join(child) => g.threads[child].terminated,
         _ => true,
@@ -509,6 +537,7 @@ pub(crate) fn run_once(
         });
         g.objects.clear();
         g.failure = None;
+        g.now_ns = 0;
         // Wake any worker still parked in `wait_first_schedule` from an
         // abandoned previous run so it can recycle itself.
         cv.notify_all();
@@ -596,6 +625,16 @@ pub(crate) fn run_once(
         g.active = Some(choice);
         cv.notify_all();
     }
+}
+
+/// Current virtual-clock reading (nanoseconds since the run started;
+/// 0 when the caller is not a vthread of the active run).
+pub(crate) fn clock_ns() -> u64 {
+    if current_vthread().is_none() {
+        return 0;
+    }
+    let (lk, _) = global();
+    lk.lock().unwrap_or_else(|p| p.into_inner()).now_ns
 }
 
 pub(crate) fn panic_message(p: &(dyn std::any::Any + Send)) -> String {

@@ -234,6 +234,11 @@ impl WaitTimeoutResult {
     }
 }
 
+/// Saturating `Duration` → virtual-clock nanoseconds.
+fn duration_ns(d: Duration) -> u64 {
+    d.as_nanos().min(u64::MAX as u128) as u64
+}
+
 /// Virtualized condition variable. In a model run, waiting is two
 /// scheduling points (release + enqueue, then reacquire-after-notify);
 /// timed waits stay schedulable while queued, so the explorer covers both
@@ -267,7 +272,12 @@ impl Condvar {
     ) -> WaitTimeoutResult {
         match guard.vid {
             Some(_) if rt::current_vthread().is_some() => {
-                self.wait_inner(guard, Some(())).expect("timed wait result")
+                // The remaining real time is an approximation of the
+                // caller's intent; under the explorer the clock only
+                // observes it, never gates on it.
+                let remaining = deadline.saturating_duration_since(Instant::now());
+                self.wait_inner(guard, Some(duration_ns(remaining)))
+                    .expect("timed wait result")
             }
             _ => {
                 let timeout = deadline.saturating_duration_since(Instant::now());
@@ -283,9 +293,9 @@ impl Condvar {
         timeout: Duration,
     ) -> WaitTimeoutResult {
         match guard.vid {
-            Some(_) if rt::current_vthread().is_some() => {
-                self.wait_inner(guard, Some(())).expect("timed wait result")
-            }
+            Some(_) if rt::current_vthread().is_some() => self
+                .wait_inner(guard, Some(duration_ns(timeout)))
+                .expect("timed wait result"),
             _ => self.real_wait_for(guard, timeout),
         }
     }
@@ -293,18 +303,14 @@ impl Condvar {
     fn wait_inner<T>(
         &self,
         guard: &mut MutexGuard<'_, T>,
-        timed: Option<()>,
+        timeout_ns: Option<u64>,
     ) -> Option<WaitTimeoutResult> {
         match (guard.vid, self.vid.get()) {
             (Some(m), Some(cv)) => {
                 rt::yield_op(Op::CondWait { cv, m });
                 // Virtually released and queued; mirror on the real lock.
                 guard.inner = None;
-                let out = rt::yield_op(Op::Reacquire {
-                    cv,
-                    m,
-                    timed: timed.is_some(),
-                });
+                let out = rt::yield_op(Op::Reacquire { cv, m, timeout_ns });
                 guard.inner = Some(guard.lock.lock_real());
                 match out {
                     StepOutcome::TimedOut(t) => Some(WaitTimeoutResult { timed_out: t }),

@@ -120,11 +120,12 @@ pub fn yield_now() {
     }
 }
 
-/// Virtual time: inside a run this is just a scheduling point (duration is
-/// ignored — the explorer covers the orderings a real delay could select).
+/// Virtual time: inside a run this is a scheduling point that advances the
+/// virtual clock ([`crate::time::now`]) by `dur` without real waiting — the
+/// explorer covers the orderings a real delay could select.
 pub fn sleep(dur: Duration) {
     if rt::current_vthread().is_some() {
-        rt::yield_op(Op::Yield);
+        rt::yield_op(Op::Sleep(dur.as_nanos().min(u64::MAX as u128) as u64));
     } else {
         std::thread::sleep(dur);
     }

@@ -150,6 +150,58 @@ fn timed_wait_explores_both_timeout_and_notify() {
 }
 
 #[test]
+fn virtual_clock_advances_on_sleep_and_consumed_timeouts() {
+    use std::sync::atomic::{AtomicBool, Ordering as StdOrdering};
+    let clock_ok = Arc::new(AtomicBool::new(true));
+    let saw_timeout = Arc::new(AtomicBool::new(false));
+    let (ck, st) = (clock_ok.clone(), saw_timeout.clone());
+    let report = check("smoke_virtual_clock", &Config::default(), move || {
+        assert_eq!(schedtest::time::now(), std::time::Duration::ZERO);
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let p2 = pair.clone();
+        let (ck, st) = (ck.clone(), st.clone());
+        let ck2 = ck.clone();
+        let waiter = thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut ready = m.lock();
+            if !*ready {
+                let before = schedtest::time::now();
+                let res = cv.wait_for(&mut ready, std::time::Duration::from_millis(5));
+                if res.timed_out() {
+                    st.store(true, StdOrdering::SeqCst);
+                    // The timeout branch charges the consumed wait.
+                    if schedtest::time::now() < before + std::time::Duration::from_millis(5) {
+                        ck.store(false, StdOrdering::SeqCst);
+                    }
+                }
+            }
+        });
+        thread::sleep(std::time::Duration::from_millis(2));
+        // Sleep advanced the clock without real waiting.
+        if schedtest::time::now() < std::time::Duration::from_millis(2) {
+            ck2.store(false, StdOrdering::SeqCst);
+        }
+        {
+            let (m, cv) = &*pair;
+            *m.lock() = true;
+            cv.notify_one();
+        }
+        waiter.join().unwrap();
+    });
+    assert!(report.complete, "{report:?}");
+    assert!(
+        saw_timeout.load(StdOrdering::SeqCst),
+        "timeout branch never taken"
+    );
+    assert!(
+        clock_ok.load(StdOrdering::SeqCst),
+        "clock failed to advance"
+    );
+    // Outside a run the clock reads zero again.
+    assert_eq!(schedtest::time::now(), std::time::Duration::ZERO);
+}
+
+#[test]
 fn sampling_mode_is_deterministic() {
     let body = || {
         let m = Arc::new(Mutex::new(0u32));

@@ -178,14 +178,19 @@ pub fn map_reduce_on(
         .chunks(chunk_size.max(1))
         .map(|chunk| {
             let chunk: Vec<String> = chunk.to_vec();
-            pool.submit(move || {
+            // try_submit: a shut-down pool degrades to inline
+            // execution instead of panicking mid-scan.
+            match pool.try_submit(move || {
                 chunk
                     .iter()
                     .flat_map(|l| split_words(l))
                     .filter_map(|w| word_to_number(w, weight))
                     .map(|n| hash_number(&n, weight))
                     .fold(0.0, sum_hash)
-            })
+            }) {
+                Ok(task) => task,
+                Err(rejected) => rejected.run_inline(),
+            }
         })
         .collect();
     tasks.into_iter().map(|t| t.join()).fold(0.0, sum_hash)
@@ -210,14 +215,17 @@ pub fn data_parallel_on(
         .chunks(chunk_size.max(1))
         .map(|chunk| {
             let chunk: Vec<String> = chunk.to_vec();
-            pool.submit(move || {
+            match pool.try_submit(move || {
                 chunk
                     .iter()
                     .flat_map(|l| split_words(l))
                     .filter_map(|w| word_to_number(w, weight))
                     .map(|n| hash_number(&n, weight))
                     .collect()
-            })
+            }) {
+                Ok(task) => task,
+                Err(rejected) => rejected.run_inline(),
+            }
         })
         .collect();
     // Serial reduction over the in-order flattened stream.

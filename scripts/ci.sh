@@ -12,12 +12,15 @@
 #                                 workspace-wide builds);
 #   5. scripts/examples_smoke.sh — every example runs, fail-fast;
 #   6. schedtest smoke          — the deterministic schedule-exploration
-#                                 model suites under --cfg schedtest,
+#                                 model suites under --cfg schedtest
+#                                 (including the fault-injection models),
 #                                 summarized to SCHEDTEST_ci.json;
 #   7. bench smoke + gates      — a fast figure6 run emitting
-#                                 BENCH_ci.json, criterion smokes via the
-#                                 TINYBENCH_* knobs, then the regression
-#                                 gates (`bench --bin gates`, tested in
+#                                 BENCH_ci.json, the fault-plane smoke
+#                                 emitting FAULTS_ci.json, criterion
+#                                 smokes via the TINYBENCH_* knobs, then
+#                                 the regression gates (`bench --bin
+#                                 gates`, tested in
 #                                 crates/bench/tests/gates.rs) plus a
 #                                 report-only drift table against the
 #                                 committed BENCH_baseline.json.
@@ -85,6 +88,14 @@ for crate in "${OBS_CRATES[@]}" coexpr junicon bigint obs; do
     cargo test --offline -q -p "$crate" > /dev/null
 done
 echo "   ok: uninstrumented builds + tests (obs off)"
+# The fault-injection plane has the same shape: `faultpoint!` must expand
+# to nothing without the feature (checked above by the isolated builds)
+# and compile cleanly with it — including the registry's own obs wiring.
+for crate in blockingq pipes exec; do
+    cargo build --offline -q -p "$crate" --features faultinj
+done
+cargo build --offline -q -p faultinj --features obs
+echo "   ok: faultpoint builds (faultinj on)"
 
 step "[5/7] examples smoke"
 scripts/examples_smoke.sh
@@ -104,6 +115,7 @@ RUSTFLAGS="--cfg schedtest" CARGO_TARGET_DIR=target/schedtest \
     SCHEDTEST_BUDGET=50000 SCHEDTEST_JSON="$PWD/SCHEDTEST_ci.json" \
     cargo test --offline -q -p schedtest \
     --test model_blockingq --test model_pipes --test model_exec \
+    --test model_faults \
     -- --test-threads=1
 echo "   ok: model suites green ($(wc -l < SCHEDTEST_ci.json) explorations summarized)"
 
@@ -113,6 +125,14 @@ step "[7/7] bench smoke -> BENCH_ci.json, then the regression gates"
 # is the committed full-size run.
 cargo run --offline -q -p bench --release --bin figure6 -- \
     --lines 200 --heavy-lines 40 --iters 3 --warmup 1 --json BENCH_ci.json
+# Fault-plane smoke: deterministic injection scenarios through every
+# recovery surface (Retry replay, Propagate, degrading fan-in, pool
+# containment), snapshotting the fault counters for the `faults` gate.
+# Built with the faultinj feature — the figure6 run above stays
+# faultpoint-free, so the seq-lw-ratio gate measures the unarmed plane.
+cargo run --offline -q -p bench --release --features faultinj \
+    --bin fault_smoke -- FAULTS_ci.json 2> /dev/null \
+    | sed 's/^/   /'
 # Criterion smoke through the shim's env knobs: tiny sample budget.
 # Print the hot-path numbers with instrumentation ON and OFF side by
 # side (the zero-cost claim, measured).
@@ -171,6 +191,10 @@ TINYBENCH_SAMPLES=5 TINYBENCH_WARMUP_MS=10 TINYBENCH_SAMPLE_MS=1 \
 #   concat-slices   gde.value.concat_slices > 0 — concatenation still
 #                   reaches the builder arena's zero-copy regimes
 #                   (widening / tail extension);
+#   faults          FAULTS_ci.json (fault_smoke above) shows every fault
+#                   counter non-zero: faults.injected, the pipe policy
+#                   counters, and blockingq.close.failed — a renamed key
+#                   or a dead recovery surface FAILs loudly;
 #   seq-lw-ratio    Junicon/Native Sequential-Lightweight median ratio.
 #                   The allocation-free string plane (ISSUE 9: builder
 #                   arena, batched hot-loop instrumentation, generator
@@ -186,6 +210,7 @@ GATE_FLAGS=(--json BENCH_ci.json
     --max-blocked-take-ratio 0.0747
     --max-seq-lw-ratio 1.61
     --schedtest-json SCHEDTEST_ci.json
+    --faults-json FAULTS_ci.json
     --baseline BENCH_baseline.json)
 if [ "$STRICT" = "1" ]; then
     GATE_FLAGS+=(--strict)
